@@ -1,0 +1,138 @@
+"""Figure 10: scaling with the number of polygons.
+
+Paper panels: (left) polygon processing costs (triangulation + grid index
+build) as the synthetic polygon count grows, (middle) total out-of-core
+query time, (right) GPU processing time.  Expected shape: triangulation
+grows with polygon count; the bounded variant's query time is almost flat
+(its point pass is independent of the polygon count and its polygon pass
+touches each canvas pixel about once, since the regions partition the
+extent); the accurate variant degrades toward the index-join baseline as
+outlines cover more pixels.
+
+Polygons come from the paper's own §7.4 generator (Voronoi cells merged
+into concave shapes); counts are scaled from the paper's 2^6..2^16 sweep.
+"""
+
+import time
+
+import pytest
+
+from benchmarks import harness
+from repro import AccurateRasterJoin, BoundedRasterJoin, GPUDevice, IndexJoin
+from repro.data import generate_voronoi_regions
+from repro.data.regions import NYC_REGION_EXTENT
+from repro.geometry.triangulate import triangulate_polygon
+
+POLYGON_COUNTS = [64, 256, 1024]
+POINT_COUNT = 1_000_000
+EPSILON_M = 10.0
+DEVICE_BYTES = 192_000_000  # holds the ε = 10 m FBO plus point batches
+
+_cache: dict = {}
+
+
+def _regions(n):
+    if n not in _cache:
+        _cache[n] = generate_voronoi_regions(n, NYC_REGION_EXTENT, seed=5)
+    return _cache[n]
+
+
+def _costs_table():
+    return harness.table(
+        "fig10a",
+        "Polygon processing costs vs polygon count",
+        ["polygons", "triangulation_s", "grid_index_s"],
+    )
+
+
+def _time_table():
+    return harness.table(
+        "fig10bc",
+        "Query time vs polygon count (1M points, out-of-core)",
+        ["engine", "polygons", "query_s", "processing_s"],
+    )
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("n_polys", POLYGON_COUNTS)
+def test_fig10_processing_costs(benchmark, n_polys):
+    regions = _regions(n_polys)
+
+    def preprocess():
+        tris = [triangulate_polygon(p) for p in regions]
+        index_s = harness.build_grid_gpu(regions, 1024)
+        return tris, index_s
+
+    start = time.perf_counter()
+    _, index_s = preprocess()
+    tri_s = time.perf_counter() - start - index_s
+    benchmark.pedantic(preprocess, rounds=1, iterations=1)
+    _costs_table().add_row(n_polys, tri_s, index_s)
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("n_polys", POLYGON_COUNTS)
+def test_fig10_bounded(benchmark, taxi, n_polys):
+    regions = _regions(n_polys)
+    points = taxi.head(POINT_COUNT)
+    engine = BoundedRasterJoin(
+        epsilon=EPSILON_M, device=GPUDevice(capacity_bytes=DEVICE_BYTES)
+    )
+    result = benchmark.pedantic(
+        lambda: engine.execute(points, regions), rounds=1, iterations=1
+    )
+    _time_table().add_row("bounded-raster", n_polys, result.stats.query_s,
+                          result.stats.processing_s)
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("n_polys", POLYGON_COUNTS)
+def test_fig10_accurate(benchmark, taxi, n_polys):
+    regions = _regions(n_polys)
+    points = taxi.head(POINT_COUNT)
+    engine = AccurateRasterJoin(
+        resolution=1024, device=GPUDevice(capacity_bytes=DEVICE_BYTES)
+    )
+    result = benchmark.pedantic(
+        lambda: engine.execute(points, regions), rounds=1, iterations=1
+    )
+    _time_table().add_row("accurate-raster", n_polys, result.stats.query_s,
+                          result.stats.processing_s)
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("n_polys", POLYGON_COUNTS)
+def test_fig10_index_join(benchmark, taxi, n_polys):
+    regions = _regions(n_polys)
+    points = taxi.head(POINT_COUNT)
+    engine = IndexJoin(
+        mode="gpu", grid_resolution=1024,
+        device=GPUDevice(capacity_bytes=DEVICE_BYTES),
+    )
+    result = benchmark.pedantic(
+        lambda: engine.execute(points, regions), rounds=1, iterations=1
+    )
+    _time_table().add_row("index-join-gpu", n_polys, result.stats.query_s,
+                          result.stats.processing_s)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_bounded_flatness(benchmark, taxi):
+    """The paper's claim: increasing the polygon count has almost no
+    effect on the bounded variant (processing of points and polygons is
+    decoupled).  Verify the largest/smallest processing ratio stays small
+    compared to the 16x polygon growth."""
+    points = taxi.head(POINT_COUNT)
+
+    def run(n_polys):
+        engine = BoundedRasterJoin(epsilon=EPSILON_M, device=GPUDevice())
+        return engine.execute(points, _regions(n_polys)).stats.processing_s
+
+    small = run(POLYGON_COUNTS[0])
+    big = benchmark.pedantic(
+        lambda: run(POLYGON_COUNTS[-1]), rounds=1, iterations=1
+    )
+    growth = POLYGON_COUNTS[-1] / POLYGON_COUNTS[0]
+    _time_table().add_row("bounded growth ratio", POLYGON_COUNTS[-1],
+                          big / max(small, 1e-12), growth)
+    assert big / max(small, 1e-12) < growth / 2

@@ -1,0 +1,108 @@
+"""Figure 11: scaling with the number of attribute constraints.
+
+The paper incrementally applies 0-5 constraints on taxi attributes at two
+input sizes — one fitting device memory, one not — and breaks the
+out-of-core time into transfer and processing.  Expected shape: transfer
+time grows with each constraint (the filtered attribute columns join the
+vertex payload), while processing time can even shrink because discarded
+points skip the rest of the pipeline.
+"""
+
+import pytest
+
+from benchmarks import harness
+from repro import BoundedRasterJoin, Filter, GPUDevice
+
+#: The paper uses 85M (in-memory) and 226M (out-of-core) points; scaled so
+#: SMALL fits the device with all five attribute columns while LARGE needs
+#: batching at every constraint count.  ε = 20 m keeps the full-resolution
+#: FBO (~36 MB) resident alongside the point batches.
+SMALL = 500_000
+LARGE = 3_000_000
+DEVICE_BYTES = 60_000_000
+EPSILON_M = 20.0
+
+#: Conjunctive constraints added one at a time, like the paper's sweep.
+CONSTRAINTS = [
+    Filter("hour", ">=", 6),
+    Filter("passengers", "<=", 4),
+    Filter("distance", ">", 0.5),
+    Filter("fare", "<", 60.0),
+    Filter("tip", ">=", 0.0),
+]
+
+
+def _table():
+    return harness.table(
+        "fig11",
+        "Scaling with number of attribute constraints (ε = 20 m)",
+        [
+            "points",
+            "constraints",
+            "query_s",
+            "transfer_s",
+            "processing_s",
+            "bytes_transferred",
+            "points_filtered_out",
+        ],
+    )
+
+
+def _run(benchmark, taxi, n, k):
+    points = taxi.head(n)
+    filters = CONSTRAINTS[:k]
+    engine = BoundedRasterJoin(
+        epsilon=EPSILON_M, device=GPUDevice(capacity_bytes=DEVICE_BYTES)
+    )
+    result = benchmark.pedantic(
+        lambda: engine.execute(points, _hoods, filters=filters),
+        rounds=1, iterations=1,
+    )
+    stats = result.stats
+    _table().add_row(
+        n, k, stats.query_s, stats.transfer_s, stats.processing_s,
+        stats.bytes_transferred, stats.points_filtered_out,
+    )
+    return stats
+
+
+_hoods = None
+
+
+@pytest.fixture(autouse=True)
+def _bind_hoods(neighborhoods):
+    global _hoods
+    _hoods = neighborhoods
+
+
+@pytest.mark.benchmark(group="fig11")
+@pytest.mark.parametrize("k", list(range(6)))
+def test_fig11_inmemory(benchmark, taxi, k):
+    _run(benchmark, taxi, SMALL, k)
+
+
+@pytest.mark.benchmark(group="fig11")
+@pytest.mark.parametrize("k", list(range(6)))
+def test_fig11_outofcore(benchmark, taxi, k):
+    stats = _run(benchmark, taxi, LARGE, k)
+    if k > 0:
+        assert stats.points_filtered_out > 0
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_transfer_grows_with_constraints(benchmark, taxi):
+    """More constrained columns -> strictly more bytes moved (the paper's
+    core observation for this figure)."""
+    points = taxi.head(LARGE)
+
+    def run(k):
+        engine = BoundedRasterJoin(
+            epsilon=EPSILON_M, device=GPUDevice(capacity_bytes=DEVICE_BYTES)
+        )
+        return engine.execute(
+            points, _hoods, filters=CONSTRAINTS[:k]
+        ).stats.bytes_transferred
+
+    none = run(0)
+    five = benchmark.pedantic(lambda: run(5), rounds=1, iterations=1)
+    assert five > none

@@ -1,0 +1,152 @@
+"""Figure 12: accuracy analysis on the taxi workload.
+
+Three panels, all reproduced here:
+
+(a) accuracy-time trade-off — bounded query time vs ε, with the accurate
+    variant as the horizontal reference line; as ε shrinks the bounded
+    time grows (quadratically more pixels / rendering passes) and
+    eventually crosses the accurate line;
+(b) accuracy-ε trade-off — the distribution (quartiles/whiskers) of the
+    per-polygon percent error for each ε, converging toward zero;
+(c) accurate-vs-approximate scatter at the coarsest bound (ε = 20 m for
+    NYC) with the expected result intervals; the paper reports a median
+    error around 0.15% at ε = 10 m and intervals that stay tight.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks import harness
+from repro import AccurateRasterJoin, BoundedRasterJoin, GPUDevice
+
+POINT_COUNT = 1_000_000
+EPSILONS_M = [160.0, 80.0, 40.0, 20.0, 10.0, 5.0, 2.5]
+#: Must hold one device-limit tile's FBO (8192^2 float32 ≈ 268 MB) — the
+#: ε = 2.5 m canvas splits into 9 such tiles, driving the time-vs-ε curve.
+DEVICE_BYTES = 330_000_000
+
+_exact_cache: dict = {}
+
+
+def _exact(taxi, neighborhoods):
+    if "values" not in _exact_cache:
+        result = AccurateRasterJoin(resolution=1024).execute(
+            taxi.head(POINT_COUNT), neighborhoods
+        )
+        _exact_cache["values"] = result.values
+        _exact_cache["seconds"] = result.stats.query_s
+    return _exact_cache["values"], _exact_cache["seconds"]
+
+
+def _time_table():
+    return harness.table(
+        "fig12a",
+        "Accuracy-time trade-off (taxi, 1M points)",
+        ["epsilon_m", "engine", "query_s", "tiles"],
+    )
+
+
+def _error_table():
+    return harness.table(
+        "fig12b",
+        "Percent-error distribution vs ε (taxi)",
+        ["epsilon_m", "median_pct", "q1_pct", "q3_pct",
+         "whisker_lo_pct", "whisker_hi_pct"],
+    )
+
+
+def _scatter_table():
+    return harness.table(
+        "fig12c",
+        "Accurate vs approximate at coarsest ε (taxi)",
+        ["metric", "value"],
+    )
+
+
+@pytest.mark.benchmark(group="fig12")
+@pytest.mark.parametrize("epsilon", EPSILONS_M)
+def test_fig12a_time_tradeoff(benchmark, taxi, neighborhoods, epsilon):
+    points = taxi.head(POINT_COUNT)
+    engine = BoundedRasterJoin(
+        epsilon=epsilon, device=GPUDevice(capacity_bytes=DEVICE_BYTES)
+    )
+    result = benchmark.pedantic(
+        lambda: engine.execute(points, neighborhoods), rounds=1, iterations=1
+    )
+    _time_table().add_row(
+        epsilon, "bounded", result.stats.query_s, result.stats.extra["tiles"]
+    )
+    if epsilon == EPSILONS_M[-1]:
+        _, accurate_s = _exact(taxi, neighborhoods)
+        _time_table().add_row("any", "accurate (reference)", accurate_s, 1)
+
+
+@pytest.mark.benchmark(group="fig12")
+@pytest.mark.parametrize("epsilon", EPSILONS_M)
+def test_fig12b_error_distribution(benchmark, taxi, neighborhoods, epsilon):
+    points = taxi.head(POINT_COUNT)
+    exact, _ = _exact(taxi, neighborhoods)
+    engine = BoundedRasterJoin(epsilon=epsilon, device=GPUDevice())
+    result = benchmark.pedantic(
+        lambda: engine.execute(points, neighborhoods), rounds=1, iterations=1
+    )
+    nonzero = exact > 0
+    errors = 100.0 * np.abs(result.values[nonzero] - exact[nonzero]) / exact[nonzero]
+    q1, med, q3 = np.percentile(errors, [25, 50, 75])
+    iqr = q3 - q1
+    lo = float(errors[errors >= q1 - 1.5 * iqr].min())
+    hi = float(errors[errors <= q3 + 1.5 * iqr].max())
+    _error_table().add_row(epsilon, float(med), float(q1), float(q3), lo, hi)
+    benchmark.extra_info["median_pct_error"] = float(med)
+
+
+def test_fig12b_error_decays_with_epsilon(taxi, neighborhoods):
+    """Medians must be non-increasing as ε shrinks (checked coarse→fine
+    on a 4x ladder to stay fast)."""
+    points = taxi.head(POINT_COUNT)
+    exact, _ = _exact(taxi, neighborhoods)
+    nonzero = exact > 0
+    medians = []
+    for epsilon in (160.0, 40.0, 10.0):
+        values = BoundedRasterJoin(epsilon=epsilon).execute(
+            points, neighborhoods
+        ).values
+        errors = (
+            np.abs(values[nonzero] - exact[nonzero]) / exact[nonzero]
+        )
+        medians.append(float(np.median(errors)))
+    assert medians[0] >= medians[1] >= medians[2]
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12c_scatter_and_intervals(benchmark, taxi, neighborhoods):
+    points = taxi.head(POINT_COUNT)
+    exact, _ = _exact(taxi, neighborhoods)
+    engine = BoundedRasterJoin(
+        epsilon=20.0, compute_bounds=True, device=GPUDevice()
+    )
+    result = benchmark.pedantic(
+        lambda: engine.execute(points, neighborhoods), rounds=1, iterations=1
+    )
+    approx = result.values
+    iv = result.intervals
+
+    corr = float(np.corrcoef(exact, approx)[0, 1])
+    nonzero = exact > 0
+    max_rel = float(
+        (np.abs(approx[nonzero] - exact[nonzero]) / exact[nonzero]).max()
+    )
+    loose_cover = float(iv.contains(exact).mean())
+    expected_width = float(np.mean(iv.expected_hi - iv.expected_lo))
+    value_scale = float(np.mean(exact[nonzero]))
+
+    _scatter_table().add_row("pearson r (accurate vs approx)", corr)
+    _scatter_table().add_row("max relative error", max_rel)
+    _scatter_table().add_row("loose interval coverage", loose_cover)
+    _scatter_table().add_row("mean expected-interval width", expected_width)
+    _scatter_table().add_row("mean region value", value_scale)
+
+    # The paper's qualitative claims at the coarsest bound:
+    assert corr > 0.999, "scatter must hug the diagonal"
+    assert loose_cover == 1.0, "loose intervals are 100%-confidence"
+    assert expected_width < 0.05 * value_scale, "intervals stay tight"

@@ -1,0 +1,93 @@
+"""Figure 14: accuracy trade-offs on the Twitter/counties workload.
+
+The county polygons span the whole USA, so the paper sweeps kilometre-
+scale ε values (default 1 km) and shows the same two trade-offs as
+Figure 12: time grows as ε shrinks, errors shrink toward zero, and the
+accurate-vs-approximate scatter hugs the diagonal.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks import harness
+from repro import AccurateRasterJoin, BoundedRasterJoin, GPUDevice
+
+POINT_COUNT = 1_000_000
+EPSILONS_M = [8_000.0, 4_000.0, 2_000.0, 1_000.0, 500.0]
+DEVICE_BYTES = 330_000_000  # one 8192^2 tile FBO + point batches
+
+_exact_cache: dict = {}
+
+
+def _exact(twitter, counties):
+    if "values" not in _exact_cache:
+        result = AccurateRasterJoin(resolution=1024).execute(
+            twitter.head(POINT_COUNT), counties
+        )
+        _exact_cache["values"] = result.values
+        _exact_cache["seconds"] = result.stats.query_s
+    return _exact_cache["values"], _exact_cache["seconds"]
+
+
+def _table():
+    return harness.table(
+        "fig14",
+        "Accuracy trade-offs, Twitter ⋈ Counties",
+        ["epsilon_m", "query_s", "median_pct_error", "q3_pct_error"],
+    )
+
+
+@pytest.mark.benchmark(group="fig14")
+@pytest.mark.parametrize("epsilon", EPSILONS_M)
+def test_fig14_accuracy_sweep(benchmark, twitter, counties, epsilon):
+    points = twitter.head(POINT_COUNT)
+    exact, _ = _exact(twitter, counties)
+    engine = BoundedRasterJoin(
+        epsilon=epsilon, device=GPUDevice(capacity_bytes=DEVICE_BYTES)
+    )
+    result = benchmark.pedantic(
+        lambda: engine.execute(points, counties), rounds=1, iterations=1
+    )
+    # Percent errors over populated counties (sparse ones make percent
+    # errors meaningless, matching the paper's box-plot preprocessing).
+    populated = exact >= 10
+    errors = (
+        100.0
+        * np.abs(result.values[populated] - exact[populated])
+        / exact[populated]
+    )
+    med, q3 = np.percentile(errors, [50, 75])
+    _table().add_row(epsilon, result.stats.query_s, float(med), float(q3))
+    benchmark.extra_info["median_pct_error"] = float(med)
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_scatter_close_to_diagonal(benchmark, twitter, counties):
+    """The paper: 'the scatter plot ... is similar to the taxi
+    experiments, with the points falling close to the diagonal'."""
+    points = twitter.head(POINT_COUNT)
+    exact, accurate_s = _exact(twitter, counties)
+    engine = BoundedRasterJoin(epsilon=1_000.0)
+    result = benchmark.pedantic(
+        lambda: engine.execute(points, counties), rounds=1, iterations=1
+    )
+    corr = float(np.corrcoef(exact, result.values)[0, 1])
+    _table().add_row("scatter r @1km", result.stats.query_s, corr, 0.0)
+    _table().add_row("accurate reference", accurate_s, 0.0, 0.0)
+    assert corr > 0.999
+
+
+def test_fig14_error_decays(twitter, counties):
+    points = twitter.head(POINT_COUNT)
+    exact, _ = _exact(twitter, counties)
+    populated = exact >= 10
+    medians = []
+    for epsilon in (8_000.0, 2_000.0, 500.0):
+        values = BoundedRasterJoin(epsilon=epsilon).execute(
+            points, counties
+        ).values
+        errors = (
+            np.abs(values[populated] - exact[populated]) / exact[populated]
+        )
+        medians.append(float(np.median(errors)))
+    assert medians[0] >= medians[-1]

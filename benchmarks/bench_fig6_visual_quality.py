@@ -1,0 +1,95 @@
+"""Figure 6: approximate vs accurate visualizations are indistinguishable.
+
+The paper renders the June-2012 taxi heat map over NYC neighborhoods with
+the bounded join at ε = 20 m and argues (via just-noticeable-difference
+analysis, §7.6) that the result cannot be told apart from the accurate
+one: a sequential colormap offers at most 9 perceivable classes, so
+differences below 1/9 in normalized value are invisible; the paper
+measures < 0.002.
+
+This bench reproduces the whole pipeline — both joins, choropleth
+rendering, pixelwise comparison, and the JND verdict — and saves the two
+images for eyeballing.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks import harness
+from repro import AccurateRasterJoin, BoundedRasterJoin, Filter
+from repro.viz import (
+    JND_THRESHOLD,
+    jnd_report,
+    render_choropleth,
+    write_ppm,
+)
+
+POINT_COUNT = 1_000_000
+EPSILON_M = 20.0
+
+#: The paper filters on a month; our generator's closest slice is a
+#: morning-hours filter, which similarly selects ~1/3 of the data.
+FILTERS = [Filter("hour", ">=", 7), Filter("hour", "<=", 12)]
+
+
+def _table():
+    return harness.table(
+        "fig6",
+        "Visual quality of the bounded join (ε = 20 m, JND analysis)",
+        ["metric", "value"],
+    )
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_jnd_indistinguishable(benchmark, taxi, neighborhoods):
+    points = taxi.head(POINT_COUNT)
+    accurate = AccurateRasterJoin(resolution=1024).execute(
+        points, neighborhoods, filters=FILTERS
+    )
+    engine = BoundedRasterJoin(epsilon=EPSILON_M)
+    approx = benchmark.pedantic(
+        lambda: engine.execute(points, neighborhoods, filters=FILTERS),
+        rounds=1, iterations=1,
+    )
+
+    report = jnd_report(approx.values, accurate.values)
+    _table().add_row("jnd threshold (1/9)", JND_THRESHOLD)
+    _table().add_row("max normalized difference", report.max_difference)
+    _table().add_row("mean normalized difference", report.mean_difference)
+    _table().add_row("regions over threshold", report.perceivable_regions)
+    _table().add_row("verdict",
+                     "indistinguishable" if report.indistinguishable
+                     else "PERCEIVABLE")
+
+    harness.RESULTS_DIR.mkdir(exist_ok=True)
+    write_ppm(
+        harness.RESULTS_DIR / "fig6_approximate.ppm",
+        render_choropleth(neighborhoods, approx.values, resolution=512),
+    )
+    write_ppm(
+        harness.RESULTS_DIR / "fig6_accurate.ppm",
+        render_choropleth(neighborhoods, accurate.values, resolution=512),
+    )
+
+    # The paper's claim, scaled: well under the JND threshold.
+    assert report.indistinguishable
+    assert report.max_difference < 0.01
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_pixelwise_image_difference(benchmark, taxi, neighborhoods):
+    """Beyond per-region values: compare the actual rendered rasters.
+    Identical normalization + rendering path isolates aggregation error."""
+    points = taxi.head(POINT_COUNT // 2)
+    accurate = AccurateRasterJoin(resolution=1024).execute(points, neighborhoods)
+    engine = BoundedRasterJoin(epsilon=EPSILON_M)
+    approx = benchmark.pedantic(
+        lambda: engine.execute(points, neighborhoods), rounds=1, iterations=1
+    )
+    img_a = render_choropleth(neighborhoods, accurate.values, resolution=256)
+    img_b = render_choropleth(neighborhoods, approx.values, resolution=256)
+    diff = np.abs(img_a.astype(np.int16) - img_b.astype(np.int16))
+    _table().add_row("max per-channel pixel diff (0-255)", int(diff.max()))
+    _table().add_row("mean per-channel pixel diff", float(diff.mean()))
+    # 1/9 of the 255-value channel range is ~28; stay well under it.
+    assert diff.max() < 28

@@ -1,0 +1,66 @@
+"""Table 1: polygonal data sets and processing costs.
+
+Paper columns: region, #polygons, triangulation time, index creation on
+GPU / multi-CPU / single-CPU.  The paper reports milliseconds for the GPU
+builds and seconds for the CPU builds; the expected *shape* is
+GPU << multi-CPU < single-CPU, with the county set an order of magnitude
+costlier than the neighborhoods.
+"""
+
+import time
+
+import pytest
+
+from benchmarks import harness
+from repro.geometry.triangulate import triangulate_polygon
+
+GRID_RESOLUTION = 1024
+
+
+def _table():
+    return harness.table(
+        "table1",
+        "Polygonal data sets and processing costs",
+        [
+            "region",
+            "polygons",
+            "vertices",
+            "triangulation_s",
+            "index_gpu_s",
+            "index_multicpu_s",
+            "index_singlecpu_s",
+        ],
+    )
+
+
+def _measure(polygons, label, benchmark):
+    def triangulate_all():
+        return [triangulate_polygon(p) for p in polygons]
+
+    benchmark.pedantic(triangulate_all, rounds=1, iterations=1)
+    start = time.perf_counter()
+    triangulate_all()
+    tri_s = time.perf_counter() - start
+
+    gpu_s = harness.build_grid_gpu(polygons, GRID_RESOLUTION)
+    multi_s = harness.build_grid_multicore(polygons, GRID_RESOLUTION)
+    single_s = harness.build_grid_python(polygons, GRID_RESOLUTION)
+    _table().add_row(
+        label, len(polygons), polygons.total_vertices,
+        tri_s, gpu_s, multi_s, single_s,
+    )
+    benchmark.extra_info.update(
+        triangulation_s=tri_s, index_gpu_s=gpu_s,
+        index_multicpu_s=multi_s, index_singlecpu_s=single_s,
+    )
+    assert gpu_s < single_s, "vectorized build must beat the scalar build"
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_neighborhoods(benchmark, neighborhoods):
+    _measure(neighborhoods, "NYC-like neighborhoods", benchmark)
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_counties(benchmark, counties):
+    _measure(counties, "US-like counties", benchmark)

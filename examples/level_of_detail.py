@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Level-of-detail exploration (the paper's §4.2 LOD argument).
+
+Visual analytics follows "overview first, zoom and filter, details on
+demand".  With a fixed framebuffer resolution, zooming into a smaller
+region makes each pixel cover less ground — the aggregation gets more
+accurate *for free*, with no change in computation cost.  This example
+quantifies that: the same 4k-pixel canvas is pointed at the whole city,
+one quadrant, and one neighborhood-sized window, and the effective ε and
+measured error both shrink proportionally.
+
+Run:  python examples/level_of_detail.py
+"""
+
+import numpy as np
+
+from repro import AccurateRasterJoin, BoundedRasterJoin, Polygon, PolygonSet
+from repro.data import generate_taxi, generate_voronoi_regions
+from repro.data.regions import NYC_REGION_EXTENT
+from repro.geometry.bbox import BBox
+
+
+def clip_regions(regions: PolygonSet, window: BBox) -> PolygonSet:
+    """Regions visible in the current viewport (bbox overlap)."""
+    visible = [p for p in regions if p.bbox.intersects(window)]
+    return PolygonSet(visible)
+
+
+def main() -> None:
+    print("Generating 1M pickups and 260 regions...")
+    taxi = generate_taxi(1_000_000, seed=4)
+    regions = generate_voronoi_regions(260, NYC_REGION_EXTENT, seed=4)
+
+    full = NYC_REGION_EXTENT
+    zoom_levels = [
+        ("city overview", full),
+        ("quadrant", BBox(full.xmin, full.ymin,
+                          full.xmin + full.width / 2,
+                          full.ymin + full.height / 2)),
+        ("district", BBox(full.xmin + 0.3 * full.width,
+                          full.ymin + 0.3 * full.height,
+                          full.xmin + 0.45 * full.width,
+                          full.ymin + 0.45 * full.height)),
+    ]
+
+    resolution = 2048  # fixed, like a visualization canvas
+    print(f"Fixed canvas: {resolution} px on the longer side\n")
+    print(f"{'zoom level':<15} {'window km':>10} {'eff. ε m':>9} "
+          f"{'median err %':>13} {'query s':>8}")
+
+    for label, window in zoom_levels:
+        visible = clip_regions(regions, window)
+        # Keep only the points in view (the renderer's clip stage would).
+        mask = window.contains_points(taxi.xs, taxi.ys)
+        in_view = taxi.take(np.flatnonzero(mask))
+
+        # Zooming = rendering the same resolution over a smaller window.
+        sub_extent = PolygonSet(
+            [Polygon([(window.xmin, window.ymin), (window.xmax, window.ymin),
+                      (window.xmax, window.ymax), (window.xmin, window.ymax)])]
+        )
+        engine = BoundedRasterJoin(resolution=resolution)
+        # Execute against the *visible* regions; canvas spans their bbox,
+        # which shrinks with the zoom window.
+        approx = engine.execute(in_view, visible)
+        exact = AccurateRasterJoin(resolution=1024).execute(in_view, visible)
+
+        nonzero = exact.values > 50
+        if nonzero.any():
+            rel = (
+                np.abs(approx.values[nonzero] - exact.values[nonzero])
+                / exact.values[nonzero]
+            )
+            median_err = 100.0 * float(np.median(rel))
+        else:
+            median_err = float("nan")
+        eff_epsilon = approx.stats.extra["pixel_diagonal"]
+        print(
+            f"{label:<15} {window.width / 1000:>10.1f} {eff_epsilon:>9.2f} "
+            f"{median_err:>13.4f} {approx.stats.query_s:>8.2f}"
+        )
+        del sub_extent  # viewport bookkeeping only
+
+    print("\n=> Same canvas, same cost — but each zoom level divides the "
+          "effective ε (and the error) by the zoom factor.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Result-range estimation (§5): guaranteed intervals for approximate
+answers.
+
+The bounded raster join can report, per polygon, a loose interval that
+contains the exact answer with 100% confidence (all error lives in
+boundary pixels) and a tighter expected interval assuming uniform point
+placement inside each boundary pixel.  This example sweeps ε and shows how
+the intervals tighten while always covering the exact count — and what the
+interval machinery costs.
+
+Run:  python examples/result_bounds.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import AccurateRasterJoin, BoundedRasterJoin
+from repro.data import generate_taxi, generate_voronoi_regions
+from repro.data.regions import NYC_REGION_EXTENT
+
+
+def main() -> None:
+    print("Generating 400k pickups and 40 regions...")
+    taxi = generate_taxi(400_000, seed=23)
+    regions = generate_voronoi_regions(40, NYC_REGION_EXTENT, seed=23)
+
+    exact = AccurateRasterJoin(resolution=1024).execute(taxi, regions).values
+
+    print(f"\n{'ε (m)':>8} {'median err %':>13} {'mean loose width':>17} "
+          f"{'mean expected width':>20} {'covered':>8} {'bounds cost s':>14}")
+    for epsilon in (320.0, 160.0, 80.0, 40.0, 20.0):
+        engine = BoundedRasterJoin(epsilon=epsilon, compute_bounds=True)
+        start = time.perf_counter()
+        result = engine.execute(taxi, regions)
+        _ = time.perf_counter() - start
+        iv = result.intervals
+
+        nonzero = exact > 0
+        err = 100.0 * np.median(
+            np.abs(result.values[nonzero] - exact[nonzero]) / exact[nonzero]
+        )
+        loose_w = float(np.mean(iv.loose_hi - iv.loose_lo))
+        expected_w = float(np.mean(iv.expected_hi - iv.expected_lo))
+        covered = f"{iv.contains(exact).mean():.0%}"
+        bounds_s = result.stats.extra.get("bounds_s", 0.0)
+        print(f"{epsilon:>8.0f} {err:>13.4f} {loose_w:>17.1f} "
+              f"{expected_w:>20.1f} {covered:>8} {bounds_s:>14.2f}")
+
+    # Drill into one region at the coarsest bound.
+    engine = BoundedRasterJoin(epsilon=320.0, compute_bounds=True)
+    result = engine.execute(taxi, regions)
+    iv = result.intervals
+    pid = int(np.argmax(iv.loose_hi - iv.loose_lo))
+    print(f"\nWidest interval at ε=320 m — region #{pid}:")
+    print(f"  exact count      : {int(exact[pid])}")
+    print(f"  approximate      : {int(result.values[pid])}")
+    print(f"  expected value   : {iv.expected_value[pid]:.0f}")
+    print(f"  loose interval   : [{iv.loose_lo[pid]:.0f}, "
+          f"{iv.loose_hi[pid]:.0f}]  (always contains exact)")
+    print(f"  expected interval: [{iv.expected_lo[pid]:.0f}, "
+          f"{iv.expected_hi[pid]:.0f}]")
+    print("\n=> Even a very coarse bound yields actionable ranges; the "
+          "expected value corrects most of the bias.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Setuptools entry point.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on minimal offline environments whose setuptools
+predates native PEP 660 editable-wheel support (no ``wheel`` package
+installed).  Keep the two in sync.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Raster join: rasterization-based real-time spatial aggregation "
+        "over arbitrary polygons (reproduction of Tzirita Zacharatou et "
+        "al., VLDB 2017)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+    extras_require={"dev": ["pytest>=7", "pytest-benchmark>=4", "hypothesis>=6"]},
+)

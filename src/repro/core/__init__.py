@@ -1,0 +1,43 @@
+"""The paper's contribution: raster-join engines and baselines.
+
+Four engines answer the same query — ``SELECT AGG(a) FROM P, R WHERE P.loc
+INSIDE R.geometry [AND filters] GROUP BY R.id``:
+
+* :class:`~repro.core.bounded.BoundedRasterJoin` — §4.1/§4.2, approximate
+  with an ε Hausdorff bound, no PIP tests at all;
+* :class:`~repro.core.accurate.AccurateRasterJoin` — §4.3, exact, PIP tests
+  only for points on boundary pixels;
+* :class:`~repro.core.index_join.IndexJoin` — §6.2 baseline, grid probe +
+  PIP for every point, fused with aggregation (GPU-vectorized, or scalar
+  single-CPU / multiprocessing multi-CPU);
+* :class:`~repro.core.materializing.MaterializingJoin` — the Zhang-style
+  comparator of Table 2, which materializes the join before aggregating.
+"""
+
+from repro.core.aggregates import Aggregate, Average, Count, Max, Min, Sum
+from repro.core.multi import MultiAggregate
+from repro.core.filters import Filter, FilterSet
+from repro.core.engine import SpatialAggregationEngine
+from repro.core.bounded import BoundedRasterJoin
+from repro.core.accurate import AccurateRasterJoin
+from repro.core.index_join import IndexJoin
+from repro.core.materializing import MaterializingJoin
+from repro.core.optimizer import RasterJoinOptimizer
+
+__all__ = [
+    "Aggregate",
+    "Count",
+    "Sum",
+    "Average",
+    "Min",
+    "Max",
+    "Filter",
+    "FilterSet",
+    "SpatialAggregationEngine",
+    "BoundedRasterJoin",
+    "AccurateRasterJoin",
+    "IndexJoin",
+    "MaterializingJoin",
+    "MultiAggregate",
+    "RasterJoinOptimizer",
+]

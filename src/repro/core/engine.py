@@ -1,0 +1,323 @@
+"""Shared engine machinery: batching, uploads, and the point-pass loop.
+
+Every engine follows the same outer structure: decide which columns the
+query needs (locations + filter columns + aggregate columns), split the
+points into device-sized batches, move each batch to the device exactly
+once (measured as transfer time), run the vertex-stage filter, and hand the
+surviving points to an engine-specific kernel.  That loop lives here so the
+four engines only differ in their kernels.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.aggregates import Aggregate, Count
+from repro.core.filters import Filter, FilterSet
+from repro.data.dataset import PointDataset
+from repro.device.batching import plan_batches
+from repro.device.memory import GPUDevice, ResidentPointSet
+from repro.errors import QueryError
+from repro.geometry.polygon import PolygonSet
+from repro.types import AggregationResult, ExecutionStats
+
+
+class _Batch:
+    """One device-resident slice of the input points."""
+
+    __slots__ = ("columns", "length", "transfer_s")
+
+    def __init__(self, columns: dict[str, np.ndarray], length: int,
+                 transfer_s: float) -> None:
+        self.columns = columns
+        self.length = length
+        self.transfer_s = transfer_s
+
+    def column(self, name: str) -> np.ndarray:
+        return self.columns[name]
+
+
+class SpatialAggregationEngine(ABC):
+    """Base class of all spatial-aggregation engines."""
+
+    name = "abstract"
+
+    def __init__(self, device: GPUDevice | None = None) -> None:
+        self.device = device
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        points: PointDataset | ResidentPointSet,
+        polygons: PolygonSet,
+        aggregate: Aggregate | None = None,
+        filters: FilterSet | Sequence[Filter] | None = None,
+    ) -> AggregationResult:
+        """Run ``SELECT AGG(...) ... GROUP BY polygon`` and return results.
+
+        ``points`` may be a host dataset (uploaded in batches, transfer
+        timed) or a :class:`ResidentPointSet` already pinned on the device
+        (the in-memory scenario: zero transfer).
+        """
+        aggregate = aggregate or Count()
+        filter_set = FilterSet.coerce(filters)
+        self._validate_columns(points, aggregate, filter_set)
+        stats = ExecutionStats(engine=self.name, batches=0, passes=0)
+        values, channels = self._run(points, polygons, aggregate, filter_set, stats)
+        if stats.passes == 0:
+            stats.passes = 1
+        if stats.batches == 0:
+            stats.batches = 1
+        return AggregationResult(values=values, channels=channels, stats=stats)
+
+    def execute_stream(
+        self,
+        chunk_source,
+        polygons: PolygonSet,
+        aggregate: Aggregate | None = None,
+        filters: FilterSet | Sequence[Filter] | None = None,
+    ) -> AggregationResult:
+        """Run the query over streamed point chunks (disk-resident data).
+
+        ``chunk_source`` is a zero-argument callable returning an iterator
+        of :class:`PointDataset` chunks (e.g. a column-store scan); engines
+        that render in multiple tiles may invoke it once per tile.  The
+        generic implementation executes the query per chunk and merges the
+        distributive channels — correct for any engine, though raster
+        engines override it to share the polygon pass across chunks.
+        """
+        aggregate = aggregate or Count()
+        merged_channels: dict[str, np.ndarray] | None = None
+        merged_stats = ExecutionStats(engine=self.name, batches=0, passes=0)
+        for chunk in chunk_source():
+            result = self.execute(chunk, polygons, aggregate, filters)
+            if merged_channels is None:
+                merged_channels = dict(result.channels)
+            else:
+                for name, values in result.channels.items():
+                    merged_channels[name] = aggregate.combine(
+                        merged_channels[name], values
+                    )
+            merged_stats.merge(result.stats)
+        if merged_channels is None:
+            raise QueryError("chunk source produced no chunks")
+        return AggregationResult(
+            values=aggregate.finalize(merged_channels),
+            channels=merged_channels,
+            stats=merged_stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Engine-specific
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _run(
+        self,
+        points: PointDataset | ResidentPointSet,
+        polygons: PolygonSet,
+        aggregate: Aggregate,
+        filters: FilterSet,
+        stats: ExecutionStats,
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Produce (final values, reduced channel arrays)."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def required_columns(aggregate: Aggregate, filters: FilterSet) -> tuple[str, ...]:
+        """Columns the query touches: locations, filters, aggregate attrs."""
+        names: list[str] = ["x", "y"]
+        for col in filters.columns:
+            if col not in names:
+                names.append(col)
+        for col in aggregate.columns:
+            if col not in names:
+                names.append(col)
+        return tuple(names)
+
+    def _validate_columns(
+        self,
+        points: PointDataset | ResidentPointSet,
+        aggregate: Aggregate,
+        filters: FilterSet,
+    ) -> None:
+        needed = self.required_columns(aggregate, filters)
+        if isinstance(points, ResidentPointSet):
+            missing = [c for c in needed if c not in points.column_names]
+            if missing:
+                raise QueryError(
+                    f"resident point set lacks columns {missing}; "
+                    f"preload with columns={needed}"
+                )
+        else:
+            for col in needed:
+                points.column(col)  # raises SchemaError when absent
+
+    def _batches(
+        self,
+        points: PointDataset | ResidentPointSet,
+        columns: tuple[str, ...],
+        stats: ExecutionStats,
+        reserved_bytes: int = 0,
+    ) -> Iterator[_Batch]:
+        """Yield device-resident batches, accounting transfer time.
+
+        Resident point sets yield themselves as a single zero-cost batch.
+        Host datasets are planned against the device capacity and each
+        batch's columns are physically copied (and timed).  Device buffers
+        are released as soon as a batch has been consumed, like the
+        round-robin persistent buffers of the paper's implementation.
+        """
+        if isinstance(points, ResidentPointSet):
+            stats.batches += 1
+            yield _Batch(
+                {c: points.column(c) for c in columns}, len(points), 0.0
+            )
+            return
+        plan = plan_batches(points, columns, self.device, reserved_bytes)
+        for start, end in plan.ranges():
+            host_cols = {c: points.column(c)[start:end] for c in columns}
+            if self.device is None:
+                stats.batches += 1
+                yield _Batch(host_cols, end - start, 0.0)
+                continue
+            buffers, seconds = self.device.upload_columns(host_cols)
+            stats.transfer_s += seconds
+            stats.bytes_transferred += sum(b.nbytes for b in buffers.values())
+            stats.batches += 1
+            try:
+                yield _Batch(
+                    {n: b.array for n, b in buffers.items()}, end - start, seconds
+                )
+            finally:
+                for b in buffers.values():
+                    b.free()
+
+    @staticmethod
+    def _apply_filters(
+        batch: _Batch, filters: FilterSet, stats: ExecutionStats
+    ) -> tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]]:
+        """Vertex stage: evaluate constraints, discard failing points.
+
+        Returns the surviving coordinates and attribute columns.
+        """
+        xs = batch.column("x")
+        ys = batch.column("y")
+        attrs = {
+            n: arr for n, arr in batch.columns.items() if n not in ("x", "y")
+        }
+        stats.points_processed += batch.length
+        if not filters:
+            return xs, ys, attrs
+        keep = filters.mask(batch.column, batch.length)
+        stats.points_filtered_out += int(batch.length - np.count_nonzero(keep))
+        if keep.all():
+            return xs, ys, attrs
+        return xs[keep], ys[keep], {n: a[keep] for n, a in attrs.items()}
+
+    @property
+    def max_resolution(self) -> int:
+        """Largest FBO side the device supports."""
+        from repro.device.memory import DEFAULT_MAX_RESOLUTION
+
+        if self.device is not None:
+            return self.device.max_resolution
+        return DEFAULT_MAX_RESOLUTION
+
+
+def timed(fn, *args, **kwargs):
+    """Run ``fn`` returning (result, elapsed seconds)."""
+    start = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - start
+
+
+def grid_pip_aggregate(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    attrs: dict[str, np.ndarray],
+    grid,
+    polygons: PolygonSet,
+    aggregate: Aggregate,
+    accumulators: dict[str, np.ndarray],
+    stats: ExecutionStats,
+) -> None:
+    """The JoinPoint procedure, vectorized over polygons.
+
+    Each point probes its grid cell and is PIP-tested against every
+    candidate polygon — one test per point/candidate pair, exactly the work
+    the paper counts.  The (point, polygon) candidate pairs are expanded
+    from the CSR grid arrays in bulk, then grouped by polygon so each
+    polygon runs one vectorized PIP call over all its candidate points —
+    the SPMD batching a GPU compute shader would perform.  Aggregation is
+    fused: matches update the result accumulators immediately, nothing is
+    materialized beyond the candidate index arrays.
+    """
+    if len(xs) == 0:
+        return
+    cells = grid.cell_of_points(xs, ys)
+    valid = cells >= 0
+    cells = np.where(valid, cells, 0)
+    counts = np.where(
+        valid, grid.cell_start[cells + 1] - grid.cell_start[cells], 0
+    )
+    total = int(counts.sum())
+    if total == 0:
+        return
+    stats.pip_tests += total
+    # CSR expansion: candidate k of point i sits at
+    # entries[cell_start[cell_i] + k].
+    point_idx = np.repeat(np.arange(len(xs), dtype=np.int64), counts)
+    first = np.repeat(np.cumsum(counts) - counts, counts)
+    within = np.arange(total, dtype=np.int64) - first
+    entry_pos = np.repeat(grid.cell_start[cells], counts) + within
+    poly_ids = grid.entries[entry_pos]
+
+    # Group candidate pairs by polygon: one vectorized PIP per polygon.
+    order = np.argsort(poly_ids, kind="stable")
+    poly_sorted = poly_ids[order]
+    point_sorted = point_idx[order]
+    group_bounds = np.flatnonzero(np.diff(poly_sorted)) + 1
+    starts = np.concatenate([[0], group_bounds])
+    ends = np.concatenate([group_bounds, [total]])
+
+    channel_cols = {
+        ch: (attrs[col] if col is not None else None)
+        for ch, col in aggregate.channels.items()
+    }
+    for start, end in zip(starts, ends):
+        pid = int(poly_sorted[start])
+        idx = point_sorted[start:end]
+        inside = polygons[pid].contains_points(xs[idx], ys[idx])
+        matched = int(np.count_nonzero(inside))
+        if matched == 0:
+            continue
+        for ch, col in channel_cols.items():
+            if col is None:
+                if aggregate.blend == "add":
+                    accumulators[ch][pid] += matched
+                else:
+                    accumulators[ch][pid] = aggregate.combine(
+                        np.asarray(accumulators[ch][pid]), np.asarray(1.0)
+                    )
+            else:
+                vals = col[idx[inside]]
+                if aggregate.blend == "add":
+                    accumulators[ch][pid] += float(
+                        np.sum(vals, dtype=np.float64)
+                    )
+                elif aggregate.blend == "min":
+                    accumulators[ch][pid] = min(
+                        accumulators[ch][pid], float(np.min(vals))
+                    )
+                else:
+                    accumulators[ch][pid] = max(
+                        accumulators[ch][pid], float(np.max(vals))
+                    )

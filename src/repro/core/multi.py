@@ -1,0 +1,90 @@
+"""Multiple aggregates per query (the paper's §8 extension).
+
+The paper computes one aggregate per query and notes the implementation
+"can be extended to support multiple aggregate functions by having
+multiple color attachments to the FBO", at the cost of extra memory
+transfer.  :class:`MultiAggregate` is that extension: it fuses several
+additive aggregates (count / sum / avg, in any mix) into one channel set,
+de-duplicating shared channels — ``Count()`` and ``Average("fare")``
+together need only ``count`` and ``sum:fare`` — so a single point pass and
+a single polygon pass produce every answer.
+
+Order-statistic aggregates (min/max) use a different blend equation and
+cannot share a pass with additive ones; they are rejected up front.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.aggregates import Aggregate
+from repro.errors import QueryError
+
+
+def _canonical_channel(column: str | None) -> str:
+    """Stable channel name shared across sub-aggregates."""
+    return "count" if column is None else f"sum:{column}"
+
+
+class MultiAggregate(Aggregate):
+    """Several additive aggregates evaluated in one rendering pass."""
+
+    name = "multi"
+    blend = "add"
+
+    def __init__(self, aggregates: Sequence[Aggregate]) -> None:
+        if not aggregates:
+            raise QueryError("MultiAggregate needs at least one aggregate")
+        for agg in aggregates:
+            if agg.blend != "add":
+                raise QueryError(
+                    f"{type(agg).__name__} uses a {agg.blend!r} blend and "
+                    "cannot share a pass with additive aggregates"
+                )
+            if isinstance(agg, MultiAggregate):
+                raise QueryError("MultiAggregate cannot be nested")
+        self.aggregates: tuple[Aggregate, ...] = tuple(aggregates)
+
+        # Union of sub-aggregate channels under canonical names, plus the
+        # per-sub-aggregate mapping back to its private channel names.
+        self.channels = {}
+        self._remaps: list[dict[str, str]] = []
+        for agg in self.aggregates:
+            remap = {}
+            for private_name, column in agg.channels.items():
+                canonical = _canonical_channel(column)
+                self.channels[canonical] = column
+                remap[private_name] = canonical
+            self._remaps.append(remap)
+
+    # ------------------------------------------------------------------
+    @property
+    def output_names(self) -> tuple[str, ...]:
+        """One label per sub-aggregate, e.g. ``('count', 'avg(fare)')``."""
+        names = []
+        for agg in self.aggregates:
+            column = getattr(agg, "column", None)
+            names.append(f"{agg.name}({column})" if column else agg.name)
+        return tuple(names)
+
+    def finalize(self, reduced: dict[str, np.ndarray]) -> np.ndarray:
+        """The engine-facing single result: the first sub-aggregate."""
+        return self.finalize_all(reduced)[self.output_names[0]]
+
+    def finalize_all(self, reduced: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Every sub-aggregate's values from the shared channels."""
+        out: dict[str, np.ndarray] = {}
+        for agg, remap, label in zip(
+            self.aggregates, self._remaps, self.output_names
+        ):
+            private = {
+                private_name: reduced[canonical]
+                for private_name, canonical in remap.items()
+            }
+            out[label] = agg.finalize(private)
+        return out
+
+    def __repr__(self) -> str:
+        return f"MultiAggregate({', '.join(self.output_names)})"

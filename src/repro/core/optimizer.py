@@ -1,0 +1,172 @@
+"""Cost-based choice between the bounded and accurate variants.
+
+Figure 12(a) shows the trade-off that motivates this: as ε shrinks, the
+bounded join needs quadratically more rendering passes and eventually loses
+to the accurate join.  §8 states the authors "intend to add an estimate of
+the time required for the two variants, so that an optimizer can choose the
+best option" — this module implements that future-work optimizer.
+
+The model is calibrated, not guessed: on first use (or on demand) it runs
+two tiny probe queries and fits per-unit costs — seconds per rendered
+point, per polygon-pass pixel, and per PIP test — then predicts each
+variant's time for the actual query from measurable quantities (input size,
+canvas pixels, tile count, expected boundary traffic).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.accurate import AccurateRasterJoin
+from repro.core.bounded import BoundedRasterJoin
+from repro.core.engine import SpatialAggregationEngine
+from repro.data.dataset import PointDataset
+from repro.device.memory import GPUDevice
+from repro.geometry.polygon import PolygonSet, rectangle
+from repro.graphics.viewport import Canvas
+
+
+@dataclass
+class CostModel:
+    """Fitted per-unit costs (seconds)."""
+
+    per_point_render: float
+    per_pixel_polygon_pass: float
+    per_pip_test: float
+    per_boundary_point: float
+
+    def bounded_seconds(
+        self, num_points: int, canvas_pixels: int, tiles: int,
+        covered_pixels: int,
+    ) -> float:
+        """Predicted bounded-join time: point pass per tile + polygon pass."""
+        return (
+            self.per_point_render * num_points * max(1, tiles)
+            + self.per_pixel_polygon_pass * covered_pixels
+        )
+
+    def accurate_seconds(
+        self, num_points: int, boundary_fraction: float, covered_pixels: int
+    ) -> float:
+        """Predicted accurate-join time: render + boundary PIP traffic."""
+        boundary_points = num_points * boundary_fraction
+        return (
+            self.per_point_render * num_points
+            + self.per_boundary_point * boundary_points
+            + self.per_pixel_polygon_pass * covered_pixels
+        )
+
+
+def _calibrate(device: GPUDevice | None, probe_points: int = 20_000) -> CostModel:
+    """Fit the cost model from two micro-probes on synthetic data."""
+    rng = np.random.default_rng(7)
+    xs = rng.uniform(0.0, 100.0, probe_points)
+    ys = rng.uniform(0.0, 100.0, probe_points)
+    points = PointDataset(xs, ys)
+    polys = PolygonSet(
+        [
+            rectangle(5 + 30 * i, 5 + 30 * j, 25 + 30 * i, 25 + 30 * j)
+            for i in range(3)
+            for j in range(3)
+        ]
+    )
+    bounded = BoundedRasterJoin(resolution=512, device=device)
+    res_b = bounded.execute(points, polys)
+    accurate = AccurateRasterJoin(resolution=512, device=device)
+    res_a = accurate.execute(points, polys)
+
+    canvas_pixels = 512 * 512
+    covered = canvas_pixels * 0.36  # 9 boxes of 20x20 over 100x100
+    per_point = max(res_b.stats.processing_s * 0.5 / probe_points, 1e-12)
+    per_pixel = max(res_b.stats.processing_s * 0.5 / covered, 1e-12)
+    boundary_pts = max(res_a.stats.boundary_points, 1)
+    pip_tests = max(res_a.stats.pip_tests, 1)
+    pip_time = max(res_a.stats.processing_s - res_b.stats.processing_s, 1e-9)
+    return CostModel(
+        per_point_render=per_point,
+        per_pixel_polygon_pass=per_pixel,
+        per_pip_test=pip_time / pip_tests,
+        per_boundary_point=pip_time / boundary_pts,
+    )
+
+
+class RasterJoinOptimizer:
+    """Chooses bounded vs. accurate for a requested ε."""
+
+    def __init__(
+        self,
+        device: GPUDevice | None = None,
+        accurate_resolution: int = 1024,
+    ) -> None:
+        self.device = device
+        self.accurate_resolution = accurate_resolution
+        self._model: CostModel | None = None
+
+    @property
+    def model(self) -> CostModel:
+        if self._model is None:
+            self._model = _calibrate(self.device)
+        return self._model
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        points: PointDataset,
+        polygons: PolygonSet,
+        epsilon: float,
+    ) -> dict[str, float]:
+        """Predicted seconds for each variant at the given ε."""
+        canvas = Canvas.for_epsilon(polygons.bbox, epsilon)
+        max_res = (
+            self.device.max_resolution if self.device is not None else 8192
+        )
+        tiles = canvas.num_tiles(max_res)
+        # Covered pixels scale with total polygon area over the extent.
+        area_fraction = min(
+            1.0,
+            sum(p.area for p in polygons) / max(polygons.bbox.area, 1e-300),
+        )
+        covered = canvas.num_pixels * area_fraction
+        # Boundary traffic: outline length in pixels over the *accurate*
+        # canvas, times the point density per pixel row.
+        perimeter = sum(
+            math.hypot(bx - ax, by - ay)
+            for poly in polygons
+            for (ax, ay, bx, by) in poly.edges()
+        )
+        acc_canvas = Canvas.for_resolution(
+            polygons.bbox, self.accurate_resolution
+        )
+        boundary_pixels = perimeter / max(
+            min(acc_canvas.pixel_width, acc_canvas.pixel_height), 1e-300
+        )
+        boundary_fraction = min(
+            1.0, boundary_pixels / max(acc_canvas.num_pixels, 1)
+        )
+        model = self.model
+        return {
+            "bounded": model.bounded_seconds(
+                len(points), canvas.num_pixels, tiles, int(covered * max(1, tiles) ** 0)
+            ),
+            "accurate": model.accurate_seconds(
+                len(points), boundary_fraction,
+                int(acc_canvas.num_pixels * area_fraction),
+            ),
+        }
+
+    def choose(
+        self,
+        points: PointDataset,
+        polygons: PolygonSet,
+        epsilon: float,
+    ) -> SpatialAggregationEngine:
+        """The engine predicted to be faster for this query."""
+        cost = self.estimate(points, polygons, epsilon)
+        if cost["bounded"] <= cost["accurate"]:
+            return BoundedRasterJoin(epsilon=epsilon, device=self.device)
+        return AccurateRasterJoin(
+            resolution=self.accurate_resolution, device=self.device
+        )

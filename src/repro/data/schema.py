@@ -1,0 +1,86 @@
+"""Column schemas for point datasets.
+
+A :class:`Schema` describes the columns of a point table: the two mandatory
+location columns plus any number of numeric attributes (the ``a1, a2, ...``
+of the paper's query template).  Schemas validate datasets on construction
+and drive the byte accounting of the device-transfer model (each filter or
+aggregate attribute adds to the per-point payload, which is what Figure 11
+measures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column: a name and a NumPy dtype."""
+
+    name: str
+    dtype: np.dtype
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+
+class Schema:
+    """An ordered set of column specs with lookup by name."""
+
+    def __init__(self, columns: list[ColumnSpec]) -> None:
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        self._columns = tuple(columns)
+        self._by_name = {c.name: c for c in columns}
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self):
+        return iter(self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> ColumnSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; have {list(self._by_name)}"
+            ) from None
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    def row_bytes(self, columns: tuple[str, ...] | None = None) -> int:
+        """Per-row payload size for the given columns (all when None)."""
+        specs = self._columns if columns is None else [self[n] for n in columns]
+        return sum(c.itemsize for c in specs)
+
+    def validate(self, arrays: dict[str, np.ndarray], length: int) -> None:
+        """Check the arrays carry every column at the right length."""
+        for spec in self._columns:
+            if spec.name not in arrays:
+                raise SchemaError(f"missing column {spec.name!r}")
+            arr = arrays[spec.name]
+            if len(arr) != length:
+                raise SchemaError(
+                    f"column {spec.name!r} has {len(arr)} rows, expected {length}"
+                )
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.dtype}" for c in self._columns)
+        return f"Schema({cols})"

@@ -1,0 +1,111 @@
+"""Synthetic NYC-taxi-like point workload.
+
+Stand-in for the paper's 868M-trip NYC yellow-taxi dataset (2009–2013),
+which is not available offline at that scale.  What the experiments
+actually exercise is the data's *spatial skew* — "taxi trips are mostly
+concentrated in Lower Manhattan, Midtown, and airports" (§7.1) — plus a
+handful of numeric attributes to filter and aggregate on.  The generator
+reproduces exactly that: a Gaussian-mixture of hotspots over an NYC-scale
+planar extent with a uniform background, and per-trip attributes (hour,
+passengers, distance, fare, tip) with plausible dependent distributions.
+
+Rows are emitted in time order so that taking a prefix of the dataset
+mirrors the paper's "increasing number of time intervals" input scaling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import PointDataset
+from repro.geometry.bbox import BBox
+
+#: NYC-like local planar extent in meters; matches
+#: :data:`repro.data.regions.NYC_REGION_EXTENT` so taxi points fall inside
+#: the synthetic neighborhood polygons.
+NYC_EXTENT = BBox(0.0, 0.0, 45_000.0, 40_000.0)
+
+#: Hotspots: (center fraction of extent, std dev in meters, weight).
+#: Lower Manhattan, Midtown, and two airports, per §7.1's skew comment.
+_HOTSPOTS = (
+    ((0.38, 0.35), 1_800.0, 0.33),   # lower-Manhattan-like
+    ((0.42, 0.48), 2_200.0, 0.30),   # midtown-like
+    ((0.70, 0.30), 1_200.0, 0.12),   # JFK-like
+    ((0.60, 0.55), 1_000.0, 0.10),   # LGA-like
+)
+_BACKGROUND_WEIGHT = 0.15
+
+
+def generate_taxi(
+    n: int,
+    seed: int = 0,
+    extent: BBox = NYC_EXTENT,
+) -> PointDataset:
+    """Generate ``n`` taxi-pickup-like rows.
+
+    Attributes:
+
+    ``hour``
+        Pickup hour 0–23, bimodal around commute peaks.
+    ``passengers``
+        1–6, geometric-ish (mostly single riders).
+    ``distance``
+        Trip distance in km, log-normal.
+    ``fare``
+        Base + per-km fare with noise (correlated with distance).
+    ``tip``
+        Zero-inflated fraction of the fare.
+    """
+    rng = np.random.default_rng(seed)
+    weights = np.asarray([w for _, _, w in _HOTSPOTS] + [_BACKGROUND_WEIGHT])
+    weights = weights / weights.sum()
+    component = rng.choice(len(weights), size=n, p=weights)
+
+    xs = np.empty(n, dtype=np.float64)
+    ys = np.empty(n, dtype=np.float64)
+    for k, ((fx, fy), std, _w) in enumerate(_HOTSPOTS):
+        mask = component == k
+        m = int(mask.sum())
+        cx = extent.xmin + fx * extent.width
+        cy = extent.ymin + fy * extent.height
+        xs[mask] = rng.normal(cx, std, m)
+        ys[mask] = rng.normal(cy, std, m)
+    background = component == len(_HOTSPOTS)
+    m = int(background.sum())
+    xs[background] = rng.uniform(extent.xmin, extent.xmax, m)
+    ys[background] = rng.uniform(extent.ymin, extent.ymax, m)
+    # Clamp stray gaussian tails into the extent (half-open safe margin).
+    span_eps_x = 1e-6 * extent.width
+    span_eps_y = 1e-6 * extent.height
+    np.clip(xs, extent.xmin, extent.xmax - span_eps_x, out=xs)
+    np.clip(ys, extent.ymin, extent.ymax - span_eps_y, out=ys)
+
+    # Bimodal pickup hours: morning and evening commute peaks.
+    peak = rng.random(n) < 0.65
+    hour = np.where(
+        peak,
+        rng.choice([7, 8, 9, 17, 18, 19, 20], size=n),
+        rng.integers(0, 24, size=n),
+    ).astype(np.int32)
+
+    passengers = np.minimum(1 + rng.geometric(0.6, size=n), 6).astype(np.int32)
+    distance = np.exp(rng.normal(0.8, 0.7, size=n)).astype(np.float64)  # km
+    fare = (2.5 + 1.9 * distance + rng.normal(0.0, 1.0, size=n)).clip(2.5)
+    tips = np.where(
+        rng.random(n) < 0.6,
+        fare * rng.uniform(0.1, 0.3, size=n),
+        0.0,
+    )
+
+    return PointDataset(
+        xs,
+        ys,
+        {
+            "hour": hour,
+            "passengers": passengers,
+            "distance": distance,
+            "fare": fare.astype(np.float64),
+            "tip": tips.astype(np.float64),
+        },
+        name="taxi",
+    )

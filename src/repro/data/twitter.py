@@ -1,0 +1,91 @@
+"""Synthetic geo-tagged-Twitter-like point workload.
+
+Stand-in for the paper's 2.29B-tweet USA feed: "there is a denser
+concentration of tweets around large cities" (§7.1).  The generator places
+population-weighted Gaussian clusters at large-city-like locations across a
+continental extent, plus a diffuse rural background, and attaches the
+attributes the paper mentions (timestamp bucket, favorite and retweet
+counts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import PointDataset
+from repro.geometry.bbox import BBox
+
+#: Continental-US-like extent in meters; matches
+#: :data:`repro.data.regions.USA_REGION_EXTENT`.
+USA_EXTENT = BBox(0.0, 0.0, 4_500_000.0, 2_800_000.0)
+
+#: (center fraction of extent, std dev in meters, population weight) —
+#: laid out like the large metro areas: a dense northeast corridor, big
+#: midwest/south/west-coast anchors.
+_CITIES = (
+    ((0.88, 0.62), 60_000.0, 0.17),   # NYC-like
+    ((0.86, 0.55), 50_000.0, 0.07),   # Philadelphia-like
+    ((0.84, 0.50), 55_000.0, 0.07),   # DC-like
+    ((0.91, 0.70), 45_000.0, 0.05),   # Boston-like
+    ((0.62, 0.64), 70_000.0, 0.10),   # Chicago-like
+    ((0.48, 0.35), 80_000.0, 0.08),   # Dallas-like
+    ((0.52, 0.25), 70_000.0, 0.07),   # Houston-like
+    ((0.08, 0.42), 75_000.0, 0.12),   # LA-like
+    ((0.05, 0.62), 55_000.0, 0.06),   # Bay-Area-like
+    ((0.16, 0.78), 50_000.0, 0.04),   # Seattle-like
+    ((0.30, 0.45), 60_000.0, 0.04),   # Denver-like
+    ((0.72, 0.18), 65_000.0, 0.06),   # Miami-like
+    ((0.70, 0.40), 55_000.0, 0.04),   # Atlanta-like
+)
+_BACKGROUND_WEIGHT = 0.13
+
+
+def generate_twitter(
+    n: int,
+    seed: int = 0,
+    extent: BBox = USA_EXTENT,
+) -> PointDataset:
+    """Generate ``n`` geo-tweet-like rows.
+
+    Attributes:
+
+    ``day``
+        Day index 0–364 (uniform; prefix slicing = time scaling).
+    ``favorites`` / ``retweets``
+        Heavy-tailed engagement counts (mostly zero).
+    """
+    rng = np.random.default_rng(seed)
+    weights = np.asarray([w for _, _, w in _CITIES] + [_BACKGROUND_WEIGHT])
+    weights = weights / weights.sum()
+    component = rng.choice(len(weights), size=n, p=weights)
+
+    xs = np.empty(n, dtype=np.float64)
+    ys = np.empty(n, dtype=np.float64)
+    for k, ((fx, fy), std, _w) in enumerate(_CITIES):
+        mask = component == k
+        m = int(mask.sum())
+        cx = extent.xmin + fx * extent.width
+        cy = extent.ymin + fy * extent.height
+        xs[mask] = rng.normal(cx, std, m)
+        ys[mask] = rng.normal(cy, std, m)
+    background = component == len(_CITIES)
+    m = int(background.sum())
+    xs[background] = rng.uniform(extent.xmin, extent.xmax, m)
+    ys[background] = rng.uniform(extent.ymin, extent.ymax, m)
+    np.clip(xs, extent.xmin, extent.xmax - 1e-6 * extent.width, out=xs)
+    np.clip(ys, extent.ymin, extent.ymax - 1e-6 * extent.height, out=ys)
+
+    day = rng.integers(0, 365, size=n).astype(np.int32)
+    favorites = np.floor(
+        np.exp(rng.normal(-1.0, 1.6, size=n))
+    ).astype(np.int32).clip(0)
+    retweets = np.floor(
+        np.exp(rng.normal(-1.6, 1.5, size=n))
+    ).astype(np.int32).clip(0)
+
+    return PointDataset(
+        xs,
+        ys,
+        {"day": day, "favorites": favorites, "retweets": retweets},
+        name="twitter",
+    )

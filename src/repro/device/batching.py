@@ -1,0 +1,70 @@
+"""Out-of-core batch planning.
+
+When the point columns needed by a query do not fit in device memory, they
+are split into contiguous row ranges that do (§5, "Out-of-Core
+Processing").  Each batch is transferred exactly once per rendering pass;
+the planner also reserves headroom for the framebuffer and result buffers
+so a plan never over-commits the device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.dataset import PointDataset
+from repro.device.memory import GPUDevice
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """Row ranges into which a dataset is split for device uploads."""
+
+    num_points: int
+    rows_per_batch: int
+    columns: tuple[str, ...]
+    row_bytes: int
+
+    @property
+    def num_batches(self) -> int:
+        if self.num_points == 0:
+            return 0
+        return -(-self.num_points // self.rows_per_batch)  # ceil division
+
+    def ranges(self) -> list[tuple[int, int]]:
+        return [
+            (start, min(start + self.rows_per_batch, self.num_points))
+            for start in range(0, self.num_points, self.rows_per_batch)
+        ]
+
+    @property
+    def fits_in_one_batch(self) -> bool:
+        return self.num_batches <= 1
+
+
+def plan_batches(
+    points: PointDataset,
+    columns: tuple[str, ...],
+    device: GPUDevice | None,
+    reserved_bytes: int = 0,
+) -> BatchPlan:
+    """Split ``points`` into batches whose columns fit on the device.
+
+    ``columns`` are the columns the query actually touches — locations
+    plus filter/aggregate attributes.  Only those are transferred, which is
+    why adding constraints increases transfer time in Figure 11.
+    ``reserved_bytes`` accounts for FBOs and result arrays already living
+    on the device.
+    """
+    row_bytes = sum(points.column(name).dtype.itemsize for name in columns)
+    if device is None:
+        # No device model: a single logical batch (pure in-memory run).
+        return BatchPlan(len(points), max(1, len(points)), columns, row_bytes)
+    budget = device.capacity_bytes - reserved_bytes
+    if budget <= 0:
+        raise DeviceError(
+            f"device has no memory left for points "
+            f"(reserved {reserved_bytes} of {device.capacity_bytes})"
+        )
+    rows = max(1, budget // max(row_bytes, 1))
+    return BatchPlan(len(points), int(rows), columns, row_bytes)

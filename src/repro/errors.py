@@ -1,0 +1,56 @@
+"""Exception hierarchy for the raster-join library.
+
+Every error raised by :mod:`repro` derives from :class:`RasterJoinError`, so
+callers can catch the whole family with a single ``except`` clause while the
+library keeps fine-grained types for programmatic handling.
+"""
+
+from __future__ import annotations
+
+
+class RasterJoinError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GeometryError(RasterJoinError):
+    """An operation received geometry it cannot process."""
+
+
+class InvalidPolygonError(GeometryError):
+    """A polygon ring is degenerate, self-intersecting, or malformed."""
+
+
+class TriangulationError(GeometryError):
+    """Ear-clipping failed to triangulate a (presumably invalid) polygon."""
+
+
+class SchemaError(RasterJoinError):
+    """A dataset column is missing or has an incompatible dtype."""
+
+
+class QueryError(RasterJoinError):
+    """A spatial-aggregation query is malformed."""
+
+
+class FilterError(QueryError):
+    """A filter constraint references an unknown column or operator."""
+
+
+class SqlError(QueryError):
+    """The SQL frontend could not lex, parse, or plan a statement."""
+
+
+class DeviceError(RasterJoinError):
+    """The simulated GPU device was misused."""
+
+
+class OutOfDeviceMemoryError(DeviceError):
+    """An allocation exceeded the simulated device capacity."""
+
+
+class ResolutionError(RasterJoinError):
+    """A framebuffer resolution or epsilon bound is out of range."""
+
+
+class StorageError(RasterJoinError):
+    """The on-disk column store encountered malformed data."""

@@ -1,0 +1,146 @@
+"""Clipping primitives: Cohen–Sutherland segments, Sutherland–Hodgman rings.
+
+The paper's result-range estimator (§5/§6) clips polygon edges against
+boundary pixels with Cohen–Sutherland and derives the fraction of each pixel
+covered by the polygon.  For arbitrary (concave, holed) polygons the robust
+way to get that fraction is to clip every *triangle* of the triangulation
+against the pixel rectangle and add up areas; both primitives live here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BBox
+
+# Cohen–Sutherland outcodes.
+_INSIDE, _LEFT, _RIGHT, _BOTTOM, _TOP = 0, 1, 2, 4, 8
+
+
+def _outcode(x: float, y: float, rect: BBox) -> int:
+    code = _INSIDE
+    if x < rect.xmin:
+        code |= _LEFT
+    elif x > rect.xmax:
+        code |= _RIGHT
+    if y < rect.ymin:
+        code |= _BOTTOM
+    elif y > rect.ymax:
+        code |= _TOP
+    return code
+
+
+def clip_segment_to_rect(
+    ax: float, ay: float, bx: float, by: float, rect: BBox
+) -> tuple[float, float, float, float] | None:
+    """Cohen–Sutherland: clip segment a-b to ``rect``.
+
+    Returns the clipped segment endpoints, or ``None`` when the segment lies
+    entirely outside the rectangle (closed-boundary semantics).
+    """
+    code_a = _outcode(ax, ay, rect)
+    code_b = _outcode(bx, by, rect)
+    while True:
+        if not (code_a | code_b):
+            return (ax, ay, bx, by)
+        if code_a & code_b:
+            return None
+        code_out = code_a if code_a else code_b
+        if code_out & _TOP:
+            x = ax + (bx - ax) * (rect.ymax - ay) / (by - ay)
+            y = rect.ymax
+        elif code_out & _BOTTOM:
+            x = ax + (bx - ax) * (rect.ymin - ay) / (by - ay)
+            y = rect.ymin
+        elif code_out & _RIGHT:
+            y = ay + (by - ay) * (rect.xmax - ax) / (bx - ax)
+            x = rect.xmax
+        else:  # _LEFT
+            y = ay + (by - ay) * (rect.xmin - ax) / (bx - ax)
+            x = rect.xmin
+        if code_out == code_a:
+            ax, ay = x, y
+            code_a = _outcode(ax, ay, rect)
+        else:
+            bx, by = x, y
+            code_b = _outcode(bx, by, rect)
+
+
+def ring_area(ring: np.ndarray) -> float:
+    """Signed shoelace area of an implicitly closed ring."""
+    if len(ring) < 3:
+        return 0.0
+    x = ring[:, 0]
+    y = ring[:, 1]
+    return 0.5 * float(np.sum(x * np.roll(y, -1) - np.roll(x, -1) * y))
+
+
+def clip_polygon_to_rect(ring: np.ndarray, rect: BBox) -> np.ndarray:
+    """Sutherland–Hodgman: clip a convex-or-concave ring to a rectangle.
+
+    Correct for any simple ring clipped against a convex window (the
+    rectangle).  Returns the clipped ring, possibly empty (shape (0, 2)).
+    Degenerate zero-area output is possible for rings that only touch the
+    rectangle boundary; callers use :func:`ring_area` to discard those.
+    """
+    subject = np.asarray(ring, dtype=np.float64)
+
+    def clip_edge(points: np.ndarray, inside, intersect) -> np.ndarray:
+        if len(points) == 0:
+            return points
+        out: list[tuple[float, float]] = []
+        n = len(points)
+        for i in range(n):
+            cur = points[i]
+            prev = points[i - 1]
+            cur_in = inside(cur)
+            prev_in = inside(prev)
+            if cur_in:
+                if not prev_in:
+                    out.append(intersect(prev, cur))
+                out.append((float(cur[0]), float(cur[1])))
+            elif prev_in:
+                out.append(intersect(prev, cur))
+        return np.asarray(out, dtype=np.float64).reshape(-1, 2)
+
+    def x_cross(p, q, x_edge):
+        t = (x_edge - p[0]) / (q[0] - p[0])
+        return (x_edge, float(p[1] + t * (q[1] - p[1])))
+
+    def y_cross(p, q, y_edge):
+        t = (y_edge - p[1]) / (q[1] - p[1])
+        return (float(p[0] + t * (q[0] - p[0])), y_edge)
+
+    subject = clip_edge(subject, lambda p: p[0] >= rect.xmin,
+                        lambda p, q: x_cross(p, q, rect.xmin))
+    subject = clip_edge(subject, lambda p: p[0] <= rect.xmax,
+                        lambda p, q: x_cross(p, q, rect.xmax))
+    subject = clip_edge(subject, lambda p: p[1] >= rect.ymin,
+                        lambda p, q: y_cross(p, q, rect.ymin))
+    subject = clip_edge(subject, lambda p: p[1] <= rect.ymax,
+                        lambda p, q: y_cross(p, q, rect.ymax))
+    return subject
+
+
+def pixel_coverage_fraction(
+    triangles: Sequence[np.ndarray], rect: BBox
+) -> float:
+    """Fraction of ``rect`` covered by a triangulated polygon.
+
+    Clips each CCW triangle against the rectangle and sums the clipped
+    areas.  Because the triangles partition the polygon interior, the sum is
+    exactly area(polygon ∩ rect); dividing by the rectangle area yields the
+    fraction f(x, y) used by the expected result intervals of §5.
+    """
+    if rect.area <= 0.0:
+        return 0.0
+    covered = 0.0
+    for tri in triangles:
+        clipped = clip_polygon_to_rect(tri, rect)
+        if len(clipped) >= 3:
+            covered += abs(ring_area(clipped))
+    fraction = covered / rect.area
+    # Clamp tiny floating-point overshoot.
+    return min(max(fraction, 0.0), 1.0)

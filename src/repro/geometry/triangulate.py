@@ -1,0 +1,233 @@
+"""Polygon triangulation by ear clipping, with hole bridging.
+
+The paper triangulates query polygons with clip2tri (constrained Delaunay)
+before handing triangles to the GPU rasterizer.  Any triangulation produces
+identical raster coverage under the top-left fill rule — Delaunay only
+improves triangle aspect ratios, which matters for GPU warp efficiency, not
+for results — so this reproduction uses the simpler and dependency-free
+ear-clipping algorithm.  Holes are eliminated first by cutting a bridge edge
+from each hole to the exterior ring (the classic approach popularized by
+Eberly and by the earcut family of libraries).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import TriangulationError
+from repro.geometry.polygon import Polygon
+from repro.geometry.predicates import orientation, point_in_triangle
+
+Triangle = np.ndarray  # (3, 2) float64
+
+
+def _is_convex(ax, ay, bx, by, cx, cy) -> bool:
+    """Whether vertex b is convex for a CCW ring (strictly left turn)."""
+    return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax) > 0
+
+
+def _ear_contains_vertex(ring: np.ndarray, indices: list[int], i_prev: int,
+                         i_curr: int, i_next: int) -> bool:
+    ax, ay = ring[i_prev]
+    bx, by = ring[i_curr]
+    cx, cy = ring[i_next]
+    for k in indices:
+        if k in (i_prev, i_curr, i_next):
+            continue
+        px, py = ring[k]
+        # Reflex vertices are the only candidates that can block an ear,
+        # but testing all remaining vertices is simpler and still O(n).
+        if point_in_triangle(px, py, ax, ay, bx, by, cx, cy):
+            # A vertex exactly coincident with an ear corner does not block.
+            if (px, py) in ((ax, ay), (bx, by), (cx, cy)):
+                continue
+            return True
+    return False
+
+
+def triangulate_ring(ring: np.ndarray) -> list[Triangle]:
+    """Triangulate one simple CCW ring by ear clipping.
+
+    Returns ``n - 2`` triangles whose union is the ring's interior.  Raises
+    :class:`TriangulationError` if no ear can be found, which indicates a
+    self-intersecting or degenerate input ring.
+    """
+    ring = np.asarray(ring, dtype=np.float64)
+    if orientation(ring) < 0:
+        ring = ring[::-1].copy()
+    n = len(ring)
+    if n < 3:
+        raise TriangulationError("ring has fewer than 3 vertices")
+    if n == 3:
+        return [ring.copy()]
+
+    indices = list(range(n))
+    triangles: list[Triangle] = []
+    guard = 0
+    # Each successful clip removes one vertex; the guard bounds the number
+    # of failed sweeps so invalid input fails fast instead of spinning.
+    max_guard = 2 * n * n
+    while len(indices) > 3:
+        m = len(indices)
+        clipped = False
+        for pos in range(m):
+            i_prev = indices[pos - 1]
+            i_curr = indices[pos]
+            i_next = indices[(pos + 1) % m]
+            ax, ay = ring[i_prev]
+            bx, by = ring[i_curr]
+            cx, cy = ring[i_next]
+            if not _is_convex(ax, ay, bx, by, cx, cy):
+                continue
+            if _ear_contains_vertex(ring, indices, i_prev, i_curr, i_next):
+                continue
+            triangles.append(
+                np.array([[ax, ay], [bx, by], [cx, cy]], dtype=np.float64)
+            )
+            indices.pop(pos)
+            clipped = True
+            break
+        if not clipped:
+            # Tolerate collinear runs: drop a vertex with zero turn.
+            dropped = False
+            for pos in range(m):
+                i_prev = indices[pos - 1]
+                i_curr = indices[pos]
+                i_next = indices[(pos + 1) % m]
+                ax, ay = ring[i_prev]
+                bx, by = ring[i_curr]
+                cx, cy = ring[i_next]
+                turn = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+                if turn == 0:
+                    indices.pop(pos)
+                    dropped = True
+                    break
+            if not dropped:
+                raise TriangulationError(
+                    "no ear found: ring is likely self-intersecting"
+                )
+        guard += 1
+        if guard > max_guard:
+            raise TriangulationError("ear clipping did not terminate")
+    i, j, k = indices
+    triangles.append(np.array([ring[i], ring[j], ring[k]], dtype=np.float64))
+    # Drop degenerate slivers produced by collinear input runs.
+    return [t for t in triangles if abs(orientation(t)) > 0.0]
+
+
+def _bridge_hole(outer: np.ndarray, hole: np.ndarray) -> np.ndarray:
+    """Merge a CW hole into a CCW outer ring via a bridge edge.
+
+    Uses the standard rightmost-hole-vertex / visible-outer-vertex
+    construction: find the hole vertex M with maximum x, shoot a ray towards
+    +x to find the outer edge it first hits, then connect M to a visible
+    reflex-free vertex of that edge's triangle.  The result is a single
+    (degenerate but ear-clippable) CCW ring.
+    """
+    # Hole vertex with maximum x (ties broken by max y for determinism).
+    hx = hole[:, 0]
+    m_idx = int(np.lexsort((hole[:, 1], hx))[-1])
+    mx, my = hole[m_idx]
+
+    n = len(outer)
+    best_t = np.inf
+    best_edge = -1
+    best_point: tuple[float, float] | None = None
+    for i in range(n):
+        ax, ay = outer[i]
+        bx, by = outer[(i + 1) % n]
+        # Edge must span the horizontal ray y = my going right from M.
+        if (ay <= my < by) or (by <= my < ay):
+            t = (my - ay) / (by - ay)
+            x_hit = ax + t * (bx - ax)
+            if x_hit >= mx and x_hit < best_t:
+                best_t = x_hit
+                best_edge = i
+                best_point = (x_hit, my)
+    if best_edge < 0 or best_point is None:
+        raise TriangulationError("hole is not inside the outer ring")
+
+    # The visible vertex is the endpoint of the hit edge with larger x,
+    # unless some reflex outer vertex lies inside triangle (M, hit, P) —
+    # then the closest such reflex vertex (by angle) becomes the bridge.
+    ax, ay = outer[best_edge]
+    bx, by = outer[(best_edge + 1) % n]
+    p_idx = best_edge if ax > bx else (best_edge + 1) % n
+    px, py = outer[p_idx]
+
+    candidates = []
+    for k in range(n):
+        if k == p_idx:
+            continue
+        vx, vy = outer[k]
+        if vx < mx:
+            continue
+        if point_in_triangle(vx, vy, mx, my, best_point[0], best_point[1], px, py):
+            candidates.append(k)
+    if candidates:
+        # Pick the candidate minimizing the angle to the +x axis from M
+        # (ties by distance), which guarantees visibility.
+        def key(k: int) -> tuple[float, float]:
+            vx, vy = outer[k]
+            dx, dy = vx - mx, vy - my
+            dist = np.hypot(dx, dy)
+            return (abs(dy) / (dist + 1e-300), dist)
+
+        p_idx = min(candidates, key=key)
+
+    # Stitch: outer[..p_idx], hole[m_idx..] + hole[..m_idx], back to outer.
+    hole_cycle = np.concatenate([hole[m_idx:], hole[:m_idx + 1]], axis=0)
+    merged = np.concatenate(
+        [
+            outer[: p_idx + 1],
+            hole_cycle,
+            outer[p_idx:],
+        ],
+        axis=0,
+    )
+    return merged
+
+
+def triangulate_polygon(polygon: Polygon) -> list[Triangle]:
+    """Triangulate a polygon (holes included) into CCW triangles.
+
+    The triangle list covers exactly the polygon interior; the sum of
+    triangle areas equals ``polygon.area`` (property-tested).
+    """
+    ring = polygon.exterior
+    # Holes must be merged right-to-left so earlier bridges do not cross
+    # later holes: process holes by descending max-x.
+    holes = sorted(polygon.holes, key=lambda h: -float(np.max(h[:, 0])))
+    for hole in holes:
+        ring = _bridge_hole(ring, hole)
+    triangles = triangulate_ring(ring)
+    # Normalize output to CCW so downstream edge functions can assume it.
+    out = []
+    for tri in triangles:
+        if orientation(tri) < 0:
+            tri = tri[::-1].copy()
+        out.append(tri)
+    return out
+
+
+def triangulate_set(polygons: Sequence[Polygon]) -> tuple[np.ndarray, np.ndarray]:
+    """Triangulate many polygons into flat arrays for the draw pass.
+
+    Returns ``(triangles, ids)`` where ``triangles`` is (t, 3, 2) float64 and
+    ``ids[t]`` is the polygon id owning triangle t — the "same key as the
+    polygon" assignment of the paper's Step II.
+    """
+    tri_list: list[Triangle] = []
+    id_list: list[int] = []
+    for pid, poly in enumerate(polygons):
+        tris = triangulate_polygon(poly)
+        tri_list.extend(tris)
+        id_list.extend([pid] * len(tris))
+    if not tri_list:
+        return (
+            np.zeros((0, 3, 2), dtype=np.float64),
+            np.zeros((0,), dtype=np.int64),
+        )
+    return np.stack(tri_list), np.asarray(id_list, dtype=np.int64)

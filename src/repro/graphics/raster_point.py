@@ -1,0 +1,57 @@
+"""Point rasterization: the paper's DrawPoints pass.
+
+Each data point becomes at most one fragment — the pixel containing it —
+and the fragment's values are additively blended into the framebuffer.
+Points outside the viewport are clipped, exactly like geometry that falls
+off-screen in the graphics pipeline; the multi-canvas mode relies on this
+clipping to process each point in exactly one tile.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.graphics.fbo import FrameBuffer
+from repro.graphics.viewport import Viewport
+
+
+def rasterize_points(
+    viewport: Viewport,
+    fbo: FrameBuffer,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    values: Mapping[str, np.ndarray] | None = None,
+) -> int:
+    """Render points into the FBO with additive blending.
+
+    ``values`` maps channel names to per-point arrays (e.g. the attribute
+    being summed); when omitted, the ``count`` channel is incremented.
+    Returns the number of points that survived viewport clipping.
+    """
+    ix, iy, inside = viewport.pixel_of(xs, ys)
+    if not inside.all():
+        ix = ix[inside]
+        iy = iy[inside]
+        if values is not None:
+            values = {
+                name: vals if np.isscalar(vals) else np.asarray(vals)[inside]
+                for name, vals in values.items()
+            }
+    if len(ix) == 0:
+        return 0
+    fbo.accumulate(ix, iy, values)
+    return int(len(ix))
+
+
+def point_fragment_indices(
+    viewport: Viewport, xs: np.ndarray, ys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The fragment coordinates points would rasterize to, plus clip mask.
+
+    Exposed separately for the accurate raster join, which must route each
+    point either to the FBO or to a PIP test depending on the boundary mask
+    at its fragment location.
+    """
+    return viewport.pixel_of(xs, ys)

@@ -1,0 +1,14 @@
+"""Spatial indexes.
+
+The raster-join paper needs exactly one index — a uniform grid over the
+query polygons (§6.1) — used by the accurate variant and by the index-join
+baselines.  The package also ships an STR-packed R-tree (used by the
+ablation study as a classical alternative) and a point quadtree (used by
+the Zhang-style materializing comparator of Table 2).
+"""
+
+from repro.index.grid import GridIndex
+from repro.index.strtree import STRTree
+from repro.index.quadtree import PointQuadtree
+
+__all__ = ["GridIndex", "STRTree", "PointQuadtree"]

@@ -1,0 +1,116 @@
+"""Point quadtree used by the Zhang-style materializing comparator.
+
+Zhang et al. (the Table 2 comparator) index the *points* with a quadtree to
+load-balance GPU batches before joining against polygon MBRs.  This module
+provides that point index: a region quadtree that splits leaves past a
+capacity, and reports its leaves as (bbox, point-id-range) batches over a
+Morton-ordered permutation of the points.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.geometry.bbox import BBox
+
+
+class _QuadNode:
+    __slots__ = ("bbox", "start", "end", "children")
+
+    def __init__(self, bbox: BBox, start: int, end: int) -> None:
+        self.bbox = bbox
+        self.start = start  # range into the permuted point order
+        self.end = end
+        self.children: list["_QuadNode"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def count(self) -> int:
+        return self.end - self.start
+
+
+class PointQuadtree:
+    """Region quadtree over points with leaf capacity splitting.
+
+    ``order`` is a permutation of point indices such that every node's
+    points are contiguous — the array layout a GPU batcher wants.
+    """
+
+    def __init__(
+        self,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        leaf_capacity: int = 4096,
+        max_depth: int = 16,
+    ) -> None:
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        start = time.perf_counter()
+        self.xs = xs
+        self.ys = ys
+        self.leaf_capacity = max(1, leaf_capacity)
+        self.max_depth = max(1, max_depth)
+        self.order = np.arange(len(xs), dtype=np.int64)
+        extent = BBox.of_points(xs, ys, pad=1e-9) if len(xs) else BBox(0, 0, 1, 1)
+        self.root = _QuadNode(extent, 0, len(xs))
+        self._split(self.root, depth=0)
+        self.build_seconds = time.perf_counter() - start
+
+    def _split(self, node: _QuadNode, depth: int) -> None:
+        if node.count <= self.leaf_capacity or depth >= self.max_depth:
+            return
+        box = node.bbox
+        cx, cy = box.center
+        idx = self.order[node.start:node.end]
+        px = self.xs[idx]
+        py = self.ys[idx]
+        quadrant = (px >= cx).astype(np.int64) + 2 * (py >= cy).astype(np.int64)
+        reorder = np.argsort(quadrant, kind="stable")
+        self.order[node.start:node.end] = idx[reorder]
+        counts = np.bincount(quadrant, minlength=4)
+        bounds = [
+            BBox(box.xmin, box.ymin, cx, cy),
+            BBox(cx, box.ymin, box.xmax, cy),
+            BBox(box.xmin, cy, cx, box.ymax),
+            BBox(cx, cy, box.xmax, box.ymax),
+        ]
+        cursor = node.start
+        for q in range(4):
+            if counts[q] == 0:
+                continue
+            child = _QuadNode(bounds[q], cursor, cursor + int(counts[q]))
+            cursor += int(counts[q])
+            node.children.append(child)
+            self._split(child, depth + 1)
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def leaves(self) -> list[_QuadNode]:
+        out: list[_QuadNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node)
+            else:
+                stack.extend(node.children)
+        out.sort(key=lambda nd: nd.start)
+        return out
+
+    def leaf_point_ids(self, leaf: _QuadNode) -> np.ndarray:
+        return self.order[leaf.start:leaf.end]
+
+    def num_leaves(self) -> int:
+        return len(self.leaves())
+
+    def __repr__(self) -> str:
+        return (
+            f"PointQuadtree({len(self.xs)} points, {self.num_leaves()} leaves, "
+            f"capacity={self.leaf_capacity})"
+        )

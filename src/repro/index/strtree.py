@@ -1,0 +1,157 @@
+"""STR-packed R-tree over polygon bounding boxes.
+
+Not part of the paper's system — the paper deliberately uses a grid for its
+O(1) probes — but a classical R-tree is the natural point of comparison for
+the index-join baseline, so the ablation benchmark
+(`bench_ablation_grid_resolution`) contrasts the two.  The tree is bulk-
+loaded with the Sort-Tile-Recursive packing of Leutenegger et al., which
+yields near-optimal leaves without incremental inserts.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.bbox import BBox
+from repro.geometry.polygon import Polygon, PolygonSet
+
+
+class _Node:
+    __slots__ = ("bbox", "children", "polygon_ids")
+
+    def __init__(
+        self,
+        bbox: BBox,
+        children: list["_Node"] | None = None,
+        polygon_ids: np.ndarray | None = None,
+    ) -> None:
+        self.bbox = bbox
+        self.children = children or []
+        self.polygon_ids = polygon_ids  # leaves only
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.polygon_ids is not None
+
+
+def _bbox_of(boxes: list[BBox]) -> BBox:
+    out = boxes[0]
+    for b in boxes[1:]:
+        out = out.union(b)
+    return out
+
+
+class STRTree:
+    """Bulk-loaded R-tree with point and box queries."""
+
+    def __init__(
+        self,
+        polygons: PolygonSet | Sequence[Polygon],
+        leaf_capacity: int = 16,
+        fanout: int = 8,
+    ) -> None:
+        polys = list(polygons)
+        self.polygons = polys
+        self.leaf_capacity = max(1, leaf_capacity)
+        self.fanout = max(2, fanout)
+
+        start = time.perf_counter()
+        ids = np.arange(len(polys), dtype=np.int64)
+        boxes = [p.bbox for p in polys]
+        self.root = self._pack_leaves(ids, boxes)
+        self.build_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # STR packing
+    # ------------------------------------------------------------------
+    def _pack_leaves(self, ids: np.ndarray, boxes: list[BBox]) -> _Node:
+        n = len(ids)
+        num_leaves = max(1, math.ceil(n / self.leaf_capacity))
+        num_slices = max(1, math.ceil(math.sqrt(num_leaves)))
+        centers_x = np.asarray([b.center[0] for b in boxes])
+        centers_y = np.asarray([b.center[1] for b in boxes])
+
+        order_x = np.argsort(centers_x, kind="stable")
+        per_slice = math.ceil(n / num_slices)
+        leaves: list[_Node] = []
+        for s in range(0, n, per_slice):
+            slice_idx = order_x[s:s + per_slice]
+            order_y = slice_idx[np.argsort(centers_y[slice_idx], kind="stable")]
+            for t in range(0, len(order_y), self.leaf_capacity):
+                group = order_y[t:t + self.leaf_capacity]
+                leaf_boxes = [boxes[int(i)] for i in group]
+                leaves.append(_Node(_bbox_of(leaf_boxes), polygon_ids=ids[group]))
+        return self._pack_upward(leaves)
+
+    def _pack_upward(self, nodes: list[_Node]) -> _Node:
+        while len(nodes) > 1:
+            parents: list[_Node] = []
+            # Re-sort by center to keep siblings spatially tight.
+            nodes.sort(key=lambda nd: nd.bbox.center)
+            for s in range(0, len(nodes), self.fanout):
+                group = nodes[s:s + self.fanout]
+                parents.append(_Node(_bbox_of([g.bbox for g in group]), children=group))
+            nodes = parents
+        return nodes[0]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def candidates_of_point(self, x: float, y: float) -> np.ndarray:
+        """Polygon ids whose bbox contains the point (closed test)."""
+        out: list[np.ndarray] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            box = node.bbox
+            if not (box.xmin <= x <= box.xmax and box.ymin <= y <= box.ymax):
+                continue
+            if node.is_leaf:
+                ids = node.polygon_ids
+                keep = [
+                    int(i) for i in ids
+                    if self.polygons[int(i)].bbox.xmin <= x <= self.polygons[int(i)].bbox.xmax
+                    and self.polygons[int(i)].bbox.ymin <= y <= self.polygons[int(i)].bbox.ymax
+                ]
+                if keep:
+                    out.append(np.asarray(keep, dtype=np.int64))
+            else:
+                stack.extend(node.children)
+        if not out:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(out)
+
+    def query_bbox(self, box: BBox) -> np.ndarray:
+        """Polygon ids whose bbox intersects the query box."""
+        out: list[int] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if not node.bbox.intersects(box):
+                continue
+            if node.is_leaf:
+                out.extend(
+                    int(i) for i in node.polygon_ids
+                    if self.polygons[int(i)].bbox.intersects(box)
+                )
+            else:
+                stack.extend(node.children)
+        return np.asarray(sorted(out), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        d = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            d += 1
+        return d
+
+    def __repr__(self) -> str:
+        return f"STRTree({len(self.polygons)} polygons, depth={self.depth()})"

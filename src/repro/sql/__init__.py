@@ -1,0 +1,28 @@
+"""Mini-SQL frontend for the paper's query template.
+
+The paper frames spatial aggregation as::
+
+    SELECT AGG(a_i) FROM P, R
+    WHERE P.loc INSIDE R.geometry [AND filterCondition]*
+    GROUP BY R.id
+
+and argues the operator can slot into an existing DBMS.  This package is
+that slot-in demonstrated end-to-end: a lexer, a recursive-descent parser
+producing a small AST, and a planner that validates the statement against
+the registered datasets and lowers it onto one of the engines.
+"""
+
+from repro.sql.lexer import Token, tokenize
+from repro.sql.ast import AggregateSpec, Condition, SelectStatement
+from repro.sql.parser import parse
+from repro.sql.planner import QueryPlanner
+
+__all__ = [
+    "Token",
+    "tokenize",
+    "AggregateSpec",
+    "Condition",
+    "SelectStatement",
+    "parse",
+    "QueryPlanner",
+]

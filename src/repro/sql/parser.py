@@ -1,0 +1,140 @@
+"""Recursive-descent parser for the spatial-aggregation dialect.
+
+Grammar (keywords case-insensitive)::
+
+    statement   := SELECT aggregate FROM ident "," ident
+                   WHERE predicate ( AND condition )*
+                   GROUP BY column_ref
+    aggregate   := COUNT "(" "*" ")"
+                 | (SUM|AVG|MIN|MAX) "(" column_ref ")"
+    predicate   := column_ref INSIDE column_ref ( WITHIN number )?
+    condition   := column_ref op number
+    column_ref  := ident ( "." ident )?
+    op          := < | <= | > | >= | = | != | <>
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+from repro.sql.ast import (
+    AggregateSpec,
+    Condition,
+    SelectStatement,
+    SpatialPredicate,
+)
+from repro.sql.lexer import Token, tokenize
+
+_AGG_KEYWORDS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self.peek()
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = f"{kind} {value!r}" if value else kind
+            raise SqlError(
+                f"expected {want} at position {tok.position}, "
+                f"got {tok.kind} {tok.value!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        tok = self.peek()
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self.advance()
+        return None
+
+    # -- grammar --------------------------------------------------------
+    def column_ref(self) -> tuple[str | None, str]:
+        first = self.expect("IDENT").value
+        if self.accept("PUNCT", "."):
+            second = self.expect("IDENT").value
+            return first, second
+        return None, first
+
+    def aggregate(self) -> AggregateSpec:
+        tok = self.peek()
+        if tok.kind != "KEYWORD" or tok.value not in _AGG_KEYWORDS:
+            raise SqlError(
+                f"expected aggregate function at position {tok.position}"
+            )
+        func = self.advance().value
+        self.expect("PUNCT", "(")
+        if func == "COUNT" and self.accept("PUNCT", "*"):
+            self.expect("PUNCT", ")")
+            return AggregateSpec("COUNT", None, None)
+        table, column = self.column_ref()
+        self.expect("PUNCT", ")")
+        return AggregateSpec(func, column, table)
+
+    def spatial_predicate(self) -> SpatialPredicate:
+        pt_table, pt_column = self.column_ref()
+        self.expect("KEYWORD", "INSIDE")
+        rg_table, rg_column = self.column_ref()
+        epsilon = None
+        if self.accept("KEYWORD", "WITHIN"):
+            epsilon = float(self.expect("NUMBER").value)
+            if epsilon <= 0:
+                raise SqlError(f"WITHIN bound must be positive, got {epsilon}")
+        if pt_table is None or rg_table is None:
+            raise SqlError(
+                "the INSIDE predicate needs qualified references "
+                "(points.loc INSIDE regions.geometry)"
+            )
+        return SpatialPredicate(pt_table, pt_column, rg_table, rg_column, epsilon)
+
+    def condition(self) -> Condition:
+        table, column = self.column_ref()
+        op = self.expect("OP").value
+        value = float(self.expect("NUMBER").value)
+        return Condition(column, op, value, table)
+
+    def statement(self) -> SelectStatement:
+        self.expect("KEYWORD", "SELECT")
+        aggs = [self.aggregate()]
+        # Multiple aggregates per query (paper §8 extension): a comma-
+        # separated SELECT list evaluated in one rendering pass.
+        while self.accept("PUNCT", ","):
+            aggs.append(self.aggregate())
+        agg = aggs[0]
+        self.expect("KEYWORD", "FROM")
+        point_table = self.expect("IDENT").value
+        self.expect("PUNCT", ",")
+        region_table = self.expect("IDENT").value
+        self.expect("KEYWORD", "WHERE")
+        spatial = self.spatial_predicate()
+        conditions: list[Condition] = []
+        while self.accept("KEYWORD", "AND"):
+            conditions.append(self.condition())
+        self.expect("KEYWORD", "GROUP")
+        self.expect("KEYWORD", "BY")
+        gb_table, gb_column = self.column_ref()
+        self.expect("EOF")
+        return SelectStatement(
+            aggregate=agg,
+            point_table=point_table,
+            region_table=region_table,
+            spatial=spatial,
+            conditions=tuple(conditions),
+            group_by_table=gb_table,
+            group_by_column=gb_column,
+            aggregates=tuple(aggs),
+        )
+
+
+def parse(text: str) -> SelectStatement:
+    """Parse one statement; raises :class:`SqlError` with position info."""
+    return _Parser(tokenize(text)).statement()

@@ -1,0 +1,158 @@
+"""Planner: validate a parsed statement and lower it onto an engine.
+
+The planner owns a catalog of registered point tables
+(:class:`~repro.data.dataset.PointDataset`) and region tables
+(:class:`~repro.geometry.polygon.PolygonSet`).  Given a statement it checks
+names and columns, builds the aggregate and filter objects, picks an engine
+— the ε-aware optimizer choice when the statement carries a ``WITHIN``
+bound, the accurate engine otherwise — and executes.
+"""
+
+from __future__ import annotations
+
+from repro.core.accurate import AccurateRasterJoin
+from repro.core.aggregates import Aggregate, Average, Count, Max, Min, Sum
+from repro.core.multi import MultiAggregate
+from repro.core.bounded import BoundedRasterJoin
+from repro.core.engine import SpatialAggregationEngine
+from repro.core.filters import Filter, FilterSet
+from repro.data.dataset import PointDataset
+from repro.device.memory import GPUDevice
+from repro.errors import SqlError
+from repro.geometry.polygon import PolygonSet
+from repro.sql.ast import SelectStatement
+from repro.sql.parser import parse
+from repro.types import AggregationResult
+
+_AGG_BUILDERS = {
+    "COUNT": lambda col: Count(),
+    "SUM": Sum,
+    "AVG": Average,
+    "MIN": Min,
+    "MAX": Max,
+}
+
+
+class QueryPlanner:
+    """Catalog + lowering for the SQL frontend."""
+
+    def __init__(self, device: GPUDevice | None = None) -> None:
+        self.device = device
+        self._points: dict[str, PointDataset] = {}
+        self._regions: dict[str, PolygonSet] = {}
+
+    # ------------------------------------------------------------------
+    # Catalog
+    # ------------------------------------------------------------------
+    def register_points(self, name: str, dataset: PointDataset) -> None:
+        if name in self._regions:
+            raise SqlError(f"{name!r} is already a region table")
+        self._points[name] = dataset
+
+    def register_regions(self, name: str, polygons: PolygonSet) -> None:
+        if name in self._points:
+            raise SqlError(f"{name!r} is already a point table")
+        self._regions[name] = polygons
+
+    # ------------------------------------------------------------------
+    # Validation + lowering
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, stmt: SelectStatement
+    ) -> tuple[SelectStatement, PointDataset, PolygonSet]:
+        """Map the FROM tables onto the catalog, normalizing their order.
+
+        Returns the (possibly table-swapped) statement so later validation
+        sees the canonical point/region assignment.
+        """
+        if stmt.point_table not in self._points:
+            # The FROM clause does not order the tables; try both ways.
+            if (
+                stmt.region_table in self._points
+                and stmt.point_table in self._regions
+            ):
+                stmt = SelectStatement(
+                    aggregate=stmt.aggregate,
+                    point_table=stmt.region_table,
+                    region_table=stmt.point_table,
+                    spatial=stmt.spatial,
+                    conditions=stmt.conditions,
+                    group_by_table=stmt.group_by_table,
+                    group_by_column=stmt.group_by_column,
+                )
+            else:
+                raise SqlError(f"unknown point table {stmt.point_table!r}")
+        if stmt.region_table not in self._regions:
+            raise SqlError(f"unknown region table {stmt.region_table!r}")
+        return stmt, self._points[stmt.point_table], self._regions[stmt.region_table]
+
+    def _build_one_aggregate(
+        self, stmt: SelectStatement, points: PointDataset, spec
+    ) -> Aggregate:
+        if spec.function == "COUNT" and spec.column is None:
+            return Count()
+        if spec.column is None:
+            raise SqlError(f"{spec.function} needs a column argument")
+        if spec.table is not None and spec.table != stmt.point_table:
+            raise SqlError(
+                f"aggregate column must come from the point table "
+                f"{stmt.point_table!r}, not {spec.table!r}"
+            )
+        points.column(spec.column)  # raises SchemaError when missing
+        return _AGG_BUILDERS[spec.function](spec.column)
+
+    def _build_aggregate(self, stmt: SelectStatement, points: PointDataset) -> Aggregate:
+        specs = stmt.select_list()
+        built = [self._build_one_aggregate(stmt, points, s) for s in specs]
+        if len(built) == 1:
+            return built[0]
+        # Multiple SELECT items: one fused rendering pass (§8 extension).
+        return MultiAggregate(built)
+
+    def _build_filters(self, stmt: SelectStatement, points: PointDataset) -> FilterSet:
+        filters = []
+        for cond in stmt.conditions:
+            if cond.table is not None and cond.table != stmt.point_table:
+                raise SqlError(
+                    f"filter column {cond.table}.{cond.column} must come "
+                    f"from the point table {stmt.point_table!r}"
+                )
+            points.column(cond.column)
+            filters.append(Filter(cond.column, cond.op, cond.value))
+        return FilterSet(filters)
+
+    def _check_group_by(self, stmt: SelectStatement) -> None:
+        table = stmt.group_by_table
+        if table is not None and table != stmt.region_table:
+            raise SqlError(
+                f"GROUP BY must reference the region table "
+                f"{stmt.region_table!r}, got {table!r}"
+            )
+        if stmt.group_by_column not in ("id", "name", None):
+            raise SqlError(
+                f"GROUP BY column must be the region id, got "
+                f"{stmt.group_by_column!r}"
+            )
+
+    def plan(
+        self, statement: str | SelectStatement
+    ) -> tuple[SpatialAggregationEngine, PointDataset, PolygonSet, Aggregate, FilterSet]:
+        """Validate and lower without executing (inspectable plan)."""
+        stmt = parse(statement) if isinstance(statement, str) else statement
+        stmt, points, regions = self._resolve(stmt)
+        aggregate = self._build_aggregate(stmt, points)
+        filters = self._build_filters(stmt, points)
+        self._check_group_by(stmt)
+        epsilon = stmt.spatial.epsilon
+        if epsilon is not None:
+            engine: SpatialAggregationEngine = BoundedRasterJoin(
+                epsilon=epsilon, device=self.device
+            )
+        else:
+            engine = AccurateRasterJoin(device=self.device)
+        return engine, points, regions, aggregate, filters
+
+    def execute(self, statement: str | SelectStatement) -> AggregationResult:
+        """Parse, plan, and run a statement."""
+        engine, points, regions, aggregate, filters = self.plan(statement)
+        return engine.execute(points, regions, aggregate=aggregate, filters=filters)

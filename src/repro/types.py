@@ -1,0 +1,135 @@
+"""Shared result and statistics types.
+
+Every engine returns an :class:`AggregationResult`; its
+:class:`ExecutionStats` carries the timing breakdown the paper reports
+(transfer vs. processing, polygon preprocessing, PIP-test counts) so the
+benchmark harness can regenerate the figures without re-instrumenting the
+engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ExecutionStats:
+    """Timing and work counters for one query execution.
+
+    All times are seconds.  ``transfer_s`` covers host-to-device copies of
+    point batches; ``processing_s`` is device-side work (rasterization,
+    probes, PIP tests, aggregation); ``triangulation_s`` and
+    ``index_build_s`` are the polygon preprocessing costs of Table 1, kept
+    separate because the paper excludes them from query time but reports
+    them on their own.
+    """
+
+    engine: str = ""
+    transfer_s: float = 0.0
+    processing_s: float = 0.0
+    triangulation_s: float = 0.0
+    index_build_s: float = 0.0
+    io_s: float = 0.0
+    pip_tests: int = 0
+    points_processed: int = 0
+    points_filtered_out: int = 0
+    boundary_points: int = 0
+    passes: int = 1
+    batches: int = 1
+    bytes_transferred: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def query_s(self) -> float:
+        """Query execution time as the paper reports it.
+
+        Polygon preprocessing (triangulation, index creation) is excluded,
+        matching §7.1: "we do not include the polygon processing time in
+        the reported query execution time".
+        """
+        return self.transfer_s + self.processing_s + self.io_s
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end time including polygon preprocessing."""
+        return self.query_s + self.triangulation_s + self.index_build_s
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate another execution's counters into this one."""
+        self.transfer_s += other.transfer_s
+        self.processing_s += other.processing_s
+        self.triangulation_s += other.triangulation_s
+        self.index_build_s += other.index_build_s
+        self.io_s += other.io_s
+        self.pip_tests += other.pip_tests
+        self.points_processed += other.points_processed
+        self.points_filtered_out += other.points_filtered_out
+        self.boundary_points += other.boundary_points
+        self.passes += other.passes
+        self.batches += other.batches
+        self.bytes_transferred += other.bytes_transferred
+
+
+@dataclass
+class ResultIntervals:
+    """Per-polygon result ranges for the bounded raster join (§5).
+
+    ``loose_lo``/``loose_hi`` hold with 100% confidence: every false
+    positive or negative lives in a boundary pixel, so subtracting or
+    adding whole boundary-pixel totals bounds the exact value.  The
+    ``expected_*`` interval assumes points are uniformly distributed within
+    each (tiny) boundary pixel and scales boundary-pixel totals by the
+    pixel∩polygon area fraction.
+    """
+
+    loose_lo: np.ndarray
+    loose_hi: np.ndarray
+    expected_lo: np.ndarray
+    expected_hi: np.ndarray
+    expected_value: np.ndarray
+
+    def contains(self, exact: np.ndarray) -> np.ndarray:
+        """Whether each exact value lies in the loose interval."""
+        exact = np.asarray(exact, dtype=np.float64)
+        return (exact >= self.loose_lo - 1e-9) & (exact <= self.loose_hi + 1e-9)
+
+
+@dataclass
+class AggregationResult:
+    """The answer to one spatial aggregation query.
+
+    ``values[i]`` is the aggregate for polygon ``i`` (the GROUP BY R.id
+    output).  ``channels`` exposes the raw distributive parts (e.g. the sum
+    and count behind an average).  ``intervals`` is populated only when the
+    bounded engine is asked for result ranges.
+    """
+
+    values: np.ndarray
+    channels: dict[str, np.ndarray]
+    stats: ExecutionStats
+    intervals: ResultIntervals | None = None
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def max_abs_error(self, reference: "AggregationResult") -> float:
+        """Largest absolute per-polygon deviation from a reference result."""
+        return float(np.max(np.abs(self.values - reference.values)))
+
+    def percent_errors(self, reference: "AggregationResult") -> np.ndarray:
+        """Per-polygon percent error vs. a reference, NaN-safe.
+
+        Polygons whose reference value is zero contribute 0 when the
+        approximate value is also zero and inf otherwise, mirroring how the
+        paper's box plots treat empty regions.
+        """
+        ref = np.asarray(reference.values, dtype=np.float64)
+        approx = np.asarray(self.values, dtype=np.float64)
+        errors = np.zeros(len(ref), dtype=np.float64)
+        nonzero = ref != 0
+        errors[nonzero] = 100.0 * np.abs(approx[nonzero] - ref[nonzero]) / np.abs(ref[nonzero])
+        zero_mismatch = (~nonzero) & (approx != 0)
+        errors[zero_mismatch] = np.inf
+        return errors

@@ -1,0 +1,109 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import PointDataset, Polygon, PolygonSet
+
+
+def random_star_polygon(
+    rng: np.random.Generator,
+    center: tuple[float, float] = (50.0, 50.0),
+    radius_range: tuple[float, float] = (5.0, 40.0),
+    vertices: int = 10,
+) -> Polygon:
+    """A guaranteed-simple random polygon (star-shaped about its center).
+
+    Angle gaps are capped below pi so no edge can swing around the center;
+    the construction is then always simple.
+    """
+    while True:
+        angles = np.sort(rng.uniform(0.0, 2.0 * np.pi, vertices))
+        gaps = np.diff(np.concatenate([angles, [angles[0] + 2 * np.pi]]))
+        if gaps.max() < 0.9 * np.pi:
+            break
+    radii = rng.uniform(*radius_range, vertices)
+    ring = np.column_stack(
+        [
+            center[0] + radii * np.cos(angles),
+            center[1] + radii * np.sin(angles),
+        ]
+    )
+    return Polygon(ring)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def unit_square() -> Polygon:
+    return Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+
+
+@pytest.fixture
+def concave_polygon() -> Polygon:
+    """An arrow-head shaped concave polygon."""
+    return Polygon([(0, 0), (10, 0), (10, 10), (5, 5), (0, 10)])
+
+
+@pytest.fixture
+def holed_polygon() -> Polygon:
+    return Polygon(
+        [(0, 0), (20, 0), (20, 20), (0, 20)],
+        holes=[[(5, 5), (15, 5), (15, 15), (5, 15)]],
+    )
+
+
+@pytest.fixture
+def three_regions() -> PolygonSet:
+    """A small mixed polygon set: convex, concave, holed."""
+    return PolygonSet(
+        [
+            Polygon([(10, 10), (40, 12), (35, 40), (15, 35)]),
+            Polygon([(50, 50), (90, 55), (80, 95), (45, 80), (60, 65)]),
+            Polygon(
+                [(20, 60), (40, 60), (40, 90), (20, 90)],
+                holes=[[(25, 65), (35, 65), (35, 85), (25, 85)]],
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def uniform_points(rng: np.random.Generator) -> PointDataset:
+    """20k uniform points over [0, 100]^2 with two attributes."""
+    n = 20_000
+    return PointDataset(
+        rng.uniform(0.0, 100.0, n),
+        rng.uniform(0.0, 100.0, n),
+        {
+            "fare": rng.uniform(1.0, 30.0, n),
+            "hour": rng.integers(0, 24, n).astype(np.int32),
+        },
+    )
+
+
+def brute_force_counts(points: PointDataset, polygons: PolygonSet) -> np.ndarray:
+    """Reference join: exhaustive vectorized PIP per polygon."""
+    return np.asarray(
+        [
+            float(np.count_nonzero(p.contains_points(points.xs, points.ys)))
+            for p in polygons
+        ]
+    )
+
+
+def brute_force_sums(
+    points: PointDataset, polygons: PolygonSet, column: str
+) -> np.ndarray:
+    values = points.column(column)
+    return np.asarray(
+        [
+            float(np.sum(values[p.contains_points(points.xs, points.ys)]))
+            for p in polygons
+        ]
+    )

@@ -1,0 +1,147 @@
+"""Unit tests for the accurate raster join — exactness above all."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccurateRasterJoin,
+    Average,
+    Count,
+    Filter,
+    GPUDevice,
+    Max,
+    Min,
+    PointDataset,
+    Polygon,
+    PolygonSet,
+    Sum,
+)
+from tests.conftest import brute_force_counts, brute_force_sums
+
+
+class TestExactness:
+    @pytest.mark.parametrize("resolution", [64, 256, 1024])
+    def test_exact_at_any_resolution(self, uniform_points, three_regions, resolution):
+        """Resolution only moves work between paths, never changes results."""
+        exact = brute_force_counts(uniform_points, three_regions)
+        result = AccurateRasterJoin(resolution=resolution).execute(
+            uniform_points, three_regions
+        )
+        assert np.array_equal(result.values, exact)
+
+    def test_exact_sum(self, uniform_points, three_regions):
+        exact = brute_force_sums(uniform_points, three_regions, "fare")
+        result = AccurateRasterJoin(resolution=256).execute(
+            uniform_points, three_regions, aggregate=Sum("fare")
+        )
+        assert np.allclose(result.values, exact, rtol=1e-9)
+
+    def test_exact_average(self, uniform_points, three_regions):
+        counts = brute_force_counts(uniform_points, three_regions)
+        sums = brute_force_sums(uniform_points, three_regions, "fare")
+        result = AccurateRasterJoin(resolution=256).execute(
+            uniform_points, three_regions, aggregate=Average("fare")
+        )
+        assert np.allclose(result.values, sums / counts, rtol=1e-9)
+
+    def test_exact_min_max(self, uniform_points, three_regions):
+        fare = uniform_points.column("fare")
+        result_min = AccurateRasterJoin(resolution=256).execute(
+            uniform_points, three_regions, aggregate=Min("fare")
+        )
+        result_max = AccurateRasterJoin(resolution=256).execute(
+            uniform_points, three_regions, aggregate=Max("fare")
+        )
+        for pid, poly in enumerate(three_regions):
+            inside = poly.contains_points(uniform_points.xs, uniform_points.ys)
+            assert result_min.values[pid] == fare[inside].min()
+            assert result_max.values[pid] == fare[inside].max()
+
+    def test_exact_with_filters(self, uniform_points, three_regions):
+        filters = [Filter("hour", ">=", 7), Filter("hour", "<=", 9)]
+        mask = (uniform_points.column("hour") >= 7) & (
+            uniform_points.column("hour") <= 9
+        )
+        subset = uniform_points.take(np.flatnonzero(mask))
+        exact = brute_force_counts(subset, three_regions)
+        result = AccurateRasterJoin(resolution=256).execute(
+            uniform_points, three_regions, filters=filters
+        )
+        assert np.array_equal(result.values, exact)
+
+    def test_overlapping_polygons(self, rng):
+        """The white-point case of Figure 7: a point interior to one
+        polygon but on the boundary pixels of another must count in both."""
+        regions = PolygonSet(
+            [
+                Polygon([(0, 0), (60, 0), (60, 60), (0, 60)]),
+                Polygon([(30, 30), (90, 30), (90, 90), (30, 90)]),
+            ]
+        )
+        points = PointDataset(rng.uniform(0, 90, 40_000), rng.uniform(0, 90, 40_000))
+        exact = brute_force_counts(points, regions)
+        result = AccurateRasterJoin(resolution=128).execute(points, regions)
+        assert np.array_equal(result.values, exact)
+
+    def test_points_on_polygon_edges(self):
+        """Grid-aligned points exactly on shared edges: counted once per
+        containing polygon under the same convention as the PIP test."""
+        regions = PolygonSet(
+            [
+                Polygon([(0, 0), (10, 0), (10, 10), (0, 10)]),
+                Polygon([(10, 0), (20, 0), (20, 10), (10, 10)]),
+            ]
+        )
+        xs = np.asarray([10.0, 5.0, 15.0, 10.0])
+        ys = np.asarray([5.0, 5.0, 5.0, 0.0])
+        points = PointDataset(xs, ys)
+        exact = brute_force_counts(points, regions)
+        result = AccurateRasterJoin(resolution=64).execute(points, regions)
+        assert np.array_equal(result.values, exact)
+
+
+class TestWorkDistribution:
+    def test_pip_only_for_boundary_points(self, uniform_points, three_regions):
+        result = AccurateRasterJoin(resolution=512).execute(
+            uniform_points, three_regions
+        )
+        assert 0 < result.stats.boundary_points < len(uniform_points) * 0.5
+        assert result.stats.pip_tests < len(uniform_points)
+
+    def test_higher_resolution_fewer_boundary_points(
+        self, uniform_points, three_regions
+    ):
+        low = AccurateRasterJoin(resolution=64).execute(
+            uniform_points, three_regions
+        )
+        high = AccurateRasterJoin(resolution=1024).execute(
+            uniform_points, three_regions
+        )
+        assert high.stats.boundary_points < low.stats.boundary_points
+
+    def test_index_build_recorded(self, uniform_points, three_regions):
+        result = AccurateRasterJoin(resolution=128).execute(
+            uniform_points, three_regions
+        )
+        assert result.stats.index_build_s > 0
+        assert result.stats.triangulation_s > 0
+
+
+class TestDevice:
+    def test_out_of_core_exact(self, uniform_points, three_regions):
+        exact = brute_force_counts(uniform_points, three_regions)
+        # The float64 FBO needs ~500 KB; the remainder forces point batches.
+        device = GPUDevice(capacity_bytes=600_000, max_resolution=256)
+        result = AccurateRasterJoin(resolution=256, device=device).execute(
+            uniform_points, three_regions
+        )
+        assert result.stats.batches > 1
+        assert np.array_equal(result.values, exact)
+
+    def test_tiled_exact(self, uniform_points, three_regions):
+        exact = brute_force_counts(uniform_points, three_regions)
+        result = AccurateRasterJoin(
+            resolution=512, device=GPUDevice(max_resolution=100)
+        ).execute(uniform_points, three_regions)
+        assert result.stats.extra["tiles"] > 1
+        assert np.array_equal(result.values, exact)

@@ -1,0 +1,87 @@
+"""Unit tests for result-range estimation (§5)."""
+
+import numpy as np
+import pytest
+
+from repro import BoundedRasterJoin, PointDataset, Polygon, PolygonSet, Sum
+from tests.conftest import brute_force_counts, random_star_polygon
+
+
+class TestLooseBounds:
+    def test_contain_exact_always(self, uniform_points, three_regions):
+        """The 100%-confidence guarantee of the loose interval."""
+        exact = brute_force_counts(uniform_points, three_regions)
+        for res in (64, 128, 512):
+            result = BoundedRasterJoin(
+                resolution=res, compute_bounds=True
+            ).execute(uniform_points, three_regions)
+            assert result.intervals is not None
+            assert result.intervals.contains(exact).all(), (
+                f"loose interval violated at resolution {res}"
+            )
+
+    def test_interval_shrinks_with_resolution(
+        self, uniform_points, three_regions
+    ):
+        widths = []
+        for res in (64, 256, 1024):
+            result = BoundedRasterJoin(
+                resolution=res, compute_bounds=True
+            ).execute(uniform_points, three_regions)
+            iv = result.intervals
+            widths.append(float(np.sum(iv.loose_hi - iv.loose_lo)))
+        assert widths[0] > widths[1] > widths[2]
+
+    def test_random_polygons(self, rng):
+        points = PointDataset(rng.uniform(0, 100, 30_000),
+                              rng.uniform(0, 100, 30_000))
+        polys = PolygonSet(
+            [random_star_polygon(rng, center=(30 + 20 * k, 50),
+                                 radius_range=(5, 18), vertices=9)
+             for k in range(3)]
+        )
+        exact = brute_force_counts(points, polys)
+        result = BoundedRasterJoin(resolution=128, compute_bounds=True).execute(
+            points, polys
+        )
+        assert result.intervals.contains(exact).all()
+
+
+class TestExpectedBounds:
+    def test_tighter_than_loose(self, uniform_points, three_regions):
+        result = BoundedRasterJoin(resolution=128, compute_bounds=True).execute(
+            uniform_points, three_regions
+        )
+        iv = result.intervals
+        assert np.all(iv.expected_lo >= iv.loose_lo - 1e-9)
+        assert np.all(iv.expected_hi <= iv.loose_hi + 1e-9)
+
+    def test_expected_value_closer_on_uniform_data(
+        self, uniform_points, three_regions
+    ):
+        """On uniform data the area-fraction correction is near-unbiased:
+        the expected value beats the raw approximate value in aggregate."""
+        exact = brute_force_counts(uniform_points, three_regions)
+        result = BoundedRasterJoin(resolution=128, compute_bounds=True).execute(
+            uniform_points, three_regions
+        )
+        raw_err = np.abs(result.values - exact).sum()
+        corrected_err = np.abs(result.intervals.expected_value - exact).sum()
+        assert corrected_err <= raw_err * 1.05
+
+    def test_sum_aggregate_bounds(self, uniform_points, three_regions):
+        from tests.conftest import brute_force_sums
+
+        exact = brute_force_sums(uniform_points, three_regions, "fare")
+        result = BoundedRasterJoin(resolution=128, compute_bounds=True).execute(
+            uniform_points, three_regions, aggregate=Sum("fare")
+        )
+        assert result.intervals.contains(exact).all()
+
+
+class TestDisabled:
+    def test_no_intervals_by_default(self, uniform_points, three_regions):
+        result = BoundedRasterJoin(resolution=128).execute(
+            uniform_points, three_regions
+        )
+        assert result.intervals is None

@@ -1,0 +1,111 @@
+"""Unit tests for the shared engine machinery."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Average,
+    BoundedRasterJoin,
+    Count,
+    Filter,
+    FilterSet,
+    PointDataset,
+    Sum,
+)
+from repro.core.engine import (
+    SpatialAggregationEngine,
+    grid_pip_aggregate,
+    timed,
+)
+from repro.index.grid import GridIndex
+from repro.types import ExecutionStats
+
+
+class TestRequiredColumns:
+    def test_locations_always_first(self):
+        cols = SpatialAggregationEngine.required_columns(Count(), FilterSet())
+        assert cols == ("x", "y")
+
+    def test_filter_and_aggregate_columns_deduped(self):
+        filters = FilterSet([Filter("fare", ">", 1), Filter("hour", "<", 9)])
+        cols = SpatialAggregationEngine.required_columns(
+            Average("fare"), filters
+        )
+        assert cols == ("x", "y", "fare", "hour")
+
+    def test_order_is_deterministic(self):
+        filters = FilterSet([Filter("b", ">", 0), Filter("a", ">", 0)])
+        cols = SpatialAggregationEngine.required_columns(Sum("c"), filters)
+        assert cols == ("x", "y", "a", "b", "c")
+
+
+class TestTimed:
+    def test_returns_result_and_elapsed(self):
+        out, secs = timed(sum, [1, 2, 3])
+        assert out == 6
+        assert secs >= 0.0
+
+
+class TestGridPipAggregate:
+    @pytest.fixture
+    def setup(self, three_regions, rng):
+        grid = GridIndex(three_regions, resolution=64)
+        xs = rng.uniform(0, 100, 5000)
+        ys = rng.uniform(0, 100, 5000)
+        return grid, xs, ys
+
+    def test_counts_match_brute_force(self, setup, three_regions):
+        grid, xs, ys = setup
+        acc = {"count": np.zeros(3)}
+        stats = ExecutionStats()
+        grid_pip_aggregate(xs, ys, {}, grid, three_regions, Count(), acc, stats)
+        expected = np.asarray(
+            [p.contains_points(xs, ys).sum() for p in three_regions], float
+        )
+        assert np.array_equal(acc["count"], expected)
+        assert stats.pip_tests > 0
+
+    def test_empty_input_noop(self, setup, three_regions):
+        grid, *_ = setup
+        acc = {"count": np.zeros(3)}
+        stats = ExecutionStats()
+        grid_pip_aggregate(
+            np.zeros(0), np.zeros(0), {}, grid, three_regions, Count(),
+            acc, stats,
+        )
+        assert acc["count"].sum() == 0
+        assert stats.pip_tests == 0
+
+    def test_points_outside_extent_skipped(self, setup, three_regions):
+        grid, *_ = setup
+        acc = {"count": np.zeros(3)}
+        stats = ExecutionStats()
+        xs = np.asarray([-500.0, 1e6])
+        ys = np.asarray([-500.0, 1e6])
+        grid_pip_aggregate(xs, ys, {}, grid, three_regions, Count(), acc, stats)
+        assert acc["count"].sum() == 0
+
+
+class TestExecuteValidation:
+    def test_missing_aggregate_column(self, uniform_points, three_regions):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            BoundedRasterJoin(resolution=64).execute(
+                uniform_points, three_regions, aggregate=Sum("nonexistent")
+            )
+
+    def test_missing_filter_column(self, uniform_points, three_regions):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            BoundedRasterJoin(resolution=64).execute(
+                uniform_points, three_regions,
+                filters=[Filter("nope", ">", 1)],
+            )
+
+    def test_filters_accept_plain_sequence(self, uniform_points, three_regions):
+        result = BoundedRasterJoin(resolution=64).execute(
+            uniform_points, three_regions, filters=[Filter("hour", ">=", 0)]
+        )
+        assert result.stats.points_filtered_out == 0

@@ -1,0 +1,78 @@
+"""Unit tests for filter constraints."""
+
+import numpy as np
+import pytest
+
+from repro.core.filters import MAX_CONSTRAINT_COLUMNS, Filter, FilterSet
+from repro.errors import FilterError
+
+
+class TestFilter:
+    def test_all_operators(self):
+        vals = np.asarray([1.0, 2.0, 3.0])
+        assert Filter("a", ">", 2).mask(vals).tolist() == [False, False, True]
+        assert Filter("a", ">=", 2).mask(vals).tolist() == [False, True, True]
+        assert Filter("a", "<", 2).mask(vals).tolist() == [True, False, False]
+        assert Filter("a", "<=", 2).mask(vals).tolist() == [True, True, False]
+        assert Filter("a", "=", 2).mask(vals).tolist() == [False, True, False]
+        assert Filter("a", "!=", 2).mask(vals).tolist() == [True, False, True]
+
+    def test_double_equals_alias(self):
+        assert Filter("a", "==", 2).mask(np.asarray([2.0]))[0]
+
+    def test_invalid_operator(self):
+        with pytest.raises(FilterError):
+            Filter("a", "~", 1)
+
+    def test_empty_column(self):
+        with pytest.raises(FilterError):
+            Filter("", ">", 1)
+
+    def test_str(self):
+        assert str(Filter("hour", ">=", 7)) == "hour >= 7"
+
+
+class TestFilterSet:
+    def test_conjunction(self):
+        fs = FilterSet([Filter("a", ">", 1), Filter("a", "<", 4)])
+        cols = {"a": np.asarray([0.0, 2.0, 3.0, 5.0])}
+        mask = fs.mask(cols.__getitem__, 4)
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_multi_column(self):
+        fs = FilterSet([Filter("a", ">", 0), Filter("b", "=", 1)])
+        cols = {
+            "a": np.asarray([1.0, 1.0]),
+            "b": np.asarray([0.0, 1.0]),
+        }
+        assert fs.mask(cols.__getitem__, 2).tolist() == [False, True]
+
+    def test_empty_passes_everything(self):
+        fs = FilterSet()
+        assert not fs
+        assert fs.mask(dict().__getitem__, 3).all()
+
+    def test_vertex_payload_limit(self):
+        """At most 5 distinct constrained columns, like the paper's VBO."""
+        ok = FilterSet([Filter(f"c{i}", ">", 0) for i in range(MAX_CONSTRAINT_COLUMNS)])
+        assert len(ok.columns) == 5
+        with pytest.raises(FilterError):
+            FilterSet([Filter(f"c{i}", ">", 0) for i in range(6)])
+
+    def test_repeated_column_counts_once(self):
+        fs = FilterSet(
+            [Filter("a", ">", 0), Filter("a", "<", 9)]
+            + [Filter(f"c{i}", ">", 0) for i in range(4)]
+        )
+        assert len(fs.columns) == 5  # a + c0..c3
+
+    def test_coerce(self):
+        fs = FilterSet.coerce(None)
+        assert len(fs) == 0
+        fs2 = FilterSet.coerce([Filter("a", ">", 1)])
+        assert len(fs2) == 1
+        assert FilterSet.coerce(fs2) is fs2
+
+    def test_str(self):
+        assert str(FilterSet()) == "TRUE"
+        assert "AND" in str(FilterSet([Filter("a", ">", 1), Filter("b", "<", 2)]))

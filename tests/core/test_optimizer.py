@@ -1,0 +1,62 @@
+"""Unit tests for the bounded-vs-accurate cost optimizer."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccurateRasterJoin,
+    BoundedRasterJoin,
+    RasterJoinOptimizer,
+)
+
+
+@pytest.fixture(scope="module")
+def optimizer() -> RasterJoinOptimizer:
+    opt = RasterJoinOptimizer()
+    opt.model  # force one calibration for the whole module
+    return opt
+
+
+class TestCostModel:
+    def test_calibration_positive(self, optimizer):
+        model = optimizer.model
+        assert model.per_point_render > 0
+        assert model.per_pixel_polygon_pass > 0
+        assert model.per_boundary_point > 0
+
+    def test_estimates_monotone_in_epsilon(
+        self, optimizer, uniform_points, three_regions
+    ):
+        """Shrinking epsilon must never make the bounded estimate cheaper."""
+        costs = [
+            optimizer.estimate(uniform_points, three_regions, eps)["bounded"]
+            for eps in (10.0, 1.0, 0.05, 0.005)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(costs, costs[1:]))
+
+    def test_accurate_estimate_independent_of_epsilon(
+        self, optimizer, uniform_points, three_regions
+    ):
+        a = optimizer.estimate(uniform_points, three_regions, 10.0)["accurate"]
+        b = optimizer.estimate(uniform_points, three_regions, 0.01)["accurate"]
+        assert a == b
+
+
+class TestChoice:
+    def test_coarse_epsilon_prefers_bounded(
+        self, optimizer, uniform_points, three_regions
+    ):
+        engine = optimizer.choose(uniform_points, three_regions, epsilon=5.0)
+        assert isinstance(engine, BoundedRasterJoin)
+
+    def test_tiny_epsilon_prefers_accurate(
+        self, optimizer, uniform_points, three_regions
+    ):
+        """The Figure 12(a) crossover: many tiles make bounded lose."""
+        engine = optimizer.choose(uniform_points, three_regions, epsilon=0.001)
+        assert isinstance(engine, AccurateRasterJoin)
+
+    def test_chosen_engine_runs(self, optimizer, uniform_points, three_regions):
+        engine = optimizer.choose(uniform_points, three_regions, epsilon=2.0)
+        result = engine.execute(uniform_points, three_regions)
+        assert len(result.values) == len(three_regions)

@@ -1,0 +1,76 @@
+"""Unit tests for result and statistics types."""
+
+import numpy as np
+import pytest
+
+from repro.types import AggregationResult, ExecutionStats, ResultIntervals
+
+
+class TestExecutionStats:
+    def test_query_time_excludes_preprocessing(self):
+        stats = ExecutionStats(
+            transfer_s=1.0, processing_s=2.0, io_s=0.5,
+            triangulation_s=10.0, index_build_s=5.0,
+        )
+        assert stats.query_s == 3.5
+        assert stats.total_s == 18.5
+
+    def test_merge_accumulates(self):
+        a = ExecutionStats(transfer_s=1.0, pip_tests=10, batches=2, passes=1)
+        b = ExecutionStats(transfer_s=0.5, pip_tests=5, batches=3, passes=2)
+        a.merge(b)
+        assert a.transfer_s == 1.5
+        assert a.pip_tests == 15
+        assert a.batches == 5
+        assert a.passes == 3
+
+    def test_defaults_are_zero(self):
+        stats = ExecutionStats(engine="x")
+        assert stats.query_s == 0.0
+        assert stats.extra == {}
+
+
+class TestResultIntervals:
+    def make(self):
+        return ResultIntervals(
+            loose_lo=np.asarray([0.0, 10.0]),
+            loose_hi=np.asarray([5.0, 20.0]),
+            expected_lo=np.asarray([1.0, 12.0]),
+            expected_hi=np.asarray([4.0, 18.0]),
+            expected_value=np.asarray([2.5, 15.0]),
+        )
+
+    def test_contains_inclusive(self):
+        iv = self.make()
+        assert iv.contains(np.asarray([0.0, 20.0])).all()
+        assert iv.contains(np.asarray([5.0, 10.0])).all()
+
+    def test_contains_rejects_outside(self):
+        iv = self.make()
+        out = iv.contains(np.asarray([6.0, 15.0]))
+        assert not out[0] and out[1]
+
+
+class TestAggregationResult:
+    def make(self, values):
+        return AggregationResult(
+            values=np.asarray(values, dtype=float),
+            channels={"count": np.asarray(values, dtype=float)},
+            stats=ExecutionStats(engine="t"),
+        )
+
+    def test_len(self):
+        assert len(self.make([1, 2, 3])) == 3
+
+    def test_max_abs_error(self):
+        a = self.make([10.0, 20.0])
+        b = self.make([12.0, 19.0])
+        assert a.max_abs_error(b) == 2.0
+
+    def test_percent_errors(self):
+        approx = self.make([110.0, 0.0, 5.0])
+        exact = self.make([100.0, 0.0, 0.0])
+        errors = approx.percent_errors(exact)
+        assert errors[0] == pytest.approx(10.0)
+        assert errors[1] == 0.0          # both zero: no error
+        assert np.isinf(errors[2])       # phantom mass where truth is zero

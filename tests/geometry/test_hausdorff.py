@@ -1,0 +1,75 @@
+"""Unit tests for Hausdorff distances."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.hausdorff import (
+    directed_hausdorff,
+    hausdorff_distance,
+    polyline_hausdorff,
+    sample_polyline,
+)
+
+
+class TestDirected:
+    def test_identical_sets(self):
+        pts = np.asarray([(0, 0), (1, 1), (2, 0)], float)
+        assert directed_hausdorff(pts, pts) == 0.0
+
+    def test_known_offset(self):
+        a = np.asarray([(0, 0)], float)
+        b = np.asarray([(3, 4)], float)
+        assert directed_hausdorff(a, b) == 5.0
+
+    def test_asymmetry(self):
+        a = np.asarray([(0, 0)], float)
+        b = np.asarray([(0, 0), (10, 0)], float)
+        assert directed_hausdorff(a, b) == 0.0
+        assert directed_hausdorff(b, a) == 10.0
+
+    def test_empty_a(self):
+        assert directed_hausdorff(np.zeros((0, 2)), np.asarray([(1, 1)])) == 0.0
+
+    def test_empty_b_infinite(self):
+        assert directed_hausdorff(np.asarray([(1.0, 1.0)]), np.zeros((0, 2))) == np.inf
+
+    def test_chunked_matches_direct(self, rng):
+        a = rng.uniform(0, 10, (3000, 2))
+        b = rng.uniform(0, 10, (50, 2))
+        d = np.hypot(a[:, None, 0] - b[None, :, 0], a[:, None, 1] - b[None, :, 1])
+        expected = d.min(axis=1).max()
+        assert abs(directed_hausdorff(a, b) - expected) < 1e-12
+
+
+class TestSymmetric:
+    def test_max_of_directions(self):
+        a = np.asarray([(0, 0)], float)
+        b = np.asarray([(0, 0), (10, 0)], float)
+        assert hausdorff_distance(a, b) == 10.0
+
+    def test_translation_scales(self):
+        a = np.asarray([(0, 0), (1, 0), (0, 1)], float)
+        b = a + np.asarray([2.0, 0.0])
+        assert abs(hausdorff_distance(a, b) - 2.0) < 1e-12
+
+
+class TestSampling:
+    def test_spacing_respected(self):
+        square = np.asarray([(0, 0), (10, 0), (10, 10), (0, 10)], float)
+        samples = sample_polyline(square, spacing=1.0)
+        assert len(samples) >= 40
+        # Consecutive samples along each edge are <= spacing apart.
+        diffs = np.hypot(*np.diff(samples, axis=0).T)
+        assert diffs.max() <= 1.0 + 1e-9
+
+    def test_open_polyline(self):
+        line = np.asarray([(0, 0), (10, 0)], float)
+        samples = sample_polyline(line, spacing=2.5, closed=False)
+        assert len(samples) == 4
+
+    def test_polyline_hausdorff_pixelation_bound(self):
+        """A ring snapped to a grid of side s stays within s*sqrt(2)/2-ish."""
+        square = np.asarray([(0.3, 0.3), (9.7, 0.3), (9.7, 9.7), (0.3, 9.7)], float)
+        snapped = np.round(square)  # snap vertices to integer lattice
+        d = polyline_hausdorff(square, snapped, spacing=0.05)
+        assert d <= np.hypot(0.3, 0.3) + 0.1

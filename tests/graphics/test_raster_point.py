@@ -1,0 +1,67 @@
+"""Unit tests for point rasterization (the DrawPoints pass)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BBox
+from repro.graphics.fbo import FrameBuffer
+from repro.graphics.raster_point import point_fragment_indices, rasterize_points
+from repro.graphics.viewport import Viewport
+
+VP = Viewport(BBox(0, 0, 10, 10), 10, 10)
+
+
+class TestRasterizePoints:
+    def test_counts_accumulate(self):
+        fbo = FrameBuffer.for_viewport(VP)
+        xs = np.asarray([0.5, 0.7, 0.9, 5.5])
+        ys = np.asarray([0.5, 0.7, 0.9, 5.5])
+        kept = rasterize_points(VP, fbo, xs, ys)
+        assert kept == 4
+        assert fbo.channel("count")[0, 0] == 3
+        assert fbo.channel("count")[5, 5] == 1
+
+    def test_clipping(self):
+        fbo = FrameBuffer.for_viewport(VP)
+        xs = np.asarray([-1.0, 5.0, 11.0])
+        ys = np.asarray([5.0, 5.0, 5.0])
+        kept = rasterize_points(VP, fbo, xs, ys)
+        assert kept == 1
+        assert fbo.total("count") == 1
+
+    def test_attribute_channels(self):
+        fbo = FrameBuffer(10, 10, channels=("count", "sum"))
+        xs = np.asarray([2.5, 2.5])
+        ys = np.asarray([3.5, 3.5])
+        rasterize_points(VP, fbo, xs, ys, {"count": 1.0, "sum": np.asarray([4.0, 6.0])})
+        assert fbo.channel("count")[3, 2] == 2
+        assert fbo.channel("sum")[3, 2] == 10.0
+
+    def test_values_clipped_with_points(self):
+        fbo = FrameBuffer(10, 10, channels=("sum",))
+        xs = np.asarray([-5.0, 1.5])
+        ys = np.asarray([1.5, 1.5])
+        rasterize_points(VP, fbo, xs, ys, {"sum": np.asarray([100.0, 7.0])})
+        assert fbo.total("sum") == 7.0
+
+    def test_empty_input(self):
+        fbo = FrameBuffer.for_viewport(VP)
+        assert rasterize_points(VP, fbo, np.zeros(0), np.zeros(0)) == 0
+
+    def test_total_preserved(self, rng):
+        """Every in-window point lands in exactly one pixel."""
+        fbo = FrameBuffer.for_viewport(VP)
+        xs = rng.uniform(0, 10, 10_000)
+        ys = rng.uniform(0, 10, 10_000)
+        kept = rasterize_points(VP, fbo, xs, ys)
+        assert kept == 10_000
+        assert fbo.total("count") == 10_000
+
+
+class TestFragmentIndices:
+    def test_matches_viewport_mapping(self, rng):
+        xs = rng.uniform(-2, 12, 500)
+        ys = rng.uniform(-2, 12, 500)
+        ix, iy, inside = point_fragment_indices(VP, xs, ys)
+        jx, jy, jin = VP.pixel_of(xs, ys)
+        assert np.array_equal(ix, jx) and np.array_equal(inside, jin)

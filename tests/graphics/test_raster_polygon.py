@@ -1,0 +1,97 @@
+"""Unit tests for the scanline polygon fast path."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BBox
+from repro.geometry.polygon import Polygon
+from repro.geometry.triangulate import triangulate_polygon
+from repro.graphics.raster_polygon import (
+    accumulate_polygon_sum,
+    scanline_polygon_pixels,
+)
+from repro.graphics.raster_triangle import covered_pixels
+from repro.graphics.viewport import Viewport
+from tests.conftest import random_star_polygon
+
+VP = Viewport(BBox(0, 0, 32, 32), 32, 32)
+
+
+def scan_set(viewport, poly):
+    xs, ys = scanline_polygon_pixels(viewport, poly.rings)
+    return set(zip(xs.tolist(), ys.tolist()))
+
+
+def triangle_union_set(viewport, poly):
+    out: set = set()
+    for tri in triangulate_polygon(poly):
+        xs, ys = covered_pixels(viewport, tri)
+        out |= set(zip(xs.tolist(), ys.tolist()))
+    return out
+
+
+class TestBasics:
+    def test_axis_aligned_square(self):
+        square = Polygon([(2, 2), (10, 2), (10, 10), (2, 10)])
+        assert scan_set(VP, square) == {
+            (i, j) for i in range(2, 10) for j in range(2, 10)
+        }
+
+    def test_hole_excluded(self, holed_polygon):
+        # Exterior [0,20]^2 covers centers i+0.5 in (0,20): 20x20 pixels;
+        # the hole [5,15]^2 removes centers in (5,15): 10x10 pixels.
+        got = scan_set(VP, holed_polygon)
+        assert (2, 2) in got
+        assert (10, 10) not in got
+        assert len(got) == 20 * 20 - 10 * 10
+
+    def test_offscreen_polygon(self):
+        poly = Polygon([(100, 100), (110, 100), (105, 110)])
+        assert scan_set(VP, poly) == set()
+
+    def test_subpixel_polygon(self):
+        poly = Polygon([(5.1, 5.1), (5.3, 5.1), (5.2, 5.3)])
+        assert len(scan_set(VP, poly)) <= 1
+
+
+class TestAgreementWithTrianglePath:
+    """The central equivalence: scanline == union of triangle coverage."""
+
+    def test_random_stars(self, rng):
+        for _ in range(60):
+            poly = random_star_polygon(
+                rng, center=(16, 16), radius_range=(3, 14),
+                vertices=int(rng.integers(5, 16)),
+            )
+            assert scan_set(VP, poly) == triangle_union_set(VP, poly)
+
+    def test_grid_aligned_squares(self):
+        for offset in (0.0, 0.25, 0.5, 0.75):
+            square = Polygon(
+                [
+                    (4 + offset, 4 + offset),
+                    (12 + offset, 4 + offset),
+                    (12 + offset, 12 + offset),
+                    (4 + offset, 12 + offset),
+                ]
+            )
+            assert scan_set(VP, square) == triangle_union_set(VP, square)
+
+    def test_holed_polygon(self, holed_polygon):
+        assert scan_set(VP, holed_polygon) == triangle_union_set(VP, holed_polygon)
+
+    def test_thin_sliver(self):
+        sliver = Polygon([(1, 1), (30, 1.2), (30, 1.4), (1, 1.6)])
+        assert scan_set(VP, sliver) == triangle_union_set(VP, sliver)
+
+
+class TestAccumulate:
+    def test_sum_matches_pixel_count(self):
+        channel = np.ones((32, 32), dtype=np.float32)
+        square = Polygon([(2, 2), (10, 2), (10, 10), (2, 10)])
+        assert accumulate_polygon_sum(VP, channel, square.rings) == 64.0
+
+    def test_empty(self):
+        channel = np.ones((32, 32), dtype=np.float32)
+        poly = Polygon([(100, 100), (110, 100), (105, 110)])
+        assert accumulate_polygon_sum(VP, channel, poly.rings) == 0.0

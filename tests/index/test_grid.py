@@ -1,0 +1,107 @@
+"""Unit tests for the uniform grid index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.bbox import BBox
+from repro.geometry.polygon import Polygon, PolygonSet, rectangle
+from repro.index.grid import GridIndex
+from tests.conftest import random_star_polygon
+
+
+@pytest.fixture
+def small_set() -> PolygonSet:
+    return PolygonSet(
+        [
+            rectangle(0, 0, 30, 30),
+            rectangle(20, 20, 60, 60),
+            Polygon([(70, 10), (95, 15), (85, 45)]),
+        ]
+    )
+
+
+class TestBuild:
+    def test_csr_structure_consistent(self, small_set):
+        grid = GridIndex(small_set, resolution=16)
+        assert grid.cell_start[0] == 0
+        assert grid.cell_start[-1] == len(grid.entries)
+        assert np.all(np.diff(grid.cell_start) >= 0)
+
+    def test_invalid_args(self, small_set):
+        with pytest.raises(GeometryError):
+            GridIndex(small_set, resolution=0)
+        with pytest.raises(GeometryError):
+            GridIndex(small_set, assignment="fancy")
+
+    def test_exact_assignment_subset_of_mbr(self, rng):
+        """Exact cell lists are never larger than MBR cell lists."""
+        polys = PolygonSet(
+            [random_star_polygon(rng, center=(50, 50), radius_range=(10, 40))
+             for _ in range(5)]
+        )
+        extent = BBox(0, 0, 100, 100)
+        mbr = GridIndex(polys, resolution=32, assignment="mbr", extent=extent)
+        exact = GridIndex(polys, resolution=32, assignment="exact", extent=extent)
+        assert exact.num_entries <= mbr.num_entries
+        # Per cell: exact candidates ⊆ mbr candidates.
+        for cell in range(32 * 32):
+            e = set(exact.candidates_of_cell(cell).tolist())
+            m = set(mbr.candidates_of_cell(cell).tolist())
+            assert e <= m
+
+    def test_build_seconds_recorded(self, small_set):
+        grid = GridIndex(small_set, resolution=8)
+        assert grid.build_seconds >= 0.0
+
+
+class TestProbe:
+    def test_candidates_are_superset_of_truth(self, rng, small_set):
+        """No containing polygon may ever be missed by the index."""
+        grid = GridIndex(small_set, resolution=64)
+        xs = rng.uniform(0, 100, 3000)
+        ys = rng.uniform(0, 100, 3000)
+        for x, y in zip(xs[:300], ys[:300]):
+            candidates = set(grid.candidates_of_point(x, y).tolist())
+            for pid, poly in enumerate(small_set):
+                if poly.contains(x, y):
+                    assert pid in candidates
+
+    def test_point_outside_extent(self, small_set):
+        grid = GridIndex(small_set, resolution=8)
+        assert len(grid.candidates_of_point(-100, -100)) == 0
+        cells = grid.cell_of_points(np.asarray([-100.0]), np.asarray([5.0]))
+        assert cells[0] == -1
+
+    def test_max_edge_points_have_cells(self, small_set):
+        """Points exactly on the polygon-set max edges must map to a cell
+        (the build pads the extent for this)."""
+        grid = GridIndex(small_set, resolution=8)
+        box = small_set.bbox
+        cells = grid.cell_of_points(
+            np.asarray([box.xmax]), np.asarray([box.ymax])
+        )
+        assert cells[0] >= 0
+
+    def test_vectorized_cells_match_scalar(self, rng, small_set):
+        grid = GridIndex(small_set, resolution=16)
+        xs = rng.uniform(0, 100, 200)
+        ys = rng.uniform(0, 100, 200)
+        cells = grid.cell_of_points(xs, ys)
+        for i in range(200):
+            single = grid.cell_of_points(xs[i:i + 1], ys[i:i + 1])[0]
+            assert cells[i] == single
+
+
+class TestOccupancy:
+    def test_occupancy_sums_to_entries(self, small_set):
+        grid = GridIndex(small_set, resolution=16)
+        assert grid.cell_occupancy().sum() == grid.num_entries
+
+    def test_memory_bytes_positive(self, small_set):
+        assert GridIndex(small_set, resolution=8).memory_bytes > 0
+
+    def test_higher_resolution_mbr_entry_growth(self, small_set):
+        low = GridIndex(small_set, resolution=8)
+        high = GridIndex(small_set, resolution=64)
+        assert high.num_entries > low.num_entries

@@ -1,0 +1,67 @@
+"""Unit tests for the point quadtree."""
+
+import numpy as np
+import pytest
+
+from repro.index.quadtree import PointQuadtree
+
+
+class TestBuild:
+    def test_order_is_permutation(self, rng):
+        xs = rng.uniform(0, 100, 5000)
+        ys = rng.uniform(0, 100, 5000)
+        tree = PointQuadtree(xs, ys, leaf_capacity=64)
+        assert sorted(tree.order.tolist()) == list(range(5000))
+
+    def test_leaves_partition_points(self, rng):
+        xs = rng.uniform(0, 100, 2000)
+        ys = rng.uniform(0, 100, 2000)
+        tree = PointQuadtree(xs, ys, leaf_capacity=100)
+        seen = np.zeros(2000, dtype=int)
+        for leaf in tree.leaves():
+            ids = tree.leaf_point_ids(leaf)
+            seen[ids] += 1
+        assert np.all(seen == 1)
+
+    def test_leaf_capacity_respected(self, rng):
+        xs = rng.uniform(0, 100, 3000)
+        ys = rng.uniform(0, 100, 3000)
+        tree = PointQuadtree(xs, ys, leaf_capacity=50, max_depth=20)
+        for leaf in tree.leaves():
+            assert leaf.count <= 50
+
+    def test_points_inside_leaf_bbox(self, rng):
+        xs = rng.uniform(0, 100, 1000)
+        ys = rng.uniform(0, 100, 1000)
+        tree = PointQuadtree(xs, ys, leaf_capacity=32)
+        for leaf in tree.leaves():
+            ids = tree.leaf_point_ids(leaf)
+            box = leaf.bbox
+            assert np.all(xs[ids] >= box.xmin - 1e-9)
+            assert np.all(xs[ids] <= box.xmax + 1e-9)
+            assert np.all(ys[ids] >= box.ymin - 1e-9)
+            assert np.all(ys[ids] <= box.ymax + 1e-9)
+
+    def test_max_depth_stops_splitting(self):
+        # All points identical: splitting can never succeed; max_depth
+        # must terminate the recursion.
+        xs = np.full(500, 5.0)
+        ys = np.full(500, 5.0)
+        tree = PointQuadtree(xs, ys, leaf_capacity=10, max_depth=6)
+        assert tree.num_leaves() >= 1
+
+    def test_skewed_data_more_leaves_in_dense_area(self, rng):
+        dense = rng.normal(20, 1, (5000, 2))
+        sparse = rng.uniform(0, 100, (100, 2))
+        pts = np.concatenate([dense, sparse])
+        tree = PointQuadtree(pts[:, 0], pts[:, 1], leaf_capacity=128)
+        dense_leaves = sum(
+            1 for leaf in tree.leaves()
+            if leaf.bbox.xmax < 50 and leaf.bbox.ymax < 50
+        )
+        assert dense_leaves > tree.num_leaves() / 2
+
+    def test_empty_input(self):
+        tree = PointQuadtree(np.zeros(0), np.zeros(0))
+        assert tree.num_leaves() == 1
+        assert tree.root.count == 0

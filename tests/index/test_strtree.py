@@ -1,0 +1,67 @@
+"""Unit tests for the STR-packed R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BBox
+from repro.geometry.polygon import PolygonSet, rectangle
+from repro.index.strtree import STRTree
+
+
+@pytest.fixture
+def grid_of_boxes() -> PolygonSet:
+    polys = [
+        rectangle(10 * i, 10 * j, 10 * i + 8, 10 * j + 8)
+        for i in range(10)
+        for j in range(10)
+    ]
+    return PolygonSet(polys)
+
+
+class TestBuild:
+    def test_root_covers_everything(self, grid_of_boxes):
+        tree = STRTree(grid_of_boxes)
+        for poly in grid_of_boxes:
+            assert tree.root.bbox.contains_bbox(poly.bbox)
+
+    def test_depth_grows_with_size(self, grid_of_boxes):
+        small = STRTree(PolygonSet(list(grid_of_boxes)[:4]), leaf_capacity=4)
+        big = STRTree(grid_of_boxes, leaf_capacity=4, fanout=4)
+        assert big.depth() > small.depth()
+
+    def test_single_polygon(self):
+        tree = STRTree(PolygonSet([rectangle(0, 0, 1, 1)]))
+        assert tree.depth() == 1
+        assert tree.candidates_of_point(0.5, 0.5).tolist() == [0]
+
+
+class TestQueries:
+    def test_point_query_matches_brute_force(self, grid_of_boxes, rng):
+        tree = STRTree(grid_of_boxes, leaf_capacity=8)
+        for _ in range(300):
+            x, y = rng.uniform(0, 100, 2)
+            got = set(tree.candidates_of_point(x, y).tolist())
+            expected = {
+                pid
+                for pid, poly in enumerate(grid_of_boxes)
+                if poly.bbox.xmin <= x <= poly.bbox.xmax
+                and poly.bbox.ymin <= y <= poly.bbox.ymax
+            }
+            assert got == expected
+
+    def test_bbox_query_matches_brute_force(self, grid_of_boxes, rng):
+        tree = STRTree(grid_of_boxes, leaf_capacity=8)
+        for _ in range(100):
+            x0, y0 = rng.uniform(0, 80, 2)
+            query = BBox(x0, y0, x0 + 15, y0 + 15)
+            got = set(tree.query_bbox(query).tolist())
+            expected = {
+                pid
+                for pid, poly in enumerate(grid_of_boxes)
+                if poly.bbox.intersects(query)
+            }
+            assert got == expected
+
+    def test_miss_returns_empty(self, grid_of_boxes):
+        tree = STRTree(grid_of_boxes)
+        assert len(tree.candidates_of_point(-5, -5)) == 0

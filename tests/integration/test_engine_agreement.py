@@ -1,0 +1,128 @@
+"""Cross-engine integration tests on realistic synthetic workloads.
+
+Every exact engine must agree bit-for-bit; the bounded engine must approach
+them as resolution grows.  These tests run the full taxi-over-neighborhoods
+pipeline end to end, which is the paper's headline experiment in miniature.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccurateRasterJoin,
+    Average,
+    BoundedRasterJoin,
+    Count,
+    Filter,
+    IndexJoin,
+    MaterializingJoin,
+    Sum,
+)
+from repro.data import generate_taxi, generate_voronoi_regions
+from repro.geometry.bbox import BBox
+from tests.conftest import brute_force_counts
+
+
+@pytest.fixture(scope="module")
+def taxi():
+    return generate_taxi(40_000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def hoods():
+    from repro.data.regions import NYC_REGION_EXTENT
+
+    return generate_voronoi_regions(24, NYC_REGION_EXTENT, seed=11)
+
+
+@pytest.fixture(scope="module")
+def exact_counts(taxi, hoods):
+    return brute_force_counts(taxi, hoods)
+
+
+EXACT_ENGINES = [
+    AccurateRasterJoin(resolution=512),
+    IndexJoin(mode="gpu", grid_resolution=256),
+    MaterializingJoin(truncate_bits=None),
+]
+
+
+class TestExactEnginesAgree:
+    @pytest.mark.parametrize("engine", EXACT_ENGINES, ids=lambda e: e.name)
+    def test_counts(self, engine, taxi, hoods, exact_counts):
+        result = engine.execute(taxi, hoods)
+        assert np.array_equal(result.values, exact_counts)
+
+    def test_sum_agreement(self, taxi, hoods):
+        results = [
+            engine.execute(taxi, hoods, aggregate=Sum("fare")).values
+            for engine in EXACT_ENGINES
+        ]
+        for other in results[1:]:
+            assert np.allclose(results[0], other, rtol=1e-9)
+
+    def test_filtered_agreement(self, taxi, hoods):
+        filters = [Filter("hour", ">=", 17), Filter("passengers", "<=", 2)]
+        results = [
+            engine.execute(taxi, hoods, filters=filters).values
+            for engine in EXACT_ENGINES
+        ]
+        for other in results[1:]:
+            assert np.array_equal(results[0], other)
+
+    def test_cpu_modes_agree_with_gpu(self, taxi, hoods, exact_counts):
+        small = taxi.head(3000)
+        expected = brute_force_counts(small, hoods)
+        for mode in ("cpu", "multicore"):
+            result = IndexJoin(mode=mode, grid_resolution=128, workers=2).execute(
+                small, hoods
+            )
+            assert np.array_equal(result.values, expected)
+
+
+class TestBoundedConvergence:
+    def test_monotone_error_decay(self, taxi, hoods, exact_counts):
+        """Median relative error decreases as epsilon shrinks (Fig 12b)."""
+        nonzero = exact_counts > 0
+        medians = []
+        for eps in (2000.0, 500.0, 125.0):
+            approx = BoundedRasterJoin(epsilon=eps).execute(taxi, hoods)
+            rel = (
+                np.abs(approx.values[nonzero] - exact_counts[nonzero])
+                / exact_counts[nonzero]
+            )
+            medians.append(float(np.median(rel)))
+        assert medians[0] >= medians[1] >= medians[2]
+
+    def test_default_epsilon_error_small(self, taxi, hoods, exact_counts):
+        """At the paper's default 10 m bound on NYC-scale data, the median
+        error is a fraction of a percent (paper reports ~0.15%)."""
+        approx = BoundedRasterJoin(epsilon=10.0).execute(taxi, hoods)
+        nonzero = exact_counts > 0
+        rel = (
+            np.abs(approx.values[nonzero] - exact_counts[nonzero])
+            / exact_counts[nonzero]
+        )
+        assert np.median(rel) < 0.01
+
+    def test_average_aggregate_close(self, taxi, hoods):
+        accurate = AccurateRasterJoin(resolution=512).execute(
+            taxi, hoods, aggregate=Average("fare")
+        )
+        bounded = BoundedRasterJoin(epsilon=50.0).execute(
+            taxi, hoods, aggregate=Average("fare")
+        )
+        both = np.isfinite(accurate.values) & np.isfinite(bounded.values)
+        assert np.abs(accurate.values[both] - bounded.values[both]).max() < 0.5
+
+
+class TestVisualizationQuality:
+    def test_jnd_indistinguishable_at_20m(self, taxi, hoods, exact_counts):
+        """The Figure 6 claim: at epsilon = 20 m the approximate heat map
+        is perceptually identical to the accurate one."""
+        from repro.viz import jnd_report
+
+        approx = BoundedRasterJoin(epsilon=20.0).execute(taxi, hoods)
+        report = jnd_report(approx.values, exact_counts)
+        assert report.indistinguishable
+        assert report.max_difference < 0.01

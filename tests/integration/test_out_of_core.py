@@ -1,0 +1,87 @@
+"""Integration tests for out-of-core and disk-resident execution."""
+
+import numpy as np
+import pytest
+
+from repro import AccurateRasterJoin, BoundedRasterJoin, GPUDevice, IndexJoin
+from repro.data import ColumnStore, generate_taxi, generate_voronoi_regions
+from repro.data.regions import NYC_REGION_EXTENT
+from tests.conftest import brute_force_counts
+
+
+@pytest.fixture(scope="module")
+def taxi():
+    return generate_taxi(30_000, seed=21)
+
+
+@pytest.fixture(scope="module")
+def hoods():
+    return generate_voronoi_regions(16, NYC_REGION_EXTENT, seed=21)
+
+
+class TestBatchInvariance:
+    """Result must not depend on how the points were batched."""
+
+    def test_bounded_any_capacity(self, taxi, hoods):
+        reference = BoundedRasterJoin(resolution=256).execute(taxi, hoods)
+        for capacity in (350_000, 500_000, 900_000):
+            device = GPUDevice(capacity_bytes=capacity, max_resolution=256)
+            result = BoundedRasterJoin(resolution=256, device=device).execute(
+                taxi, hoods
+            )
+            assert np.array_equal(result.values, reference.values), capacity
+
+    def test_accurate_any_capacity(self, taxi, hoods):
+        exact = brute_force_counts(taxi, hoods)
+        for capacity in (800_000, 1_500_000):
+            device = GPUDevice(capacity_bytes=capacity, max_resolution=256)
+            result = AccurateRasterJoin(resolution=256, device=device).execute(
+                taxi, hoods
+            )
+            assert np.array_equal(result.values, exact), capacity
+
+    def test_index_join_any_capacity(self, taxi, hoods):
+        exact = brute_force_counts(taxi, hoods)
+        device = GPUDevice(capacity_bytes=250_000)
+        result = IndexJoin(mode="gpu", device=device).execute(taxi, hoods)
+        assert result.stats.batches > 1
+        assert np.array_equal(result.values, exact)
+
+    def test_transfer_time_grows_with_batches(self, taxi, hoods):
+        lean = GPUDevice(capacity_bytes=4_000_000, max_resolution=128)
+        tight = GPUDevice(capacity_bytes=350_000, max_resolution=128)
+        fast = BoundedRasterJoin(resolution=128, device=lean).execute(taxi, hoods)
+        slow = BoundedRasterJoin(resolution=128, device=tight).execute(taxi, hoods)
+        assert slow.stats.batches > fast.stats.batches
+        assert slow.stats.bytes_transferred == fast.stats.bytes_transferred
+
+
+class TestDiskResident:
+    def test_store_scan_join_equals_in_memory(self, tmp_path, taxi, hoods):
+        """The Figure 13 pipeline: scan chunks from disk, join per chunk,
+        merge — must equal the all-in-memory result exactly."""
+        store = ColumnStore.write(tmp_path / "taxi", taxi)
+        engine = AccurateRasterJoin(resolution=256)
+        merged = None
+        io_total = 0.0
+        for chunk, read_s in store.scan(rows_per_chunk=7_000):
+            partial = engine.execute(chunk, hoods)
+            merged = (
+                partial.values if merged is None else merged + partial.values
+            )
+            io_total += read_s
+        exact = brute_force_counts(taxi, hoods)
+        assert np.array_equal(merged, exact)
+        assert io_total >= 0.0
+
+    def test_chunk_size_invariance(self, tmp_path, taxi, hoods):
+        store = ColumnStore.write(tmp_path / "taxi", taxi)
+        results = []
+        for rows in (5_000, 12_000):
+            total = np.zeros(len(hoods))
+            for chunk, _ in store.scan(rows_per_chunk=rows):
+                total += BoundedRasterJoin(resolution=128).execute(
+                    chunk, hoods
+                ).values
+            results.append(total)
+        assert np.array_equal(results[0], results[1])

@@ -1,0 +1,109 @@
+"""Integration tests for streamed (disk-resident style) execution."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccurateRasterJoin,
+    Average,
+    BoundedRasterJoin,
+    Filter,
+    GPUDevice,
+    IndexJoin,
+    Sum,
+)
+from repro.errors import QueryError
+from tests.conftest import brute_force_counts
+
+
+def chunk_source_of(points, rows):
+    def chunks():
+        return points.batches(rows)
+
+    return chunks
+
+
+class TestStreamedEqualsMonolithic:
+    def test_bounded_shared_polygon_pass(self, uniform_points, three_regions):
+        whole = BoundedRasterJoin(resolution=512).execute(
+            uniform_points, three_regions
+        )
+        streamed = BoundedRasterJoin(resolution=512).execute_stream(
+            chunk_source_of(uniform_points, 3_000), three_regions
+        )
+        assert np.array_equal(streamed.values, whole.values)
+        # The polygon pass ran once, not once per chunk.
+        assert streamed.stats.passes == whole.stats.passes
+
+    def test_bounded_streamed_with_tiling(self, uniform_points, three_regions):
+        whole = BoundedRasterJoin(resolution=512).execute(
+            uniform_points, three_regions
+        )
+        streamed = BoundedRasterJoin(
+            resolution=512, device=GPUDevice(max_resolution=150)
+        ).execute_stream(
+            chunk_source_of(uniform_points, 5_000), three_regions
+        )
+        assert streamed.stats.extra["tiles"] > 1
+        assert np.array_equal(streamed.values, whole.values)
+
+    def test_bounded_streamed_filters_and_attributes(
+        self, uniform_points, three_regions
+    ):
+        filters = [Filter("hour", ">=", 12)]
+        whole = BoundedRasterJoin(resolution=512).execute(
+            uniform_points, three_regions,
+            aggregate=Sum("fare"), filters=filters,
+        )
+        streamed = BoundedRasterJoin(resolution=512).execute_stream(
+            chunk_source_of(uniform_points, 4_000), three_regions,
+            aggregate=Sum("fare"), filters=filters,
+        )
+        assert np.allclose(streamed.values, whole.values, rtol=1e-6)
+
+    def test_generic_stream_index_join_exact(
+        self, uniform_points, three_regions
+    ):
+        exact = brute_force_counts(uniform_points, three_regions)
+        streamed = IndexJoin(mode="gpu").execute_stream(
+            chunk_source_of(uniform_points, 3_000), three_regions
+        )
+        assert np.array_equal(streamed.values, exact)
+
+    def test_generic_stream_accurate_exact(self, uniform_points, three_regions):
+        exact = brute_force_counts(uniform_points, three_regions)
+        streamed = AccurateRasterJoin(resolution=256).execute_stream(
+            chunk_source_of(uniform_points, 7_000), three_regions
+        )
+        assert np.array_equal(streamed.values, exact)
+
+    def test_generic_stream_average(self, uniform_points, three_regions):
+        """Algebraic aggregates merge correctly across chunks because the
+        *channels* (sum, count) are combined, not the finalized values."""
+        whole = AccurateRasterJoin(resolution=256).execute(
+            uniform_points, three_regions, aggregate=Average("fare")
+        )
+        streamed = AccurateRasterJoin(resolution=256).execute_stream(
+            chunk_source_of(uniform_points, 3_000), three_regions,
+            aggregate=Average("fare"),
+        )
+        assert np.allclose(streamed.values, whole.values, rtol=1e-9)
+
+    def test_empty_source_raises(self, three_regions):
+        with pytest.raises(QueryError):
+            BoundedRasterJoin(resolution=128).execute_stream(
+                lambda: iter(()), three_regions
+            )
+        with pytest.raises(QueryError):
+            IndexJoin(mode="gpu").execute_stream(
+                lambda: iter(()), three_regions
+            )
+
+    def test_chunk_size_invariance(self, uniform_points, three_regions):
+        results = [
+            BoundedRasterJoin(resolution=256).execute_stream(
+                chunk_source_of(uniform_points, rows), three_regions
+            ).values
+            for rows in (1_000, 20_000)
+        ]
+        assert np.array_equal(results[0], results[1])

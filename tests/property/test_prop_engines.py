@@ -1,0 +1,113 @@
+"""Hypothesis property tests for the join engines.
+
+Engine-level invariants on random workloads: the accurate engine equals
+brute force, the bounded engine's loose intervals contain the truth, and
+batching/tiling never change answers.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AccurateRasterJoin,
+    BoundedRasterJoin,
+    GPUDevice,
+    IndexJoin,
+    PointDataset,
+    PolygonSet,
+)
+from tests.property.test_prop_geometry import star_polygons
+
+
+@st.composite
+def workloads(draw):
+    """A small random workload: points + 1-3 random simple polygons."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    n_points = draw(st.integers(100, 3000))
+    n_polys = draw(st.integers(1, 3))
+    rng = np.random.default_rng(seed)
+    points = PointDataset(
+        rng.uniform(0, 100, n_points), rng.uniform(0, 100, n_points)
+    )
+    centers = [(30, 30), (70, 60), (40, 75)]
+    polys = []
+    for k in range(n_polys):
+        polys.append(
+            draw(star_polygons(center=centers[k], max_radius=25.0))
+        )
+    return points, PolygonSet(polys)
+
+
+def brute(points, polygons):
+    return np.asarray(
+        [
+            float(np.count_nonzero(p.contains_points(points.xs, points.ys)))
+            for p in polygons
+        ]
+    )
+
+
+@given(workloads())
+@settings(max_examples=25, deadline=None)
+def test_accurate_equals_brute_force(workload):
+    points, polygons = workload
+    result = AccurateRasterJoin(resolution=128).execute(points, polygons)
+    assert np.array_equal(result.values, brute(points, polygons))
+
+
+@given(workloads())
+@settings(max_examples=25, deadline=None)
+def test_index_join_equals_brute_force(workload):
+    points, polygons = workload
+    result = IndexJoin(mode="gpu", grid_resolution=64).execute(points, polygons)
+    assert np.array_equal(result.values, brute(points, polygons))
+
+
+@given(workloads())
+@settings(max_examples=20, deadline=None)
+def test_bounded_loose_interval_contains_truth(workload):
+    points, polygons = workload
+    result = BoundedRasterJoin(resolution=96, compute_bounds=True).execute(
+        points, polygons
+    )
+    assert result.intervals.contains(brute(points, polygons)).all()
+
+
+@given(workloads(), st.integers(30_000, 200_000))
+@settings(max_examples=15, deadline=None)
+def test_batching_is_result_invariant(workload, capacity):
+    points, polygons = workload
+    reference = BoundedRasterJoin(resolution=64).execute(points, polygons)
+    device = GPUDevice(capacity_bytes=capacity, max_resolution=64)
+    batched = BoundedRasterJoin(resolution=64, device=device).execute(
+        points, polygons
+    )
+    assert np.array_equal(batched.values, reference.values)
+
+
+@given(workloads(), st.sampled_from([16, 32, 48]))
+@settings(max_examples=15, deadline=None)
+def test_tiling_is_result_invariant(workload, max_res):
+    points, polygons = workload
+    reference = BoundedRasterJoin(resolution=96).execute(points, polygons)
+    tiled = BoundedRasterJoin(
+        resolution=96, device=GPUDevice(max_resolution=max_res)
+    ).execute(points, polygons)
+    assert np.array_equal(tiled.values, reference.values)
+
+
+@given(workloads())
+@settings(max_examples=15, deadline=None)
+def test_bounded_error_bounded_by_boundary_mass(workload):
+    """Every bounded-join error is attributable to boundary pixels: the
+    absolute error never exceeds the loose interval half-width."""
+    points, polygons = workload
+    result = BoundedRasterJoin(resolution=64, compute_bounds=True).execute(
+        points, polygons
+    )
+    exact = brute(points, polygons)
+    err = np.abs(result.values - exact)
+    width_lo = result.values - result.intervals.loose_lo
+    width_hi = result.intervals.loose_hi - result.values
+    assert np.all(err <= np.maximum(width_lo, width_hi) + 1e-9)

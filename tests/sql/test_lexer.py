@@ -1,0 +1,59 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text) if t.kind != "EOF"]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where")[0] == ("KEYWORD", "SELECT")
+        assert kinds("select FROM Where")[1] == ("KEYWORD", "FROM")
+
+    def test_identifiers_preserve_case(self):
+        assert kinds("taxiTrips")[0] == ("IDENT", "taxiTrips")
+
+    def test_numbers(self):
+        assert kinds("42")[0] == ("NUMBER", "42")
+        assert kinds("3.14")[0] == ("NUMBER", "3.14")
+        assert kinds("1e-3")[0] == ("NUMBER", "1e-3")
+        assert kinds("-7")[0] == ("NUMBER", "-7")
+
+    def test_operators(self):
+        assert kinds("a >= 1")[1] == ("OP", ">=")
+        assert kinds("a <> 1")[1] == ("OP", "!=")
+        assert kinds("a != 1")[1] == ("OP", "!=")
+        assert kinds("a = 1")[1] == ("OP", "=")
+
+    def test_punctuation(self):
+        got = kinds("COUNT(*)")
+        assert got == [("KEYWORD", "COUNT"), ("PUNCT", "("), ("PUNCT", "*"),
+                       ("PUNCT", ")")]
+
+    def test_qualified_name(self):
+        got = kinds("taxi.fare")
+        assert got == [("IDENT", "taxi"), ("PUNCT", "."), ("IDENT", "fare")]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_eof_sentinel(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_bad_character(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT @")
+
+    def test_bad_number(self):
+        with pytest.raises(SqlError):
+            tokenize("1.2.3")
+
+    def test_whitespace_insensitive(self):
+        assert kinds("a   >\n 1") == kinds("a > 1")

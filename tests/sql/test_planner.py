@@ -1,0 +1,117 @@
+"""Unit tests for the SQL planner and catalog."""
+
+import numpy as np
+import pytest
+
+from repro import AccurateRasterJoin, BoundedRasterJoin
+from repro.errors import SqlError
+from repro.sql.planner import QueryPlanner
+from tests.conftest import brute_force_counts, brute_force_sums
+
+
+@pytest.fixture
+def planner(uniform_points, three_regions):
+    p = QueryPlanner()
+    p.register_points("taxi", uniform_points)
+    p.register_regions("hoods", three_regions)
+    return p
+
+
+class TestCatalog:
+    def test_name_collision(self, planner, uniform_points, three_regions):
+        with pytest.raises(SqlError):
+            planner.register_regions("taxi", three_regions)
+        with pytest.raises(SqlError):
+            planner.register_points("hoods", uniform_points)
+
+    def test_unknown_tables(self, planner):
+        with pytest.raises(SqlError):
+            planner.execute(
+                "SELECT COUNT(*) FROM nope, hoods "
+                "WHERE nope.loc INSIDE hoods.geometry GROUP BY hoods.id"
+            )
+
+    def test_from_order_insensitive(self, planner, uniform_points, three_regions):
+        exact = brute_force_counts(uniform_points, three_regions)
+        result = planner.execute(
+            "SELECT COUNT(*) FROM hoods, taxi "
+            "WHERE taxi.loc INSIDE hoods.geometry GROUP BY hoods.id"
+        )
+        assert np.array_equal(result.values, exact)
+
+
+class TestLowering:
+    def test_default_engine_accurate(self, planner):
+        engine, *_ = planner.plan(
+            "SELECT COUNT(*) FROM taxi, hoods "
+            "WHERE taxi.loc INSIDE hoods.geometry GROUP BY hoods.id"
+        )
+        assert isinstance(engine, AccurateRasterJoin)
+
+    def test_within_selects_bounded(self, planner):
+        engine, *_ = planner.plan(
+            "SELECT COUNT(*) FROM taxi, hoods "
+            "WHERE taxi.loc INSIDE hoods.geometry WITHIN 2.0 "
+            "GROUP BY hoods.id"
+        )
+        assert isinstance(engine, BoundedRasterJoin)
+        assert engine.epsilon == 2.0
+
+    def test_unknown_aggregate_column(self, planner):
+        with pytest.raises(Exception):
+            planner.execute(
+                "SELECT SUM(bogus) FROM taxi, hoods "
+                "WHERE taxi.loc INSIDE hoods.geometry GROUP BY hoods.id"
+            )
+
+    def test_aggregate_from_region_table_rejected(self, planner):
+        with pytest.raises(SqlError):
+            planner.plan(
+                "SELECT SUM(hoods.fare) FROM taxi, hoods "
+                "WHERE taxi.loc INSIDE hoods.geometry GROUP BY hoods.id"
+            )
+
+    def test_group_by_validated(self, planner):
+        with pytest.raises(SqlError):
+            planner.plan(
+                "SELECT COUNT(*) FROM taxi, hoods "
+                "WHERE taxi.loc INSIDE hoods.geometry GROUP BY taxi.id"
+            )
+        with pytest.raises(SqlError):
+            planner.plan(
+                "SELECT COUNT(*) FROM taxi, hoods "
+                "WHERE taxi.loc INSIDE hoods.geometry GROUP BY hoods.shape"
+            )
+
+
+class TestExecution:
+    def test_count_matches_brute_force(
+        self, planner, uniform_points, three_regions
+    ):
+        exact = brute_force_counts(uniform_points, three_regions)
+        result = planner.execute(
+            "SELECT COUNT(*) FROM taxi, hoods "
+            "WHERE taxi.loc INSIDE hoods.geometry GROUP BY hoods.id"
+        )
+        assert np.array_equal(result.values, exact)
+
+    def test_filtered_sum(self, planner, uniform_points, three_regions):
+        mask = uniform_points.column("hour") >= 12
+        subset = uniform_points.take(np.flatnonzero(mask))
+        exact = brute_force_sums(subset, three_regions, "fare")
+        result = planner.execute(
+            "SELECT SUM(taxi.fare) FROM taxi, hoods "
+            "WHERE taxi.loc INSIDE hoods.geometry AND hour >= 12 "
+            "GROUP BY hoods.id"
+        )
+        assert np.allclose(result.values, exact, rtol=1e-9)
+
+    def test_bounded_within_close(self, planner, uniform_points, three_regions):
+        exact = brute_force_counts(uniform_points, three_regions)
+        result = planner.execute(
+            "SELECT COUNT(*) FROM taxi, hoods "
+            "WHERE taxi.loc INSIDE hoods.geometry WITHIN 0.2 "
+            "GROUP BY hoods.id"
+        )
+        rel = np.abs(result.values - exact) / exact
+        assert rel.max() < 0.02
