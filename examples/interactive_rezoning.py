@@ -9,7 +9,11 @@ coverage after every change:
    polygon set, so nothing can be precomputed, exactly the dynamic
    setting that defeats data-cube approaches;
 3. place service facilities and compute their coverage via a restricted
-   Voronoi diagram, aggregating taxi demand per facility.
+   Voronoi diagram, aggregating taxi demand per facility;
+4. flip back and forth between competing proposals (the undo/redo loop)
+   with a :class:`QuerySession`, so revisiting a zoning — or running a
+   different aggregate over it — reuses its triangulations, grid index,
+   boundary masks, and coverage instead of rebuilding them.
 
 Run:  python examples/interactive_rezoning.py
 """
@@ -18,7 +22,7 @@ import time
 
 import numpy as np
 
-from repro import BoundedRasterJoin, Sum
+from repro import AccurateRasterJoin, BoundedRasterJoin, Count, QuerySession, Sum
 from repro.data import generate_taxi, generate_voronoi_regions
 from repro.data.regions import NYC_REGION_EXTENT
 from repro.geometry.bbox import BBox
@@ -88,11 +92,42 @@ def _voronoi_cells(fx, fy, extent: BBox):
     return PolygonSet([Polygon(c) for c in cells])
 
 
+def proposal_comparison(taxi) -> None:
+    """The undo/redo loop: the planner keeps flipping between proposal A
+    and proposal B, and also asks different questions about the same
+    zoning.  With a QuerySession every revisit is a prepared-state hit —
+    only the point rendering runs."""
+    print("\n-- Proposal comparison with a QuerySession --")
+    session = QuerySession()
+    engine = AccurateRasterJoin(resolution=1024, session=session)
+    proposals = {
+        "A": generate_voronoi_regions(18, NYC_REGION_EXTENT, seed=100),
+        "B": generate_voronoi_regions(18, NYC_REGION_EXTENT, seed=101),
+    }
+    schedule = [
+        ("A", Sum("fare")), ("B", Sum("fare")),   # first look: cold
+        ("A", Sum("fare")), ("B", Sum("fare")),   # revisit: warm
+        ("A", Count()), ("B", Count()),           # new question, same zoning
+    ]
+    for name, aggregate in schedule:
+        start = time.perf_counter()
+        result = engine.execute(taxi, proposals[name], aggregate=aggregate)
+        elapsed = time.perf_counter() - start
+        state = "warm" if result.stats.prepared_hits else "cold"
+        print(
+            f"  proposal {name} / {aggregate.name:<5}: "
+            f"{result.values.sum():>14,.0f} total  "
+            f"[{elapsed:.3f}s, prepared state {state}]"
+        )
+    print(f"  => {session!r}")
+
+
 def main() -> None:
     print("Generating 500k taxi pickups...")
     taxi = generate_taxi(500_000, seed=9)
     rezoning_session(taxi)
     facility_coverage(taxi)
+    proposal_comparison(taxi)
 
 
 if __name__ == "__main__":

@@ -19,6 +19,7 @@ workloads, :mod:`repro.sql` for the SQL frontend, and DESIGN.md for how the
 pieces map onto the paper.
 """
 
+from repro.cache import PreparedPolygons, QuerySession
 from repro.core import (
     AccurateRasterJoin,
     Aggregate,
@@ -64,6 +65,8 @@ __all__ = [
     "PointDataset",
     "Polygon",
     "PolygonSet",
+    "PreparedPolygons",
+    "QuerySession",
     "RasterJoinError",
     "RasterJoinOptimizer",
     "ResultIntervals",

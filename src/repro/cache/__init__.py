@@ -1,0 +1,29 @@
+"""Prepared-state caching for repeated-query workloads.
+
+The paper's target workload is *interactive*: an analyst redraws or
+rezones polygons and re-runs the same query shape many times.  Most of the
+per-query cost of the raster-join engines is, however, a pure function of
+the polygon set and the render configuration — triangulations, the polygon
+grid index, the canvas layout, per-tile boundary masks, and per-polygon
+pixel coverage.  This package separates that one-time geometry preparation
+from per-query execution (in the spirit of GeoBlocks' query-cache
+accelerated aggregation):
+
+* :class:`~repro.cache.prepared.PreparedPolygons` — the reusable artifact,
+  keyed by a content fingerprint of the polygon set plus the engine's
+  render configuration;
+* :class:`~repro.cache.session.QuerySession` — a bounded LRU cache of
+  prepared artifacts shared by every engine that accepts ``session=``.
+
+See ``docs/query_sessions.md`` for the API contract and the cache
+invalidation rules.
+"""
+
+from repro.cache.prepared import PreparedPolygons, polygon_fingerprint
+from repro.cache.session import QuerySession
+
+__all__ = [
+    "PreparedPolygons",
+    "QuerySession",
+    "polygon_fingerprint",
+]

@@ -1,0 +1,168 @@
+"""The reusable per-polygon-set artifact behind a :class:`QuerySession`.
+
+A :class:`PreparedPolygons` bundles every piece of engine state that is a
+pure function of (polygon geometry, render configuration):
+
+* the triangulations of every polygon (Table 1's preprocessing cost);
+* the polygon grid index used by the exact JoinPoint path;
+* the canvas layout and its device-sized viewport tiles;
+* per-tile conservative boundary masks (the accurate engine's Boundary
+  FBO);
+* per-tile, per-polygon covered-pixel indices (the polygon-pass raster,
+  the GeoBlocks-style cached aggregation footprint).
+
+Artifacts are populated lazily: an engine fills in exactly the fields its
+algorithm needs, on first use, and later executions with the same polygon
+set and configuration skip the rebuild.  All fields are derived
+deterministically from the polygon content, so an artifact built by one
+engine instance is valid for any other instance with the same spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.polygon import Polygon, PolygonSet
+from repro.geometry.triangulate import triangulate_polygon
+from repro.index.grid import GridIndex
+
+
+def polygon_fingerprint(polygons: PolygonSet | Sequence[Polygon]) -> str:
+    """Content hash of a polygon set: same geometry => same fingerprint.
+
+    The fingerprint covers every ring's vertex coordinates and the polygon
+    order, so two :class:`PolygonSet` objects with identical content hash
+    identically while any vertex edit, insertion, deletion, or reordering
+    produces a new key — the cache can never serve stale geometry.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    polys = list(polygons)
+    digest.update(len(polys).to_bytes(8, "little"))
+    for poly in polys:
+        for ring in poly.rings:
+            digest.update(np.int64(len(ring)).tobytes())
+            digest.update(np.ascontiguousarray(ring, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+class PreparedPolygons:
+    """Lazily-populated prepared state for one (polygon set, config) pair.
+
+    ``key`` is ``(fingerprint, *engine_spec)`` when the artifact lives in a
+    :class:`~repro.cache.session.QuerySession`, or ``None`` for the
+    throwaway artifact an engine builds when it runs without a session
+    (same code path, nothing retained).
+    """
+
+    __slots__ = (
+        "key",
+        "canvas",
+        "tiles",
+        "triangles",
+        "grid",
+        "boundary_masks",
+        "coverage",
+        "mbr_arrays",
+        "triangulation_s",
+        "index_build_s",
+        "uses",
+    )
+
+    def __init__(self, key: tuple | None = None) -> None:
+        self.key = key
+        self.canvas = None
+        self.tiles: list | None = None
+        self.triangles: list[list[np.ndarray]] | None = None
+        self.grid: GridIndex | None = None
+        #: tile index -> boolean boundary mask of that viewport
+        self.boundary_masks: dict[int, np.ndarray] = {}
+        #: tile index -> [(polygon id, [per-piece (iy, ix) index arrays])]
+        self.coverage: dict[int, list] = {}
+        #: polygon MBRs as (xmin, xmax, ymin, ymax) column arrays
+        self.mbr_arrays: tuple[np.ndarray, ...] | None = None
+        self.triangulation_s = 0.0
+        self.index_build_s = 0.0
+        self.uses = 0
+
+    # ------------------------------------------------------------------
+    # Lazy builders (each runs at most once per artifact)
+    # ------------------------------------------------------------------
+    def ensure_triangles(self, polygons: PolygonSet, stats=None) -> list:
+        """Triangulate every polygon once; later calls are free."""
+        if self.triangles is None:
+            start = time.perf_counter()
+            self.triangles = [triangulate_polygon(p) for p in polygons]
+            self.triangulation_s = time.perf_counter() - start
+            if stats is not None:
+                stats.triangulation_s += self.triangulation_s
+        return self.triangles
+
+    def ensure_grid(
+        self,
+        polygons: PolygonSet,
+        resolution: int,
+        assignment: str,
+        stats=None,
+    ) -> GridIndex:
+        """Build the polygon grid index once; later calls are free."""
+        if self.grid is None:
+            self.grid = GridIndex(
+                polygons, resolution=resolution, assignment=assignment
+            )
+            self.index_build_s = self.grid.build_seconds
+            if stats is not None:
+                stats.index_build_s += self.grid.build_seconds
+        return self.grid
+
+    def ensure_mbr_arrays(self, polygons: PolygonSet) -> tuple[np.ndarray, ...]:
+        """Columnar polygon MBRs for vectorized filter steps."""
+        if self.mbr_arrays is None:
+            boxes = [p.bbox for p in polygons]
+            self.mbr_arrays = (
+                np.asarray([b.xmin for b in boxes]),
+                np.asarray([b.xmax for b in boxes]),
+                np.asarray([b.ymin for b in boxes]),
+                np.asarray([b.ymax for b in boxes]),
+            )
+        return self.mbr_arrays
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        """Approximate artifact footprint (for capacity decisions)."""
+        total = 0
+        if self.triangles is not None:
+            total += sum(t.nbytes for tris in self.triangles for t in tris)
+        if self.grid is not None:
+            total += self.grid.memory_bytes
+        for mask in self.boundary_masks.values():
+            total += mask.nbytes
+        for entries in self.coverage.values():
+            for _, pieces in entries:
+                total += sum(iy.nbytes + ix.nbytes for iy, ix in pieces)
+        if self.mbr_arrays is not None:
+            total += sum(arr.nbytes for arr in self.mbr_arrays)
+        return total
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.triangles is not None:
+            parts.append("triangles")
+        if self.grid is not None:
+            parts.append("grid")
+        if self.canvas is not None:
+            parts.append("canvas")
+        if self.boundary_masks:
+            parts.append(f"boundary x{len(self.boundary_masks)}")
+        if self.coverage:
+            parts.append(f"coverage x{len(self.coverage)}")
+        if self.mbr_arrays is not None:
+            parts.append("mbrs")
+        body = ", ".join(parts) or "empty"
+        return f"PreparedPolygons({body}, uses={self.uses})"

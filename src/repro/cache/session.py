@@ -1,0 +1,113 @@
+"""A bounded cache of prepared polygon artifacts shared across queries.
+
+Pass one :class:`QuerySession` to every engine (or to the SQL planner /
+optimizer, which forward it) and repeated queries over the same polygon
+set reuse triangulations, grid indexes, canvas layouts, boundary masks,
+and polygon coverage instead of rebuilding them:
+
+    session = QuerySession()
+    engine = AccurateRasterJoin(resolution=1024, session=session)
+    engine.execute(points, zones)          # cold: builds prepared state
+    engine.execute(points, zones)          # warm: prepared-state hit
+
+Invalidation rules (see ``docs/query_sessions.md``):
+
+* entries are keyed by a *content fingerprint* of the polygon geometry
+  plus the engine's render spec, so editing a polygon set (or passing a
+  different one) can never hit a stale entry — it simply keys a new one;
+* the session holds at most ``capacity`` artifacts and evicts the least
+  recently used beyond that;
+* :meth:`QuerySession.invalidate` drops entries eagerly, for all polygon
+  sets or one, when the caller wants memory back *now*.
+
+Results are bit-identical with and without a session: engines run the
+same reduction code over the same arrays either way.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Sequence
+
+from repro.cache.prepared import PreparedPolygons, polygon_fingerprint
+from repro.errors import QueryError
+from repro.geometry.polygon import Polygon, PolygonSet
+
+
+class QuerySession:
+    """LRU cache of :class:`PreparedPolygons`, shared by many engines."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise QueryError(f"session capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, PreparedPolygons]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def prepared_for(
+        self,
+        polygons: PolygonSet | Sequence[Polygon],
+        spec: tuple,
+    ) -> tuple[PreparedPolygons, bool]:
+        """The artifact for (polygons, spec), plus whether it was cached.
+
+        ``spec`` is the engine's render configuration tuple — everything
+        besides geometry that the artifact's contents depend on (engine
+        kind, resolution/epsilon, grid resolution, tiling limit, ...).
+        """
+        key = (polygon_fingerprint(polygons),) + tuple(spec)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            entry.uses += 1
+            return entry, True
+        entry = PreparedPolygons(key)
+        self._entries[key] = entry
+        self.misses += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return entry, False
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def invalidate(
+        self, polygons: PolygonSet | Sequence[Polygon] | None = None
+    ) -> int:
+        """Drop cached artifacts, returning how many were removed.
+
+        With ``polygons`` given, only entries for that geometry (any spec)
+        are dropped; with ``None``, the whole session is cleared.
+        """
+        if polygons is None:
+            removed = len(self._entries)
+            self._entries.clear()
+            return removed
+        fingerprint = polygon_fingerprint(polygons)
+        doomed = [key for key in self._entries if key[0] == fingerprint]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate bytes held by all cached artifacts."""
+        return sum(entry.nbytes for entry in self._entries.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"QuerySession({len(self._entries)}/{self.capacity} entries, "
+            f"{self.hits} hits, {self.misses} misses, "
+            f"~{self.nbytes / 1e6:.1f} MB)"
+        )

@@ -14,16 +14,26 @@ Three steps, following the paper:
 Only points near polygon outlines ever see a PIP test; everything else is
 pure rasterization.  The result is exact for any resolution — resolution
 only shifts work between the PIP path and the raster path.
+
+Everything that depends only on the polygon set — canvas layout,
+triangulations, the grid index, per-tile boundary masks, and per-polygon
+pixel coverage — lives in a :class:`~repro.cache.prepared.PreparedPolygons`
+artifact.  Monolithic and streamed execution share the same per-tile
+stages over that artifact, and attaching a
+:class:`~repro.cache.session.QuerySession` makes repeated queries over the
+same polygons skip the whole rebuild.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
-from repro.core.aggregates import Aggregate
+from repro.cache.prepared import PreparedPolygons
+from repro.cache.session import QuerySession
+from repro.core.aggregates import Aggregate, Count
 from repro.core.engine import (
     SpatialAggregationEngine,
     grid_pip_aggregate,
@@ -33,13 +43,11 @@ from repro.data.dataset import PointDataset
 from repro.device.memory import GPUDevice, ResidentPointSet
 from repro.errors import QueryError
 from repro.geometry.polygon import PolygonSet
-from repro.geometry.triangulate import triangulate_polygon
 from repro.graphics.fbo import FrameBuffer
 from repro.graphics.raster_line import outline_pixels
 from repro.graphics.raster_triangle import triangle_coverage_mask
 from repro.graphics.viewport import Canvas, Viewport
-from repro.index.grid import GridIndex
-from repro.types import ExecutionStats
+from repro.types import AggregationResult, ExecutionStats
 
 
 class AccurateRasterJoin(SpatialAggregationEngine):
@@ -52,8 +60,9 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         resolution: int = 1024,
         device: GPUDevice | None = None,
         grid_resolution: int = 1024,
+        session: QuerySession | None = None,
     ) -> None:
-        super().__init__(device)
+        super().__init__(device, session=session)
         if resolution < 1:
             raise QueryError(f"resolution must be >= 1, got {resolution}")
         self.resolution = resolution
@@ -64,6 +73,37 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         # order statistics match the PIP path bit-for-bit.
         self.fbo_dtype = np.float64
 
+    # ------------------------------------------------------------------
+    # Prepared state
+    # ------------------------------------------------------------------
+    def _prepare(
+        self, polygons: PolygonSet, stats: ExecutionStats
+    ) -> PreparedPolygons:
+        """Canvas layout, triangulations, and grid index — built once."""
+        spec = (
+            "accurate",
+            self.resolution,
+            self.grid_resolution,
+            self.max_resolution,
+        )
+        prepared = self._prepared_state(polygons, spec, stats)
+        if prepared.canvas is None:
+            extent = polygons.bbox
+            probe = Canvas.for_resolution(extent, self.resolution)
+            pad = max(probe.pixel_width, probe.pixel_height)
+            prepared.canvas = Canvas.for_resolution(
+                extent.expanded(pad), self.resolution
+            )
+            prepared.tiles = list(prepared.canvas.tiles(self.max_resolution))
+        prepared.ensure_triangles(polygons, stats)
+        prepared.ensure_grid(polygons, self.grid_resolution, "mbr", stats)
+        stats.extra["canvas"] = (prepared.canvas.width, prepared.canvas.height)
+        stats.extra["tiles"] = len(prepared.tiles)
+        return prepared
+
+    # ------------------------------------------------------------------
+    # Execution (monolithic and streamed share the per-tile stages)
+    # ------------------------------------------------------------------
     def _run(
         self,
         points: PointDataset | ResidentPointSet,
@@ -72,83 +112,29 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         filters: FilterSet,
         stats: ExecutionStats,
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
-        extent = polygons.bbox
-        probe = Canvas.for_resolution(extent, self.resolution)
-        pad = max(probe.pixel_width, probe.pixel_height)
-        canvas = Canvas.for_resolution(extent.expanded(pad), self.resolution)
-        stats.extra["canvas"] = (canvas.width, canvas.height)
-
-        # Polygon preprocessing: triangulation + grid index (Table 1).
-        start = time.perf_counter()
-        triangles = [triangulate_polygon(p) for p in polygons]
-        stats.triangulation_s = time.perf_counter() - start
-        grid = GridIndex(polygons, resolution=self.grid_resolution,
-                         assignment="mbr")
-        stats.index_build_s = grid.build_seconds
-
+        prepared = self._prepare(polygons, stats)
         columns = self.required_columns(aggregate, filters)
-        accumulators = {
-            ch: np.full(len(polygons), aggregate.identity(), dtype=np.float64)
-            for ch in aggregate.channels
-        }
-
-        tiles = list(canvas.tiles(self.max_resolution))
-        stats.extra["tiles"] = len(tiles)
-        for tile in tiles:
-            self._tile_pass(tile, points, polygons, triangles, grid, columns,
-                            aggregate, filters, accumulators, stats)
-            stats.passes += 1
+        accumulators = self._new_accumulators(polygons, aggregate)
+        self._execute_tiles(
+            prepared, lambda: iter((points,)), polygons, aggregate, filters,
+            columns, accumulators, stats,
+        )
         return aggregate.finalize(accumulators), accumulators
 
     def execute_stream(self, chunk_source, polygons, aggregate=None,
                        filters=None):
         """Streamed execution: boundary FBO, grid index, and polygon pass
         are built once (per tile); only the point routing runs per chunk."""
-        from repro.core.aggregates import Count
-        from repro.core.filters import FilterSet
-        from repro.types import AggregationResult, ExecutionStats
-
         aggregate = aggregate or Count()
         filter_set = FilterSet.coerce(filters)
         columns = self.required_columns(aggregate, filter_set)
         stats = ExecutionStats(engine=self.name, batches=0, passes=0)
-
-        extent = polygons.bbox
-        probe = Canvas.for_resolution(extent, self.resolution)
-        pad = max(probe.pixel_width, probe.pixel_height)
-        canvas = Canvas.for_resolution(extent.expanded(pad), self.resolution)
-        stats.extra["canvas"] = (canvas.width, canvas.height)
-
-        start = time.perf_counter()
-        triangles = [triangulate_polygon(p) for p in polygons]
-        stats.triangulation_s = time.perf_counter() - start
-        grid = GridIndex(polygons, resolution=self.grid_resolution,
-                         assignment="mbr")
-        stats.index_build_s = grid.build_seconds
-
-        accumulators = {
-            ch: np.full(len(polygons), aggregate.identity(), dtype=np.float64)
-            for ch in aggregate.channels
-        }
-        tiles = list(canvas.tiles(self.max_resolution))
-        stats.extra["tiles"] = len(tiles)
-        saw_chunk = False
-        for tile in tiles:
-            boundary = self._render_boundary(tile, polygons, stats)
-            fbo = FrameBuffer.for_viewport(
-                tile, channels=aggregate.channels, dtype=self.fbo_dtype
-            )
-            if aggregate.blend != "add":
-                for name in aggregate.channels:
-                    fbo.channel(name).fill(aggregate.identity())
-            for chunk in chunk_source():
-                saw_chunk = True
-                self._route_points(tile, boundary, fbo, chunk, polygons, grid,
-                                   columns, aggregate, filter_set,
-                                   accumulators, stats)
-            self._polygon_pass(tile, boundary, fbo, polygons, triangles,
-                               aggregate, accumulators, stats)
-            stats.passes += 1
+        prepared = self._prepare(polygons, stats)
+        accumulators = self._new_accumulators(polygons, aggregate)
+        saw_chunk = self._execute_tiles(
+            prepared, chunk_source, polygons, aggregate, filter_set,
+            columns, accumulators, stats,
+        )
         if not saw_chunk:
             raise QueryError("chunk source produced no chunks")
         if stats.batches == 0:
@@ -159,40 +145,64 @@ class AccurateRasterJoin(SpatialAggregationEngine):
             stats=stats,
         )
 
-    # ------------------------------------------------------------------
-    def _tile_pass(
+    def _execute_tiles(
         self,
-        tile: Viewport,
-        points: PointDataset | ResidentPointSet,
+        prepared: PreparedPolygons,
+        source: Callable[[], Iterator],
         polygons: PolygonSet,
-        triangles: Sequence[Sequence[np.ndarray]],
-        grid: GridIndex,
-        columns: tuple[str, ...],
         aggregate: Aggregate,
         filters: FilterSet,
+        columns: tuple[str, ...],
         accumulators: dict[str, np.ndarray],
         stats: ExecutionStats,
-    ) -> None:
-        # Step 1: boundary FBO — conservative outlines of every polygon.
-        boundary = self._render_boundary(tile, polygons, stats)
+    ) -> bool:
+        """Run the three per-tile stages; ``source()`` yields point chunks.
 
-        # Step 2: draw points, routing boundary-pixel points to JoinPoint.
-        fbo = FrameBuffer.for_viewport(
-            tile, channels=aggregate.channels, dtype=self.fbo_dtype
-        )
-        if aggregate.blend != "add":
-            for name in aggregate.channels:
-                fbo.channel(name).fill(aggregate.identity())
-        self._route_points(tile, boundary, fbo, points, polygons, grid,
-                           columns, aggregate, filters, accumulators, stats)
-
-        # Step 3: draw polygons, discarding boundary fragments.
-        self._polygon_pass(tile, boundary, fbo, polygons, triangles,
-                           aggregate, accumulators, stats)
+        Returns whether any chunk was produced (streamed callers must
+        reject an empty source).
+        """
+        saw_points = False
+        for tile_idx, tile in enumerate(prepared.tiles):
+            boundary = self._boundary_for(prepared, tile_idx, tile, polygons,
+                                          stats)
+            fbo = FrameBuffer.for_viewport(
+                tile, channels=aggregate.channels, dtype=self.fbo_dtype
+            )
+            if aggregate.blend != "add":
+                for name in aggregate.channels:
+                    fbo.channel(name).fill(aggregate.identity())
+            for chunk in source():
+                saw_points = True
+                self._route_points(tile, boundary, fbo, chunk, polygons,
+                                   prepared.grid, columns, aggregate, filters,
+                                   accumulators, stats)
+            self._polygon_pass(tile_idx, tile, prepared, boundary, fbo,
+                               polygons, aggregate, accumulators, stats)
+            stats.passes += 1
+        return saw_points
 
     # ------------------------------------------------------------------
-    # Shared stages (used by both monolithic and streamed execution)
+    # Per-tile stages
     # ------------------------------------------------------------------
+    def _boundary_for(
+        self,
+        prepared: PreparedPolygons,
+        tile_idx: int,
+        tile: Viewport,
+        polygons: PolygonSet,
+        stats: ExecutionStats,
+    ) -> np.ndarray:
+        """This tile's boundary mask, rendered once per artifact."""
+        mask = prepared.boundary_masks.get(tile_idx)
+        if mask is None:
+            mask = self._render_boundary(tile, polygons, stats)
+            prepared.boundary_masks[tile_idx] = mask
+        else:
+            stats.extra["boundary_pixels"] = (
+                stats.extra.get("boundary_pixels", 0) + int(mask.sum())
+            )
+        return mask
+
     def _render_boundary(
         self,
         tile: Viewport,
@@ -220,7 +230,7 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         fbo: FrameBuffer,
         points: PointDataset | ResidentPointSet,
         polygons: PolygonSet,
-        grid: GridIndex,
+        grid,
         columns: tuple[str, ...],
         aggregate: Aggregate,
         filters: FilterSet,
@@ -266,18 +276,70 @@ class AccurateRasterJoin(SpatialAggregationEngine):
 
     def _polygon_pass(
         self,
+        tile_idx: int,
         tile: Viewport,
+        prepared: PreparedPolygons,
         boundary: np.ndarray,
         fbo: FrameBuffer,
         polygons: PolygonSet,
-        triangles: Sequence[Sequence[np.ndarray]],
         aggregate: Aggregate,
         accumulators: dict[str, np.ndarray],
         stats: ExecutionStats,
     ) -> None:
-        """Polygon pass skipping boundary fragments (handled exactly)."""
+        """Polygon pass skipping boundary fragments (handled exactly).
+
+        The covered-pixel indices of every polygon are a pure function of
+        the tile, the triangulation, and the boundary mask, so they are
+        computed once per artifact and replayed on later executions; the
+        per-query work is only the channel gather + reduction.
+        """
         start = time.perf_counter()
         channels = {ch: fbo.channel(ch) for ch in aggregate.channels}
+        if self.session is None:
+            # No cache to warm: reduce each piece's window directly.  The
+            # boolean gather visits pixels in the same row-major order as
+            # the replayed index arrays, so both paths are bit-identical.
+            for pid, x0, y0, keep in self._coverage_pieces(
+                tile, polygons, prepared.triangles, boundary
+            ):
+                for ch, channel in channels.items():
+                    window = channel[y0:y0 + keep.shape[0],
+                                     x0:x0 + keep.shape[1]]
+                    accumulators[ch][pid] = aggregate.combine(
+                        np.asarray(accumulators[ch][pid]),
+                        np.asarray(aggregate.reduce_pixels(window[keep])),
+                    )
+            stats.processing_s += time.perf_counter() - start
+            return
+        coverage = prepared.coverage.get(tile_idx)
+        if coverage is None:
+            coverage = self._build_coverage(tile, polygons,
+                                            prepared.triangles, boundary)
+            prepared.coverage[tile_idx] = coverage
+        for pid, pieces in coverage:
+            for piece_iy, piece_ix in pieces:
+                for ch, channel in channels.items():
+                    accumulators[ch][pid] = aggregate.combine(
+                        np.asarray(accumulators[ch][pid]),
+                        np.asarray(
+                            aggregate.reduce_pixels(channel[piece_iy, piece_ix])
+                        ),
+                    )
+        stats.processing_s += time.perf_counter() - start
+
+    @staticmethod
+    def _coverage_pieces(
+        tile: Viewport,
+        polygons: PolygonSet,
+        triangles: Sequence[Sequence[np.ndarray]],
+        boundary: np.ndarray,
+    ):
+        """Yield (pid, x0, y0, keep) per rasterized triangle piece.
+
+        The single source of the polygon-pass traversal: triangulation
+        order, viewport clipping, and boundary exclusion live here so the
+        direct reducer and the coverage builder can never drift apart.
+        """
         for pid, polygon in enumerate(polygons):
             if not polygon.bbox.intersects(tile.bbox):
                 continue
@@ -289,10 +351,30 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                 keep = mask & ~bwin
                 if not keep.any():
                     continue
-                for ch, channel in channels.items():
-                    window = channel[y0:y0 + mask.shape[0], x0:x0 + mask.shape[1]]
-                    accumulators[ch][pid] = aggregate.combine(
-                        np.asarray(accumulators[ch][pid]),
-                        np.asarray(aggregate.reduce_pixels(window[keep])),
-                    )
-        stats.processing_s += time.perf_counter() - start
+                yield pid, x0, y0, keep
+
+    @classmethod
+    def _build_coverage(
+        cls,
+        tile: Viewport,
+        polygons: PolygonSet,
+        triangles: Sequence[Sequence[np.ndarray]],
+        boundary: np.ndarray,
+    ) -> list:
+        """Per-polygon (iy, ix) covered-pixel arrays, boundary excluded.
+
+        One piece per rasterized triangle, in traversal order, so the
+        replayed reduction visits pixels in exactly the order the direct
+        rasterization would — results are bit-identical either way.
+        """
+        coverage: list = []
+        for pid, x0, y0, keep in cls._coverage_pieces(
+            tile, polygons, triangles, boundary
+        ):
+            ky, kx = np.nonzero(keep)
+            piece = (ky + y0, kx + x0)
+            if coverage and coverage[-1][0] == pid:
+                coverage[-1][1].append(piece)
+            else:
+                coverage.append((pid, [piece]))
+        return coverage

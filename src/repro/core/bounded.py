@@ -10,23 +10,30 @@ by ε (pixel diagonal), the Hausdorff guarantee of §4.2.
 When the ε-implied resolution exceeds the device's framebuffer limit, the
 canvas splits into tiles and the two passes run once per tile (Figure 5);
 clipping guarantees every point-polygon pair is counted exactly once.
+
+Canvas layout, triangulations, and per-polygon pixel coverage are carried
+in a :class:`~repro.cache.prepared.PreparedPolygons` artifact shared by the
+monolithic and streamed paths; attach a
+:class:`~repro.cache.session.QuerySession` and repeated queries over the
+same polygon set reuse them.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
-from repro.core.aggregates import Aggregate
+from repro.cache.prepared import PreparedPolygons
+from repro.cache.session import QuerySession
+from repro.core.aggregates import Aggregate, Count
 from repro.core.engine import SpatialAggregationEngine
 from repro.core.filters import FilterSet
 from repro.data.dataset import PointDataset
 from repro.device.memory import GPUDevice, ResidentPointSet
 from repro.errors import QueryError
 from repro.geometry.polygon import PolygonSet
-from repro.geometry.triangulate import triangulate_polygon
 from repro.graphics.fbo import FrameBuffer
 from repro.graphics.raster_point import rasterize_points
 from repro.graphics.raster_polygon import scanline_polygon_pixels
@@ -56,6 +63,9 @@ class BoundedRasterJoin(SpatialAggregationEngine):
     compute_bounds:
         Also derive per-polygon result intervals (§5) — adds a boundary
         analysis pass; see :mod:`repro.core.bounds`.
+    session:
+        Optional :class:`QuerySession` so repeated queries over the same
+        polygon set reuse triangulations, canvas layout, and coverage.
     """
 
     name = "bounded-raster"
@@ -67,8 +77,9 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         device: GPUDevice | None = None,
         use_scanline: bool = False,
         compute_bounds: bool = False,
+        session: QuerySession | None = None,
     ) -> None:
-        super().__init__(device)
+        super().__init__(device, session=session)
         if (epsilon is None) == (resolution is None):
             raise QueryError("specify exactly one of epsilon= or resolution=")
         self.epsilon = epsilon
@@ -76,6 +87,8 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         self.use_scanline = use_scanline
         self.compute_bounds = compute_bounds
 
+    # ------------------------------------------------------------------
+    # Prepared state
     # ------------------------------------------------------------------
     def _make_canvas(self, polygons: PolygonSet) -> Canvas:
         """Canvas over the polygon-set extent (the paper's w x h box).
@@ -92,6 +105,30 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         pad = max(probe.pixel_width, probe.pixel_height)
         return Canvas.for_resolution(extent.expanded(pad), self.resolution)
 
+    def _prepare(
+        self, polygons: PolygonSet, stats: ExecutionStats
+    ) -> PreparedPolygons:
+        """Canvas layout and triangulations — built once per polygon set."""
+        spec = (
+            "bounded",
+            self.epsilon,
+            self.resolution,
+            self.max_resolution,
+            self.use_scanline,
+        )
+        prepared = self._prepared_state(polygons, spec, stats)
+        if prepared.canvas is None:
+            prepared.canvas = self._make_canvas(polygons)
+            prepared.tiles = list(prepared.canvas.tiles(self.max_resolution))
+        prepared.ensure_triangles(polygons, stats)
+        stats.extra["canvas"] = (prepared.canvas.width, prepared.canvas.height)
+        stats.extra["pixel_diagonal"] = prepared.canvas.pixel_diagonal
+        stats.extra["tiles"] = len(prepared.tiles)
+        return prepared
+
+    # ------------------------------------------------------------------
+    # Execution (monolithic and streamed share the per-tile stages)
+    # ------------------------------------------------------------------
     def _run(
         self,
         points: PointDataset | ResidentPointSet,
@@ -100,43 +137,21 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         filters: FilterSet,
         stats: ExecutionStats,
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
-        canvas = self._make_canvas(polygons)
-        stats.extra["canvas"] = (canvas.width, canvas.height)
-        stats.extra["pixel_diagonal"] = canvas.pixel_diagonal
-
-        # Polygon preprocessing: triangulation (Table 1 cost).
-        start = time.perf_counter()
-        triangles: list[list[np.ndarray]] = [
-            triangulate_polygon(p) for p in polygons
-        ]
-        stats.triangulation_s = time.perf_counter() - start
-
+        prepared = self._prepare(polygons, stats)
         columns = self.required_columns(aggregate, filters)
-        accumulators = {
-            ch: np.full(len(polygons), aggregate.identity(), dtype=np.float64)
-            for ch in aggregate.channels
-        }
-
-        tiles = list(canvas.tiles(self.max_resolution))
-        stats.extra["tiles"] = len(tiles)
-        bounds_inputs = []
-        for tile in tiles:
-            fbo = self._point_pass(
-                tile, points, columns, aggregate, filters, stats
-            )
-            self._polygon_pass(tile, fbo, polygons, triangles, aggregate,
-                               accumulators, stats)
-            stats.passes += 1
-            if self.compute_bounds:
-                bounds_inputs.append((tile, fbo))
-
+        accumulators = self._new_accumulators(polygons, aggregate)
+        bounds_inputs = [] if self.compute_bounds else None
+        self._execute_tiles(
+            prepared, lambda: iter((points,)), polygons, aggregate, filters,
+            columns, accumulators, stats, bounds_inputs,
+        )
         values = aggregate.finalize(accumulators)
         if self.compute_bounds:
             from repro.core.bounds import estimate_result_intervals
 
             start = time.perf_counter()
             self._intervals = estimate_result_intervals(
-                bounds_inputs, polygons, triangles, values, aggregate
+                bounds_inputs, polygons, prepared.triangles, values, aggregate
             )
             stats.extra["bounds_s"] = time.perf_counter() - start
         else:
@@ -157,40 +172,16 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         and the polygon pass runs once per tile — the structure the paper's
         disk-resident experiments rely on.
         """
-        from repro.core.aggregates import Count
-        from repro.core.filters import FilterSet
-        from repro.types import AggregationResult, ExecutionStats
-
         aggregate = aggregate or Count()
         filter_set = FilterSet.coerce(filters)
         columns = self.required_columns(aggregate, filter_set)
         stats = ExecutionStats(engine=self.name, batches=0, passes=0)
-
-        canvas = self._make_canvas(polygons)
-        stats.extra["canvas"] = (canvas.width, canvas.height)
-        start = time.perf_counter()
-        triangles = [triangulate_polygon(p) for p in polygons]
-        stats.triangulation_s = time.perf_counter() - start
-
-        accumulators = {
-            ch: np.full(len(polygons), aggregate.identity(), dtype=np.float64)
-            for ch in aggregate.channels
-        }
-        tiles = list(canvas.tiles(self.max_resolution))
-        stats.extra["tiles"] = len(tiles)
-        saw_chunk = False
-        for tile in tiles:
-            fbo = FrameBuffer.for_viewport(tile, channels=aggregate.channels)
-            if aggregate.blend != "add":
-                for name in aggregate.channels:
-                    fbo.channel(name).fill(aggregate.identity())
-            for chunk in chunk_source():
-                saw_chunk = True
-                self._stream_chunk_into(tile, fbo, chunk, columns, aggregate,
-                                        filter_set, stats)
-            self._polygon_pass(tile, fbo, polygons, triangles, aggregate,
-                               accumulators, stats)
-            stats.passes += 1
+        prepared = self._prepare(polygons, stats)
+        accumulators = self._new_accumulators(polygons, aggregate)
+        saw_chunk = self._execute_tiles(
+            prepared, chunk_source, polygons, aggregate, filter_set,
+            columns, accumulators, stats, None,
+        )
         if not saw_chunk:
             raise QueryError("chunk source produced no chunks")
         if stats.batches == 0:
@@ -201,47 +192,50 @@ class BoundedRasterJoin(SpatialAggregationEngine):
             stats=stats,
         )
 
-    def _stream_chunk_into(self, tile, fbo, chunk, columns, aggregate,
-                           filters, stats) -> None:
-        """Rasterize one streamed chunk into an existing tile FBO."""
-        for batch in self._batches(chunk, columns, stats,
-                                   reserved_bytes=fbo.nbytes):
-            start = time.perf_counter()
-            xs, ys, attrs = self._apply_filters(batch, filters, stats)
-            if aggregate.blend == "add":
-                values = {
-                    ch: (attrs[col] if col is not None else 1.0)
-                    for ch, col in aggregate.channels.items()
-                }
-                rasterize_points(tile, fbo, xs, ys, values)
-            else:
-                ix, iy, inside = tile.pixel_of(xs, ys)
-                ix, iy = ix[inside], iy[inside]
-                for ch, col in aggregate.channels.items():
-                    vals = attrs[col][inside]
-                    channel = fbo.channel(ch)
-                    if aggregate.blend == "min":
-                        np.minimum.at(channel, (iy, ix), vals)
-                    else:
-                        np.maximum.at(channel, (iy, ix), vals)
-            stats.processing_s += time.perf_counter() - start
+    def _execute_tiles(
+        self,
+        prepared: PreparedPolygons,
+        source: Callable[[], Iterator],
+        polygons: PolygonSet,
+        aggregate: Aggregate,
+        filters: FilterSet,
+        columns: tuple[str, ...],
+        accumulators: dict[str, np.ndarray],
+        stats: ExecutionStats,
+        bounds_inputs: list | None,
+    ) -> bool:
+        """Point pass then polygon pass per tile; ``source()`` yields chunks."""
+        saw_points = False
+        for tile_idx, tile in enumerate(prepared.tiles):
+            fbo = FrameBuffer.for_viewport(tile, channels=aggregate.channels)
+            if aggregate.blend != "add":
+                for name in aggregate.channels:
+                    fbo.channel(name).fill(aggregate.identity())
+            for chunk in source():
+                saw_points = True
+                self._rasterize_chunk(tile, fbo, chunk, columns, aggregate,
+                                      filters, stats)
+            self._polygon_pass(tile_idx, tile, prepared, fbo, polygons,
+                               aggregate, accumulators, stats)
+            stats.passes += 1
+            if bounds_inputs is not None:
+                bounds_inputs.append((tile, fbo))
+        return saw_points
 
     # ------------------------------------------------------------------
     # Step I: draw points
     # ------------------------------------------------------------------
-    def _point_pass(
+    def _rasterize_chunk(
         self,
         tile: Viewport,
+        fbo: FrameBuffer,
         points: PointDataset | ResidentPointSet,
         columns: tuple[str, ...],
         aggregate: Aggregate,
         filters: FilterSet,
         stats: ExecutionStats,
-    ) -> FrameBuffer:
-        fbo = FrameBuffer.for_viewport(tile, channels=aggregate.channels)
-        if aggregate.blend != "add":
-            for name in aggregate.channels:
-                fbo.channel(name).fill(aggregate.identity())
+    ) -> None:
+        """Rasterize one point chunk into the tile's framebuffer."""
         for batch in self._batches(points, columns, stats,
                                    reserved_bytes=fbo.nbytes):
             start = time.perf_counter()
@@ -264,47 +258,118 @@ class BoundedRasterJoin(SpatialAggregationEngine):
                     else:
                         np.maximum.at(channel, (iy, ix), vals)
             stats.processing_s += time.perf_counter() - start
-        return fbo
 
     # ------------------------------------------------------------------
     # Step II: draw polygons
     # ------------------------------------------------------------------
     def _polygon_pass(
         self,
+        tile_idx: int,
         tile: Viewport,
+        prepared: PreparedPolygons,
         fbo: FrameBuffer,
         polygons: PolygonSet,
-        triangles: Sequence[Sequence[np.ndarray]],
         aggregate: Aggregate,
         accumulators: dict[str, np.ndarray],
         stats: ExecutionStats,
     ) -> None:
+        """Reduce each polygon's covered pixels into its result slot.
+
+        Coverage (which pixels each polygon owns on this tile) depends only
+        on the prepared geometry, so it is rasterized once per artifact and
+        replayed afterwards; per query only the gather + reduction runs.
+        """
         start = time.perf_counter()
         channels = {ch: fbo.channel(ch) for ch in aggregate.channels}
+        if self.session is None:
+            # No cache to warm: gather each piece directly.  The boolean
+            # window gather visits pixels in the same row-major order as
+            # the replayed index arrays, so both paths are bit-identical.
+            for pid, piece in self._coverage_pieces(tile, polygons,
+                                                    prepared.triangles):
+                for ch, channel in channels.items():
+                    accumulators[ch][pid] = aggregate.combine(
+                        np.asarray(accumulators[ch][pid]),
+                        np.asarray(
+                            aggregate.reduce_pixels(
+                                self._gather_piece(channel, piece)
+                            )
+                        ),
+                    )
+            stats.processing_s += time.perf_counter() - start
+            return
+        coverage = prepared.coverage.get(tile_idx)
+        if coverage is None:
+            coverage = self._build_coverage(tile, polygons, prepared.triangles)
+            prepared.coverage[tile_idx] = coverage
+        for pid, pieces in coverage:
+            for piece_iy, piece_ix in pieces:
+                for ch, channel in channels.items():
+                    accumulators[ch][pid] = aggregate.combine(
+                        np.asarray(accumulators[ch][pid]),
+                        np.asarray(
+                            aggregate.reduce_pixels(channel[piece_iy, piece_ix])
+                        ),
+                    )
+        stats.processing_s += time.perf_counter() - start
+
+    def _coverage_pieces(
+        self,
+        tile: Viewport,
+        polygons: PolygonSet,
+        triangles: Sequence[Sequence[np.ndarray]],
+    ):
+        """Yield (pid, piece) in rasterization order.
+
+        The single source of the polygon-pass traversal: ``piece`` is
+        ``(iy, ix)`` index arrays on the scanline path or an
+        ``(x0, y0, mask)`` window on the triangle path, consumed via
+        :meth:`_gather_piece` or converted once by :meth:`_build_coverage`.
+        """
         for pid, polygon in enumerate(polygons):
             if not polygon.bbox.intersects(tile.bbox):
                 continue  # clipped by the viewport
             if self.use_scanline:
                 ix, iy = scanline_polygon_pixels(tile, polygon.rings)
-                if len(ix) == 0:
-                    continue
-                for ch, channel in channels.items():
-                    pixel_values = channel[iy, ix]
-                    accumulators[ch][pid] = aggregate.combine(
-                        np.asarray(accumulators[ch][pid]),
-                        np.asarray(aggregate.reduce_pixels(pixel_values)),
-                    )
+                if len(ix):
+                    yield pid, (iy, ix)
             else:
                 for tri in triangles[pid]:
                     x0, y0, mask = triangle_coverage_mask(tile, tri)
                     if mask.size == 0 or not mask.any():
                         continue
-                    for ch, channel in channels.items():
-                        window = channel[
-                            y0:y0 + mask.shape[0], x0:x0 + mask.shape[1]
-                        ]
-                        accumulators[ch][pid] = aggregate.combine(
-                            np.asarray(accumulators[ch][pid]),
-                            np.asarray(aggregate.reduce_pixels(window[mask])),
-                        )
-        stats.processing_s += time.perf_counter() - start
+                    yield pid, (x0, y0, mask)
+
+    @staticmethod
+    def _gather_piece(channel: np.ndarray, piece: tuple) -> np.ndarray:
+        """Channel values of one coverage piece, in row-major pixel order."""
+        if len(piece) == 2:
+            iy, ix = piece
+            return channel[iy, ix]
+        x0, y0, mask = piece
+        return channel[y0:y0 + mask.shape[0], x0:x0 + mask.shape[1]][mask]
+
+    def _build_coverage(
+        self,
+        tile: Viewport,
+        polygons: PolygonSet,
+        triangles: Sequence[Sequence[np.ndarray]],
+    ) -> list:
+        """Per-polygon (iy, ix) covered-pixel arrays on this tile.
+
+        Triangle path: one piece per rasterized triangle, in traversal
+        order.  Scanline path: a single piece per polygon.  Either way the
+        replayed reduction visits pixels exactly as the direct
+        rasterization would, so results are bit-identical.
+        """
+        coverage: list = []
+        for pid, piece in self._coverage_pieces(tile, polygons, triangles):
+            if len(piece) == 3:
+                x0, y0, mask = piece
+                ky, kx = np.nonzero(mask)
+                piece = (ky + y0, kx + x0)
+            if coverage and coverage[-1][0] == pid:
+                coverage[-1][1].append(piece)
+            else:
+                coverage.append((pid, [piece]))
+        return coverage

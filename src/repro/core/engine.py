@@ -16,6 +16,8 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+from repro.cache.prepared import PreparedPolygons
+from repro.cache.session import QuerySession
 from repro.core.aggregates import Aggregate, Count
 from repro.core.filters import Filter, FilterSet
 from repro.data.dataset import PointDataset
@@ -46,8 +48,17 @@ class SpatialAggregationEngine(ABC):
 
     name = "abstract"
 
-    def __init__(self, device: GPUDevice | None = None) -> None:
+    def __init__(
+        self,
+        device: GPUDevice | None = None,
+        session: QuerySession | None = None,
+    ) -> None:
         self.device = device
+        #: Optional prepared-state cache shared across queries (and across
+        #: engines).  Without one, every execution builds throwaway
+        #: prepared state through the same preparation code — nothing is
+        #: retained, and results are bit-identical either way.
+        self.session = session
 
     # ------------------------------------------------------------------
     # Public API
@@ -130,6 +141,39 @@ class SpatialAggregationEngine(ABC):
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
+    def _prepared_state(
+        self,
+        polygons: PolygonSet,
+        spec: tuple,
+        stats: ExecutionStats,
+    ) -> PreparedPolygons:
+        """The prepared artifact for this query's polygons + render spec.
+
+        With a session attached, the artifact is fetched from (or inserted
+        into) the cache and the hit/miss is recorded in ``stats``; without
+        one, a fresh throwaway artifact is returned so both paths run the
+        same preparation code.
+        """
+        if self.session is None:
+            return PreparedPolygons()
+        prepared, hit = self.session.prepared_for(polygons, spec)
+        if hit:
+            stats.prepared_hits += 1
+        else:
+            stats.prepared_misses += 1
+        stats.extra["prepared"] = "hit" if hit else "miss"
+        return prepared
+
+    @staticmethod
+    def _new_accumulators(
+        polygons: PolygonSet, aggregate: Aggregate
+    ) -> dict[str, np.ndarray]:
+        """Per-polygon result slots initialized to the blend identity."""
+        return {
+            ch: np.full(len(polygons), aggregate.identity(), dtype=np.float64)
+            for ch in aggregate.channels
+        }
+
     @staticmethod
     def required_columns(aggregate: Aggregate, filters: FilterSet) -> tuple[str, ...]:
         """Columns the query touches: locations, filters, aggregate attrs."""
@@ -301,11 +345,15 @@ def grid_pip_aggregate(
             continue
         for ch, col in channel_cols.items():
             if col is None:
+                # Constant-1 channel: every matched point contributes one
+                # 1.0, whatever the blend equation.
                 if aggregate.blend == "add":
                     accumulators[ch][pid] += matched
                 else:
+                    ones = np.ones(matched, dtype=np.float64)
                     accumulators[ch][pid] = aggregate.combine(
-                        np.asarray(accumulators[ch][pid]), np.asarray(1.0)
+                        np.asarray(accumulators[ch][pid]),
+                        np.asarray(aggregate.reduce_pixels(ones)),
                     )
             else:
                 vals = col[idx[inside]]

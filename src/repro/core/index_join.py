@@ -24,6 +24,7 @@ import time
 
 import numpy as np
 
+from repro.cache.session import QuerySession
 from repro.core.aggregates import Aggregate
 from repro.core.engine import SpatialAggregationEngine, grid_pip_aggregate
 from repro.core.filters import FilterSet
@@ -71,8 +72,9 @@ class IndexJoin(SpatialAggregationEngine):
         grid_resolution: int = 1024,
         workers: int | None = None,
         grid_assignment: str = "mbr",
+        session: QuerySession | None = None,
     ) -> None:
-        super().__init__(device)
+        super().__init__(device, session=session)
         if mode not in ("gpu", "cpu", "multicore"):
             raise QueryError(f"unknown IndexJoin mode {mode!r}")
         self.mode = mode
@@ -83,13 +85,14 @@ class IndexJoin(SpatialAggregationEngine):
 
     # ------------------------------------------------------------------
     def _build_grid(self, polygons: PolygonSet, stats: ExecutionStats) -> GridIndex:
-        grid = GridIndex(
-            polygons,
-            resolution=self.grid_resolution,
-            assignment=self.grid_assignment,
+        """The polygon grid, reused across queries via the session."""
+        prepared = self._prepared_state(
+            polygons, ("grid", self.grid_resolution, self.grid_assignment),
+            stats,
         )
-        stats.index_build_s = grid.build_seconds
-        return grid
+        return prepared.ensure_grid(
+            polygons, self.grid_resolution, self.grid_assignment, stats
+        )
 
     def _run(
         self,
@@ -100,10 +103,7 @@ class IndexJoin(SpatialAggregationEngine):
         stats: ExecutionStats,
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
         grid = self._build_grid(polygons, stats)
-        accumulators = {
-            ch: np.full(len(polygons), aggregate.identity(), dtype=np.float64)
-            for ch in aggregate.channels
-        }
+        accumulators = self._new_accumulators(polygons, aggregate)
         columns = self.required_columns(aggregate, filters)
         for batch in self._batches(points, columns, stats):
             start = time.perf_counter()

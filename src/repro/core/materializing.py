@@ -25,6 +25,7 @@ import time
 
 import numpy as np
 
+from repro.cache.session import QuerySession
 from repro.core.aggregates import Aggregate
 from repro.core.engine import SpatialAggregationEngine
 from repro.core.filters import FilterSet
@@ -45,11 +46,12 @@ class MaterializingJoin(SpatialAggregationEngine):
         device: GPUDevice | None = None,
         leaf_capacity: int = 65_536,
         truncate_bits: int | None = 16,
+        session: QuerySession | None = None,
     ) -> None:
         # The default leaf capacity mirrors the comparator's large
         # per-thread-block GPU batches; smaller leaves would give it
         # unrealistically tight MBR filters.
-        super().__init__(device)
+        super().__init__(device, session=session)
         self.leaf_capacity = leaf_capacity
         self.truncate_bits = truncate_bits
 
@@ -61,16 +63,13 @@ class MaterializingJoin(SpatialAggregationEngine):
         filters: FilterSet,
         stats: ExecutionStats,
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
-        accumulators = {
-            ch: np.full(len(polygons), aggregate.identity(), dtype=np.float64)
-            for ch in aggregate.channels
-        }
+        accumulators = self._new_accumulators(polygons, aggregate)
         columns = self.required_columns(aggregate, filters)
-        boxes = [p.bbox for p in polygons]
-        poly_xmin = np.asarray([b.xmin for b in boxes])
-        poly_xmax = np.asarray([b.xmax for b in boxes])
-        poly_ymin = np.asarray([b.ymin for b in boxes])
-        poly_ymax = np.asarray([b.ymax for b in boxes])
+        # Polygon-side preparation: columnar MBRs, reused via the session.
+        prepared = self._prepared_state(polygons, ("mbr-arrays",), stats)
+        poly_xmin, poly_xmax, poly_ymin, poly_ymax = (
+            prepared.ensure_mbr_arrays(polygons)
+        )
 
         for batch in self._batches(points, columns, stats):
             start = time.perf_counter()

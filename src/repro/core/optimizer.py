@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cache.session import QuerySession
 from repro.core.accurate import AccurateRasterJoin
 from repro.core.bounded import BoundedRasterJoin
 from repro.core.engine import SpatialAggregationEngine
@@ -100,9 +101,14 @@ class RasterJoinOptimizer:
         self,
         device: GPUDevice | None = None,
         accurate_resolution: int = 1024,
+        session: QuerySession | None = None,
     ) -> None:
         self.device = device
         self.accurate_resolution = accurate_resolution
+        #: Forwarded to every engine this optimizer constructs, so a
+        #: rezoning loop that keeps asking for the same polygon set reuses
+        #: its prepared state regardless of which variant wins.
+        self.session = session
         self._model: CostModel | None = None
 
     @property
@@ -166,7 +172,10 @@ class RasterJoinOptimizer:
         """The engine predicted to be faster for this query."""
         cost = self.estimate(points, polygons, epsilon)
         if cost["bounded"] <= cost["accurate"]:
-            return BoundedRasterJoin(epsilon=epsilon, device=self.device)
+            return BoundedRasterJoin(
+                epsilon=epsilon, device=self.device, session=self.session
+            )
         return AccurateRasterJoin(
-            resolution=self.accurate_resolution, device=self.device
+            resolution=self.accurate_resolution, device=self.device,
+            session=self.session,
         )

@@ -123,24 +123,31 @@ def scanline_polygon_pixels(
             x_enter = crossings[k] / SUBPIXEL_SCALE
             x_exit = crossings[k + 1] / SUBPIXEL_SCALE
             # Centers at i + 0.5 with x_enter <= i + 0.5 < x_exit.
-            i_start = int(np.ceil(x_enter - 0.5))
-            i_end = int(np.ceil(x_exit - 0.5)) - 1
-            # Exact fix-up at both ends: float rounding can misplace a
-            # boundary center by one pixel.
-            for i_fix in (i_start - 1, i_start):
-                if 0 <= i_fix < width and i_fix < i_start:
-                    if _center_inside_exact(
-                        i_fix * SUBPIXEL_SCALE + _HALF, cy, snapped
-                    ):
-                        i_start = i_fix
-            for i_fix in (i_end + 1, i_end):
-                if 0 <= i_fix < width and i_fix > i_end:
-                    if _center_inside_exact(
-                        i_fix * SUBPIXEL_SCALE + _HALF, cy, snapped
-                    ):
-                        i_end = i_fix
-            i_start = max(0, i_start)
-            i_end = min(width - 1, i_end)
+            i_start = max(0, int(np.ceil(x_enter - 0.5)))
+            i_end = min(width - 1, int(np.ceil(x_exit - 0.5)) - 1)
+            # Exact fix-up at both ends: float rounding can misplace a span
+            # endpoint, possibly by several pixels on adversarial slivers.
+            # Walk each endpoint with the exact integer test until it
+            # agrees with the fill rule: first grow outward over covered
+            # neighbours, then shrink inward while the endpoint pixel
+            # itself is not covered.  The walks stop at the first failing
+            # test, so they can never jump the gap to another span.
+            while i_start > 0 and _center_inside_exact(
+                (i_start - 1) * SUBPIXEL_SCALE + _HALF, cy, snapped
+            ):
+                i_start -= 1
+            while i_end < width - 1 and _center_inside_exact(
+                (i_end + 1) * SUBPIXEL_SCALE + _HALF, cy, snapped
+            ):
+                i_end += 1
+            while i_start <= i_end and not _center_inside_exact(
+                i_start * SUBPIXEL_SCALE + _HALF, cy, snapped
+            ):
+                i_start += 1
+            while i_end >= i_start and not _center_inside_exact(
+                i_end * SUBPIXEL_SCALE + _HALF, cy, snapped
+            ):
+                i_end -= 1
             if i_end >= i_start:
                 row_cols_parts.append(
                     np.arange(i_start, i_end + 1, dtype=np.int64)

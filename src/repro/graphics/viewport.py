@@ -29,6 +29,25 @@ DEFAULT_MAX_RESOLUTION = 8192
 HARDWARE_MAX_RESOLUTION = 32768
 
 
+def _require_positive_extent(extent: BBox) -> None:
+    """Reject extents a pixel grid cannot span.
+
+    A zero-width or zero-height extent (collinear points, a single
+    vertex) has no well-defined pixel size — mapping it onto a grid would
+    divide by zero — and non-finite bounds poison every transform.
+    """
+    if (
+        not math.isfinite(extent.width)
+        or not math.isfinite(extent.height)
+        or extent.width <= 0
+        or extent.height <= 0
+    ):
+        raise ResolutionError(
+            f"canvas extent must have positive finite width and height, "
+            f"got {extent.as_tuple()}"
+        )
+
+
 def resolution_for_epsilon(extent: BBox, epsilon: float) -> tuple[int, int]:
     """Pixel grid size that guarantees an ε-bounded approximation.
 
@@ -153,6 +172,7 @@ class Canvas:
     """
 
     def __init__(self, extent: BBox, width: int, height: int) -> None:
+        _require_positive_extent(extent)
         if width < 1 or height < 1:
             raise ResolutionError(f"canvas must be at least 1x1, got {width}x{height}")
         if width > HARDWARE_MAX_RESOLUTION * 64 or height > HARDWARE_MAX_RESOLUTION * 64:
@@ -179,6 +199,7 @@ class Canvas:
         """
         if resolution < 1:
             raise ResolutionError(f"resolution must be >= 1, got {resolution}")
+        _require_positive_extent(extent)
         if extent.width >= extent.height:
             width = resolution
             height = max(1, int(round(resolution * extent.height / extent.width)))

@@ -6,10 +6,17 @@ The planner owns a catalog of registered point tables
 names and columns, builds the aggregate and filter objects, picks an engine
 — the ε-aware optimizer choice when the statement carries a ``WITHIN``
 bound, the accurate engine otherwise — and executes.
+
+The planner owns a :class:`~repro.cache.session.QuerySession` (or accepts a
+shared one) and attaches it to every engine it lowers onto, so repeated
+statements over the same region table reuse triangulations, grid indexes,
+and boundary masks instead of rebuilding them — the interactive
+redraw-and-re-query loop the paper targets.
 """
 
 from __future__ import annotations
 
+from repro.cache.session import QuerySession
 from repro.core.accurate import AccurateRasterJoin
 from repro.core.aggregates import Aggregate, Average, Count, Max, Min, Sum
 from repro.core.multi import MultiAggregate
@@ -36,8 +43,13 @@ _AGG_BUILDERS = {
 class QueryPlanner:
     """Catalog + lowering for the SQL frontend."""
 
-    def __init__(self, device: GPUDevice | None = None) -> None:
+    def __init__(
+        self,
+        device: GPUDevice | None = None,
+        session: QuerySession | None = None,
+    ) -> None:
         self.device = device
+        self.session = session if session is not None else QuerySession()
         self._points: dict[str, PointDataset] = {}
         self._regions: dict[str, PolygonSet] = {}
 
@@ -146,10 +158,12 @@ class QueryPlanner:
         epsilon = stmt.spatial.epsilon
         if epsilon is not None:
             engine: SpatialAggregationEngine = BoundedRasterJoin(
-                epsilon=epsilon, device=self.device
+                epsilon=epsilon, device=self.device, session=self.session
             )
         else:
-            engine = AccurateRasterJoin(device=self.device)
+            engine = AccurateRasterJoin(
+                device=self.device, session=self.session
+            )
         return engine, points, regions, aggregate, filters
 
     def execute(self, statement: str | SelectStatement) -> AggregationResult:

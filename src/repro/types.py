@@ -23,7 +23,11 @@ class ExecutionStats:
     probes, PIP tests, aggregation); ``triangulation_s`` and
     ``index_build_s`` are the polygon preprocessing costs of Table 1, kept
     separate because the paper excludes them from query time but reports
-    them on their own.
+    them on their own.  ``prepared_hits``/``prepared_misses`` count
+    prepared-state cache lookups when the engine runs with a
+    :class:`~repro.cache.session.QuerySession` (zero without one): a hit
+    means triangulation, grid index, canvas layout, boundary masks, and
+    polygon coverage were all reused instead of rebuilt.
     """
 
     engine: str = ""
@@ -39,6 +43,8 @@ class ExecutionStats:
     passes: int = 1
     batches: int = 1
     bytes_transferred: int = 0
+    prepared_hits: int = 0
+    prepared_misses: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -70,6 +76,8 @@ class ExecutionStats:
         self.passes += other.passes
         self.batches += other.batches
         self.bytes_transferred += other.bytes_transferred
+        self.prepared_hits += other.prepared_hits
+        self.prepared_misses += other.prepared_misses
 
 
 @dataclass

@@ -109,3 +109,67 @@ class TestExecuteValidation:
             uniform_points, three_regions, filters=[Filter("hour", ">=", 0)]
         )
         assert result.stats.points_filtered_out == 0
+
+
+class ConstantPresence(Count):
+    """COUNT-shaped aggregate with a non-add blend on a constant-1 channel.
+
+    Models the degenerate-but-legal corner of the Aggregate contract: a
+    channel with no attribute column whose blend equation is an order
+    statistic.  Every matched point contributes a single 1.0, so a
+    polygon's value is 1.0 iff at least one point matched (else the blend
+    identity survives).
+    """
+
+    name = "presence"
+    blend = "max"
+
+    def finalize(self, reduced):
+        return reduced["count"].astype(np.float64)
+
+
+class TestGridPipAggregateNonAddConstantChannel:
+    """Regression: the non-add/None-column branch must account one
+    contribution per *matched point*, exactly like the scalar JoinPoint
+    loop, not one per polygon group."""
+
+    def test_matches_scalar_join(self, three_regions, rng):
+        from repro import IndexJoin
+
+        xs = rng.uniform(0, 100, 4000)
+        ys = rng.uniform(0, 100, 4000)
+        points = PointDataset(xs, ys)
+        agg = ConstantPresence()
+        gpu = IndexJoin(mode="gpu").execute(points, three_regions, agg)
+        cpu = IndexJoin(mode="cpu").execute(points, three_regions, agg)
+        assert np.array_equal(gpu.values, cpu.values)
+        # Every region contains at least one of 4k uniform points.
+        assert np.array_equal(gpu.values, np.ones(3))
+
+    def test_unmatched_polygons_keep_identity(self, three_regions):
+        # A single point inside region 0 only.
+        points = PointDataset(np.asarray([20.0]), np.asarray([20.0]))
+        agg = ConstantPresence()
+        from repro import IndexJoin
+
+        result = IndexJoin(mode="gpu").execute(points, three_regions, agg)
+        assert result.values[0] == 1.0
+        assert np.all(result.values[1:] == agg.identity())
+
+    def test_direct_call_min_blend(self, three_regions, rng):
+        """Direct kernel call with a min blend: matched groups become 1.0,
+        untouched groups keep the +inf identity."""
+        agg = ConstantPresence()
+        agg.blend = "min"
+        grid = GridIndex(three_regions, resolution=64)
+        xs = rng.uniform(0, 100, 2000)
+        ys = rng.uniform(0, 100, 2000)
+        acc = {"count": np.full(3, agg.identity())}
+        stats = ExecutionStats()
+        grid_pip_aggregate(xs, ys, {}, grid, three_regions, agg, acc, stats)
+        matched = np.asarray(
+            [p.contains_points(xs, ys).any() for p in three_regions]
+        )
+        assert np.array_equal(acc["count"][matched],
+                              np.ones(int(matched.sum())))
+        assert np.all(np.isinf(acc["count"][~matched]))

@@ -95,3 +95,81 @@ class TestAccumulate:
         channel = np.ones((32, 32), dtype=np.float32)
         poly = Polygon([(100, 100), (110, 100), (105, 110)])
         assert accumulate_polygon_sum(VP, channel, poly.rings) == 0.0
+
+
+class TestEndpointFixup:
+    """Regression for the span-endpoint fix-up rewrite.
+
+    The old fix-up iterated ``(i_start - 1, i_start)`` with a guard that
+    made the second element unreachable, and stopped after one pixel —
+    an endpoint misplaced by two or more pixels stayed wrong.  The walk
+    version must agree with the exact per-pixel-center oracle (and hence
+    the triangle path) on every adversarial shape below.
+    """
+
+    @staticmethod
+    def oracle_set(viewport, poly):
+        """Ground truth: exact even-odd test of every pixel center."""
+        from repro.graphics.raster_polygon import (
+            _HALF,
+            _center_inside_exact,
+            _snap_rings,
+        )
+        from repro.graphics.raster_triangle import SUBPIXEL_SCALE
+
+        snapped = _snap_rings(viewport, poly.rings)
+        out = set()
+        for j in range(viewport.height):
+            cy = j * SUBPIXEL_SCALE + _HALF
+            for i in range(viewport.width):
+                if _center_inside_exact(i * SUBPIXEL_SCALE + _HALF, cy, snapped):
+                    out.add((i, j))
+        return out
+
+    def assert_all_paths_agree(self, poly):
+        expected = self.oracle_set(VP, poly)
+        assert scan_set(VP, poly) == expected
+        assert triangle_union_set(VP, poly) == expected
+
+    def test_near_horizontal_slivers(self):
+        # Long, nearly flat slivers whose crossings sit a hair off row
+        # centers — the worst case for float span endpoints.
+        for dy in (1e-7, 1e-4, 0.01):
+            sliver = Polygon(
+                [(0.3, 4.5 - dy), (31.7, 4.5 + dy), (31.7, 4.5 + 3 * dy),
+                 (0.3, 4.5 + dy)]
+            )
+            self.assert_all_paths_agree(sliver)
+
+    def test_vertices_exactly_on_row_centers(self):
+        # Vertices snapped precisely onto pixel-center scanlines exercise
+        # the half-open crossing rule and coincident-crossing pairing.
+        poly = Polygon([(2.5, 2.5), (28.5, 2.5), (28.5, 9.5), (2.5, 9.5)])
+        self.assert_all_paths_agree(poly)
+        needle = Polygon([(1.5, 6.5), (30.5, 6.5), (16.5, 7.5)])
+        self.assert_all_paths_agree(needle)
+
+    def test_needle_apex_on_row_center(self):
+        # A skinny triangle whose apex sits exactly on a row center.
+        needle = Polygon([(16.5, 8.5), (31.5, 8.4), (31.5, 8.6)])
+        self.assert_all_paths_agree(needle)
+
+    def test_random_adversarial_slivers(self, rng):
+        for _ in range(40):
+            x0 = float(rng.uniform(0, 8))
+            x1 = float(rng.uniform(24, 32))
+            y = float(rng.integers(1, 30)) + 0.5 + float(
+                rng.choice([0.0, 1e-9, -1e-9, 1e-6])
+            )
+            thickness = float(rng.uniform(1e-6, 0.4))
+            sliver = Polygon(
+                [(x0, y), (x1, y + thickness / 3), (x1, y + thickness),
+                 (x0, y + thickness / 2)]
+            )
+            self.assert_all_paths_agree(sliver)
+
+    def test_sliver_spanning_viewport_edges(self):
+        # Spans that extend beyond the window clamp cleanly.
+        sliver = Polygon([(-10, 3.5), (45, 3.5002), (45, 3.9), (-10, 3.8)])
+        expected = self.oracle_set(VP, sliver)
+        assert scan_set(VP, sliver) == expected

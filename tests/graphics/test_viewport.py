@@ -125,3 +125,36 @@ class TestTiling:
         canvas = Canvas(BBox(0, 0, 1, 1), 4, 4)
         with pytest.raises(ResolutionError):
             list(canvas.tiles(max_resolution=0))
+
+
+class TestDegenerateExtent:
+    """Regression: a zero-width/height extent (collinear points, a single
+    vertex) must raise ResolutionError instead of dividing by zero."""
+
+    def test_for_resolution_zero_width(self):
+        with pytest.raises(ResolutionError):
+            Canvas.for_resolution(BBox(5, 0, 5, 10), 256)
+
+    def test_for_resolution_zero_height(self):
+        with pytest.raises(ResolutionError):
+            Canvas.for_resolution(BBox(0, 7, 10, 7), 256)
+
+    def test_for_resolution_point_extent(self):
+        with pytest.raises(ResolutionError):
+            Canvas.for_resolution(BBox(3, 3, 3, 3), 256)
+
+    def test_for_epsilon_degenerate(self):
+        with pytest.raises(ResolutionError):
+            Canvas.for_epsilon(BBox(5, 0, 5, 10), 1.0)
+
+    def test_constructor_degenerate(self):
+        with pytest.raises(ResolutionError):
+            Canvas(BBox(0, 2, 0, 2), 16, 16)
+
+    def test_non_finite_extent(self):
+        with pytest.raises(ResolutionError):
+            Canvas.for_resolution(BBox(0, 0, np.inf, 10), 256)
+
+    def test_valid_extent_still_works(self):
+        canvas = Canvas.for_resolution(BBox(0, 0, 10, 5), 128)
+        assert (canvas.width, canvas.height) == (128, 64)

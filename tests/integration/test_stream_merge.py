@@ -1,0 +1,123 @@
+"""Multi-chunk merge semantics for Average, Min, and Max.
+
+Two merge paths exist: the generic per-chunk merge in
+``SpatialAggregationEngine.execute_stream`` (used by the index joins,
+which combine per-chunk *channels* — sums and counts for the algebraic
+Average — rather than finalized values) and the accurate engine's
+tile-shared override (which accumulates every chunk into one tile FBO and
+runs the polygon pass once).  Both must agree with single-shot ``execute``
+bit-for-bit.
+
+The additive channels use dyadic attribute values (multiples of 0.25 with
+small magnitude), so every partial sum is exactly representable and
+bit-equality is well-defined regardless of how chunks group the additions.
+Min/max are idempotent and order-insensitive, so they get arbitrary float
+values.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccurateRasterJoin,
+    Average,
+    GPUDevice,
+    IndexJoin,
+    Max,
+    Min,
+    PointDataset,
+)
+
+
+@pytest.fixture
+def dyadic_points(rng):
+    """20k uniform points with an exactly-representable attribute."""
+    n = 20_000
+    return PointDataset(
+        rng.uniform(0.0, 100.0, n),
+        rng.uniform(0.0, 100.0, n),
+        {
+            "fare": rng.integers(4, 120, n).astype(np.float64) * 0.25,
+            "noise": rng.uniform(-1e3, 1e3, n),
+        },
+    )
+
+
+def chunks_of(points, rows):
+    return lambda: points.batches(rows)
+
+
+def assert_bit_equal(streamed, whole):
+    assert np.array_equal(streamed.values, whole.values, equal_nan=True)
+    assert set(streamed.channels) == set(whole.channels)
+    for name, values in whole.channels.items():
+        assert np.array_equal(streamed.channels[name], values, equal_nan=True)
+
+
+class TestGenericPerChunkMerge:
+    """engine.py's execute_stream: per-chunk execute + channel combine."""
+
+    def test_average(self, dyadic_points, three_regions):
+        engine = IndexJoin(mode="gpu")
+        whole = engine.execute(dyadic_points, three_regions, Average("fare"))
+        streamed = engine.execute_stream(
+            chunks_of(dyadic_points, 3_000), three_regions, Average("fare")
+        )
+        assert streamed.stats.batches >= 7
+        assert_bit_equal(streamed, whole)
+
+    @pytest.mark.parametrize("agg_cls", [Min, Max])
+    def test_order_statistics(self, dyadic_points, three_regions, agg_cls):
+        engine = IndexJoin(mode="gpu")
+        whole = engine.execute(dyadic_points, three_regions, agg_cls("noise"))
+        streamed = engine.execute_stream(
+            chunks_of(dyadic_points, 2_500), three_regions, agg_cls("noise")
+        )
+        assert_bit_equal(streamed, whole)
+
+    def test_average_chunk_size_invariance(self, dyadic_points, three_regions):
+        engine = IndexJoin(mode="gpu")
+        results = [
+            engine.execute_stream(
+                chunks_of(dyadic_points, rows), three_regions, Average("fare")
+            )
+            for rows in (1_000, 7_000, 20_000)
+        ]
+        for other in results[1:]:
+            assert_bit_equal(other, results[0])
+
+
+class TestAccurateTileSharedMerge:
+    """accurate.py's override: shared FBO + one polygon pass per tile."""
+
+    def test_average(self, dyadic_points, three_regions):
+        engine = AccurateRasterJoin(resolution=256)
+        whole = engine.execute(dyadic_points, three_regions, Average("fare"))
+        streamed = engine.execute_stream(
+            chunks_of(dyadic_points, 3_000), three_regions, Average("fare")
+        )
+        assert_bit_equal(streamed, whole)
+
+    @pytest.mark.parametrize("agg_cls", [Min, Max])
+    def test_order_statistics(self, dyadic_points, three_regions, agg_cls):
+        engine = AccurateRasterJoin(resolution=256)
+        whole = engine.execute(dyadic_points, three_regions, agg_cls("noise"))
+        streamed = engine.execute_stream(
+            chunks_of(dyadic_points, 2_500), three_regions, agg_cls("noise")
+        )
+        assert_bit_equal(streamed, whole)
+
+    @pytest.mark.parametrize("agg_cls", [Average, Min, Max])
+    def test_with_tiling(self, dyadic_points, three_regions, agg_cls):
+        """Multi-tile streamed execution still matches single-shot."""
+        column = "fare" if agg_cls is Average else "noise"
+        whole = AccurateRasterJoin(resolution=256).execute(
+            dyadic_points, three_regions, agg_cls(column)
+        )
+        streamed = AccurateRasterJoin(
+            resolution=256, device=GPUDevice(max_resolution=100)
+        ).execute_stream(
+            chunks_of(dyadic_points, 4_000), three_regions, agg_cls(column)
+        )
+        assert streamed.stats.extra["tiles"] > 1
+        assert_bit_equal(streamed, whole)
