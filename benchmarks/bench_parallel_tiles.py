@@ -1,0 +1,155 @@
+"""Parallel tile execution: speedup and bit-equality across backends.
+
+The raster join's per-tile stages are independent, so a multi-tile
+canvas scales across cores.  This benchmark builds a square canvas that
+splits into exactly 4 device-sized tiles and runs the accurate engine
+under every backend with 4 workers, cold (boundary masks and coverage
+built inside the tile tasks) and warm (a :class:`QuerySession` replays
+them, leaving the NumPy-bound point pass as the tile work).  It asserts
+
+* every backend x warmth cell produces **bit-identical** grids to the
+  serial run of the same warmth;
+* on a multi-core host, the best parallel cell is at least 1.5x faster
+  than its serial counterpart (the acceptance bar of the
+  parallel-backend PR).
+
+On single-core machines the speedup assertion is skipped — there is
+nothing to parallelize onto — but the bit-equality half always runs.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks import harness
+from repro import (
+    AccurateRasterJoin,
+    EngineConfig,
+    GPUDevice,
+    PointDataset,
+    QuerySession,
+    Sum,
+)
+from repro.data import generate_voronoi_regions
+from repro.geometry.bbox import BBox
+
+POINT_ROWS = 1_000_000
+RESOLUTION = 1024
+MAX_FBO = 512          # 1024^2 canvas over 512^2 FBOs -> 2x2 = 4 tiles
+WORKERS = 4
+EXTENT = BBox(0.0, 0.0, 1000.0, 1000.0)  # square extent => square canvas
+BACKENDS = ("serial", "thread", "process")
+
+
+def _table():
+    return harness.table(
+        "parallel_tiles",
+        "Parallel tile execution (accurate engine, 4 tiles, 4 workers)",
+        ["backend", "state", "workers", "tiles", "wall_s",
+         "speedup_vs_serial", "bit_identical"],
+    )
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def square_workload():
+    rng = np.random.default_rng(42)
+    points = PointDataset(
+        rng.uniform(EXTENT.xmin, EXTENT.xmax, POINT_ROWS),
+        rng.uniform(EXTENT.ymin, EXTENT.ymax, POINT_ROWS),
+        {"val": rng.normal(10.0, 3.0, POINT_ROWS)},
+    )
+    polygons = generate_voronoi_regions(24, EXTENT, seed=42)
+    return points, polygons
+
+
+def _engine(backend: str, session: QuerySession | None) -> AccurateRasterJoin:
+    return AccurateRasterJoin(
+        resolution=RESOLUTION,
+        device=GPUDevice(max_resolution=MAX_FBO),
+        session=session,
+        config=EngineConfig(backend=backend, workers=WORKERS),
+    )
+
+
+def _assert_identical(reference, result, label):
+    assert np.array_equal(reference.values, result.values), label
+    for name in reference.channels:
+        assert np.array_equal(
+            reference.channels[name], result.channels[name]
+        ), (label, name)
+
+
+@pytest.mark.benchmark(group="parallel-tiles")
+def test_parallel_tiles_smoke(benchmark, square_workload):
+    points, polygons = square_workload
+    aggregate = Sum("val")
+    table = _table()
+
+    results: dict[tuple[str, str], object] = {}
+    timings: dict[tuple[str, str], float] = {}
+    for backend in BACKENDS:
+        session = QuerySession()
+        engine = _engine(backend, session)
+
+        start = time.perf_counter()
+        cold = engine.execute(points, polygons, aggregate=aggregate)
+        timings[(backend, "cold")] = time.perf_counter() - start
+        results[(backend, "cold")] = cold
+        assert cold.stats.extra["tiles"] == 4, cold.stats.extra
+        assert cold.stats.extra["workers"] == (
+            1 if backend == "serial" else WORKERS
+        )
+
+        warm_times = []
+        for _ in range(2):
+            start = time.perf_counter()
+            warm = engine.execute(points, polygons, aggregate=aggregate)
+            warm_times.append(time.perf_counter() - start)
+            assert warm.stats.prepared_hits == 1
+        timings[(backend, "warm")] = min(warm_times)
+        results[(backend, "warm")] = warm
+
+    for state in ("cold", "warm"):
+        serial = results[("serial", state)]
+        for backend in BACKENDS:
+            result = results[(backend, state)]
+            _assert_identical(serial, result, (backend, state))
+            table.add_row(
+                backend, state,
+                result.stats.extra["workers"],
+                result.stats.extra["tiles"],
+                timings[(backend, state)],
+                timings[("serial", state)] / timings[(backend, state)],
+                True,
+            )
+
+    benchmark.pedantic(
+        lambda: _engine("thread", None).execute(points, polygons,
+                                                aggregate=aggregate),
+        rounds=1, iterations=1,
+    )
+
+    cores = _usable_cores()
+    if cores < 2:
+        pytest.skip(
+            f"speedup needs >= 2 cores (host has {cores}); "
+            "bit-equality across all backend x warmth cells verified above"
+        )
+    best_speedup = max(
+        timings[("serial", state)] / timings[(backend, state)]
+        for backend in ("thread", "process")
+        for state in ("cold", "warm")
+    )
+    assert best_speedup >= 1.5, (
+        f"best parallel cell is only {best_speedup:.2f}x faster than "
+        f"serial on {cores} cores (need >= 1.5x)"
+    )

@@ -40,6 +40,13 @@ from repro.core import (
 from repro.data import PointDataset
 from repro.device import GPUDevice
 from repro.errors import RasterJoinError
+from repro.exec import (
+    EngineConfig,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+)
 from repro.geometry import BBox, Polygon, PolygonSet
 from repro.types import AggregationResult, ExecutionStats, ResultIntervals
 
@@ -53,10 +60,15 @@ __all__ = [
     "BBox",
     "BoundedRasterJoin",
     "Count",
+    "EngineConfig",
+    "ExecutionBackend",
     "ExecutionStats",
     "Filter",
     "FilterSet",
     "GPUDevice",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
     "IndexJoin",
     "MaterializingJoin",
     "Max",

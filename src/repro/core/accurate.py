@@ -42,6 +42,8 @@ from repro.core.filters import FilterSet
 from repro.data.dataset import PointDataset
 from repro.device.memory import GPUDevice, ResidentPointSet
 from repro.errors import QueryError
+from repro.exec.backend import TilePartial
+from repro.exec.config import EngineConfig
 from repro.geometry.polygon import PolygonSet
 from repro.graphics.fbo import FrameBuffer
 from repro.graphics.raster_line import outline_pixels
@@ -61,8 +63,9 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         device: GPUDevice | None = None,
         grid_resolution: int = 1024,
         session: QuerySession | None = None,
+        config: EngineConfig | None = None,
     ) -> None:
-        super().__init__(device, session=session)
+        super().__init__(device, session=session, config=config)
         if resolution < 1:
             raise QueryError(f"resolution must be >= 1, got {resolution}")
         self.resolution = resolution
@@ -98,7 +101,6 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         prepared.ensure_triangles(polygons, stats)
         prepared.ensure_grid(polygons, self.grid_resolution, "mbr", stats)
         stats.extra["canvas"] = (prepared.canvas.width, prepared.canvas.height)
-        stats.extra["tiles"] = len(prepared.tiles)
         return prepared
 
     # ------------------------------------------------------------------
@@ -117,14 +119,19 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         accumulators = self._new_accumulators(polygons, aggregate)
         self._execute_tiles(
             prepared, lambda: iter((points,)), polygons, aggregate, filters,
-            columns, accumulators, stats,
+            columns, accumulators, stats, points_hint=points,
         )
         return aggregate.finalize(accumulators), accumulators
 
     def execute_stream(self, chunk_source, polygons, aggregate=None,
                        filters=None):
         """Streamed execution: boundary FBO, grid index, and polygon pass
-        are built once (per tile); only the point routing runs per chunk."""
+        are built once (per tile); only the point routing runs per chunk.
+
+        With a parallel backend, tile workers invoke (and iterate)
+        ``chunk_source`` concurrently — each call must return an
+        independent iterator (see :meth:`SpatialAggregationEngine.execute_stream`).
+        """
         aggregate = aggregate or Count()
         filter_set = FilterSet.coerce(filters)
         columns = self.required_columns(aggregate, filter_set)
@@ -155,53 +162,59 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         columns: tuple[str, ...],
         accumulators: dict[str, np.ndarray],
         stats: ExecutionStats,
+        points_hint: PointDataset | ResidentPointSet | None = None,
     ) -> bool:
         """Run the three per-tile stages; ``source()`` yields point chunks.
 
-        Returns whether any chunk was produced (streamed callers must
-        reject an empty source).
+        Tiles are independent: each task folds its own accumulators from
+        the blend identity and the partials are merged in tile-index
+        order, so the configured backend (serial, thread, or process
+        pool) never changes a single bit of the result.  Returns whether
+        any chunk was produced (streamed callers must reject an empty
+        source).
         """
-        saw_points = False
-        for tile_idx, tile in enumerate(prepared.tiles):
-            boundary = self._boundary_for(prepared, tile_idx, tile, polygons,
-                                          stats)
-            fbo = FrameBuffer.for_viewport(
-                tile, channels=aggregate.channels, dtype=self.fbo_dtype
-            )
-            if aggregate.blend != "add":
-                for name in aggregate.channels:
-                    fbo.channel(name).fill(aggregate.identity())
+        tiles = prepared.tiles
+        self._record_execution_env(stats, len(tiles))
+        fbo_bytes = self._max_fbo_bytes(tiles, aggregate, self.fbo_dtype)
+        parallelism = self._tile_concurrency(points_hint, columns, fbo_bytes)
+        retain = self.session is not None
+
+        def run_tile(tile_idx: int, tile: Viewport) -> TilePartial:
+            tile_stats = ExecutionStats(engine=self.name, batches=0, passes=0)
+            partial_acc = self._new_accumulators(polygons, aggregate)
+            boundary = prepared.boundary_masks.get(tile_idx)
+            built_boundary = None
+            if boundary is None:
+                boundary = self._render_boundary(tile, polygons, tile_stats)
+                built_boundary = boundary
+            else:
+                tile_stats.extra["boundary_pixels"] = int(boundary.sum())
+            fbo = self._tile_framebuffer(tile, aggregate, self.fbo_dtype)
+            saw_points = False
             for chunk in source():
                 saw_points = True
                 self._route_points(tile, boundary, fbo, chunk, polygons,
                                    prepared.grid, columns, aggregate, filters,
-                                   accumulators, stats)
-            self._polygon_pass(tile_idx, tile, prepared, boundary, fbo,
-                               polygons, aggregate, accumulators, stats)
-            stats.passes += 1
-        return saw_points
+                                   partial_acc, tile_stats)
+            built_coverage = self._polygon_pass(
+                tile_idx, tile, prepared, boundary, fbo, polygons, aggregate,
+                partial_acc, tile_stats,
+            )
+            tile_stats.passes = 1
+            return TilePartial(
+                tile_idx, partial_acc, tile_stats, saw_points=saw_points,
+                boundary_mask=built_boundary if retain else None,
+                coverage=built_coverage if retain else None,
+            )
+
+        partials = self._dispatch_tiles(tiles, run_tile, parallelism)
+        return self._merge_tile_partials(
+            partials, prepared, aggregate, accumulators, stats
+        )
 
     # ------------------------------------------------------------------
     # Per-tile stages
     # ------------------------------------------------------------------
-    def _boundary_for(
-        self,
-        prepared: PreparedPolygons,
-        tile_idx: int,
-        tile: Viewport,
-        polygons: PolygonSet,
-        stats: ExecutionStats,
-    ) -> np.ndarray:
-        """This tile's boundary mask, rendered once per artifact."""
-        mask = prepared.boundary_masks.get(tile_idx)
-        if mask is None:
-            mask = self._render_boundary(tile, polygons, stats)
-            prepared.boundary_masks[tile_idx] = mask
-        else:
-            stats.extra["boundary_pixels"] = (
-                stats.extra.get("boundary_pixels", 0) + int(mask.sum())
-            )
-        return mask
 
     def _render_boundary(
         self,
@@ -285,13 +298,16 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         aggregate: Aggregate,
         accumulators: dict[str, np.ndarray],
         stats: ExecutionStats,
-    ) -> None:
+    ) -> list | None:
         """Polygon pass skipping boundary fragments (handled exactly).
 
         The covered-pixel indices of every polygon are a pure function of
         the tile, the triangulation, and the boundary mask, so they are
         computed once per artifact and replayed on later executions; the
-        per-query work is only the channel gather + reduction.
+        per-query work is only the channel gather + reduction.  Returns
+        freshly built coverage for the caller to install into the
+        artifact (tile tasks never mutate shared prepared state — under
+        the process backend the mutation would be lost in the fork).
         """
         start = time.perf_counter()
         channels = {ch: fbo.channel(ch) for ch in aggregate.channels}
@@ -310,12 +326,13 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                         np.asarray(aggregate.reduce_pixels(window[keep])),
                     )
             stats.processing_s += time.perf_counter() - start
-            return
+            return None
+        built = None
         coverage = prepared.coverage.get(tile_idx)
         if coverage is None:
-            coverage = self._build_coverage(tile, polygons,
-                                            prepared.triangles, boundary)
-            prepared.coverage[tile_idx] = coverage
+            coverage = built = self._build_coverage(
+                tile, polygons, prepared.triangles, boundary
+            )
         for pid, pieces in coverage:
             for piece_iy, piece_ix in pieces:
                 for ch, channel in channels.items():
@@ -326,6 +343,7 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                         ),
                     )
         stats.processing_s += time.perf_counter() - start
+        return built
 
     @staticmethod
     def _coverage_pieces(

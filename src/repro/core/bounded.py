@@ -33,6 +33,8 @@ from repro.core.filters import FilterSet
 from repro.data.dataset import PointDataset
 from repro.device.memory import GPUDevice, ResidentPointSet
 from repro.errors import QueryError
+from repro.exec.backend import TilePartial
+from repro.exec.config import EngineConfig
 from repro.geometry.polygon import PolygonSet
 from repro.graphics.fbo import FrameBuffer
 from repro.graphics.raster_point import rasterize_points
@@ -78,8 +80,9 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         use_scanline: bool = False,
         compute_bounds: bool = False,
         session: QuerySession | None = None,
+        config: EngineConfig | None = None,
     ) -> None:
-        super().__init__(device, session=session)
+        super().__init__(device, session=session, config=config)
         if (epsilon is None) == (resolution is None):
             raise QueryError("specify exactly one of epsilon= or resolution=")
         self.epsilon = epsilon
@@ -123,7 +126,6 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         prepared.ensure_triangles(polygons, stats)
         stats.extra["canvas"] = (prepared.canvas.width, prepared.canvas.height)
         stats.extra["pixel_diagonal"] = prepared.canvas.pixel_diagonal
-        stats.extra["tiles"] = len(prepared.tiles)
         return prepared
 
     # ------------------------------------------------------------------
@@ -143,7 +145,7 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         bounds_inputs = [] if self.compute_bounds else None
         self._execute_tiles(
             prepared, lambda: iter((points,)), polygons, aggregate, filters,
-            columns, accumulators, stats, bounds_inputs,
+            columns, accumulators, stats, bounds_inputs, points_hint=points,
         )
         values = aggregate.finalize(accumulators)
         if self.compute_bounds:
@@ -170,7 +172,10 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         Point chunks are rasterized into the tile's framebuffer one after
         another (each chunk still flows through the device-batching path),
         and the polygon pass runs once per tile — the structure the paper's
-        disk-resident experiments rely on.
+        disk-resident experiments rely on.  With a parallel backend, tile
+        workers invoke (and iterate) ``chunk_source`` concurrently — each
+        call must return an independent iterator (see
+        :meth:`SpatialAggregationEngine.execute_stream`).
         """
         aggregate = aggregate or Count()
         filter_set = FilterSet.coerce(filters)
@@ -203,24 +208,48 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         accumulators: dict[str, np.ndarray],
         stats: ExecutionStats,
         bounds_inputs: list | None,
+        points_hint: PointDataset | ResidentPointSet | None = None,
     ) -> bool:
-        """Point pass then polygon pass per tile; ``source()`` yields chunks."""
-        saw_points = False
-        for tile_idx, tile in enumerate(prepared.tiles):
-            fbo = FrameBuffer.for_viewport(tile, channels=aggregate.channels)
-            if aggregate.blend != "add":
-                for name in aggregate.channels:
-                    fbo.channel(name).fill(aggregate.identity())
+        """Point pass then polygon pass per tile; ``source()`` yields chunks.
+
+        Tiles are dispatched through the configured execution backend and
+        their partials merged in tile-index order, so serial, thread, and
+        process execution produce bit-identical results (each task folds
+        its own accumulators from the blend identity).
+        """
+        tiles = prepared.tiles
+        self._record_execution_env(stats, len(tiles))
+        fbo_bytes = self._max_fbo_bytes(tiles, aggregate, np.float32)
+        parallelism = self._tile_concurrency(points_hint, columns, fbo_bytes)
+        retain = self.session is not None
+        want_fbos = bounds_inputs is not None
+
+        def run_tile(tile_idx: int, tile: Viewport) -> TilePartial:
+            tile_stats = ExecutionStats(engine=self.name, batches=0, passes=0)
+            partial_acc = self._new_accumulators(polygons, aggregate)
+            fbo = self._tile_framebuffer(tile, aggregate)
+            saw_points = False
             for chunk in source():
                 saw_points = True
                 self._rasterize_chunk(tile, fbo, chunk, columns, aggregate,
-                                      filters, stats)
-            self._polygon_pass(tile_idx, tile, prepared, fbo, polygons,
-                               aggregate, accumulators, stats)
-            stats.passes += 1
-            if bounds_inputs is not None:
-                bounds_inputs.append((tile, fbo))
-        return saw_points
+                                      filters, tile_stats)
+            built_coverage = self._polygon_pass(
+                tile_idx, tile, prepared, fbo, polygons, aggregate,
+                partial_acc, tile_stats,
+            )
+            tile_stats.passes = 1
+            return TilePartial(
+                tile_idx, partial_acc, tile_stats, saw_points=saw_points,
+                coverage=built_coverage if retain else None,
+                payload=(tile, fbo) if want_fbos else None,
+            )
+
+        partials = self._dispatch_tiles(tiles, run_tile, parallelism)
+        if bounds_inputs is not None:
+            bounds_inputs.extend(p.payload for p in partials)
+        return self._merge_tile_partials(
+            partials, prepared, aggregate, accumulators, stats
+        )
 
     # ------------------------------------------------------------------
     # Step I: draw points
@@ -272,12 +301,15 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         aggregate: Aggregate,
         accumulators: dict[str, np.ndarray],
         stats: ExecutionStats,
-    ) -> None:
+    ) -> list | None:
         """Reduce each polygon's covered pixels into its result slot.
 
         Coverage (which pixels each polygon owns on this tile) depends only
         on the prepared geometry, so it is rasterized once per artifact and
         replayed afterwards; per query only the gather + reduction runs.
+        Freshly built coverage is returned for the caller to install into
+        the artifact (tile tasks never mutate shared prepared state —
+        under the process backend the mutation would be lost in the fork).
         """
         start = time.perf_counter()
         channels = {ch: fbo.channel(ch) for ch in aggregate.channels}
@@ -297,11 +329,13 @@ class BoundedRasterJoin(SpatialAggregationEngine):
                         ),
                     )
             stats.processing_s += time.perf_counter() - start
-            return
+            return None
+        built = None
         coverage = prepared.coverage.get(tile_idx)
         if coverage is None:
-            coverage = self._build_coverage(tile, polygons, prepared.triangles)
-            prepared.coverage[tile_idx] = coverage
+            coverage = built = self._build_coverage(
+                tile, polygons, prepared.triangles
+            )
         for pid, pieces in coverage:
             for piece_iy, piece_ix in pieces:
                 for ch, channel in channels.items():
@@ -312,6 +346,7 @@ class BoundedRasterJoin(SpatialAggregationEngine):
                         ),
                     )
         stats.processing_s += time.perf_counter() - start
+        return built
 
     def _coverage_pieces(
         self,

@@ -21,10 +21,13 @@ from repro.cache.session import QuerySession
 from repro.core.aggregates import Aggregate, Count
 from repro.core.filters import Filter, FilterSet
 from repro.data.dataset import PointDataset
-from repro.device.batching import plan_batches
+from repro.device.batching import plan_batches, tile_parallelism
 from repro.device.memory import GPUDevice, ResidentPointSet
 from repro.errors import QueryError
+from repro.exec.backend import TilePartial
+from repro.exec.config import EngineConfig
 from repro.geometry.polygon import PolygonSet
+from repro.graphics.fbo import FrameBuffer
 from repro.types import AggregationResult, ExecutionStats
 
 
@@ -52,6 +55,7 @@ class SpatialAggregationEngine(ABC):
         self,
         device: GPUDevice | None = None,
         session: QuerySession | None = None,
+        config: EngineConfig | None = None,
     ) -> None:
         self.device = device
         #: Optional prepared-state cache shared across queries (and across
@@ -59,6 +63,11 @@ class SpatialAggregationEngine(ABC):
         #: prepared state through the same preparation code — nothing is
         #: retained, and results are bit-identical either way.
         self.session = session
+        #: Execution configuration: which backend runs independent tile
+        #: tasks and with how many workers.  Results are bit-identical
+        #: for every choice — this is purely a performance knob.
+        self.config = config if config is not None else EngineConfig()
+        self.backend = self.config.make_backend()
 
     # ------------------------------------------------------------------
     # Public API
@@ -98,8 +107,12 @@ class SpatialAggregationEngine(ABC):
 
         ``chunk_source`` is a zero-argument callable returning an iterator
         of :class:`PointDataset` chunks (e.g. a column-store scan); engines
-        that render in multiple tiles may invoke it once per tile.  The
-        generic implementation executes the query per chunk and merges the
+        that render in multiple tiles may invoke it once per tile — and,
+        under a parallel execution backend, from several tile workers *at
+        the same time*.  Every call must therefore return an independent
+        iterator; iterators must not share mutable reader state (one
+        seekable file handle, one cursor) across calls.  The generic
+        implementation executes the query per chunk and merges the
         distributive channels — correct for any engine, though raster
         engines override it to share the polygon pass across chunks.
         """
@@ -163,6 +176,111 @@ class SpatialAggregationEngine(ABC):
             stats.prepared_misses += 1
         stats.extra["prepared"] = "hit" if hit else "miss"
         return prepared
+
+    # ------------------------------------------------------------------
+    # Tile execution (backend dispatch + deterministic merge)
+    # ------------------------------------------------------------------
+    def _record_execution_env(self, stats: ExecutionStats, num_tiles: int) -> None:
+        """Report tiling and backend facts uniformly across engines."""
+        stats.extra["tiles"] = int(num_tiles)
+        stats.extra["backend"] = self.backend.name
+        stats.extra["workers"] = self.backend.workers
+
+    def _tile_concurrency(
+        self,
+        points_hint: PointDataset | ResidentPointSet | None,
+        columns: tuple[str, ...],
+        fbo_bytes: int,
+    ) -> int | None:
+        """Cap on concurrently executing tile tasks, from the memory budget.
+
+        Batch plans never depend on the worker count (identical batch
+        boundaries are part of the determinism guarantee), so the device
+        budget is enforced the other way around: limit how many tiles may
+        hold a planned batch plus FBO headroom at once.  ``points_hint``
+        is the monolithic input when known; streamed sources (unknown
+        chunk sizes) fall back to one-at-a-time when a device is present.
+        """
+        if self.device is None:
+            return None
+        if isinstance(points_hint, ResidentPointSet):
+            # Resident columns are shared, not re-uploaded: no per-tile
+            # transfer footprint to budget.
+            return self.backend.workers
+        plan = None
+        if points_hint is not None:
+            plan = plan_batches(points_hint, columns, self.device, fbo_bytes)
+        return tile_parallelism(
+            self.device, fbo_bytes, plan, self.backend.workers
+        )
+
+    @staticmethod
+    def _max_fbo_bytes(tiles: Sequence, aggregate: Aggregate, dtype) -> int:
+        """Worst-case per-tile framebuffer footprint (budget headroom)."""
+        biggest = max((t.width * t.height for t in tiles), default=0)
+        return len(aggregate.channels) * np.dtype(dtype).itemsize * biggest
+
+    @staticmethod
+    def _tile_framebuffer(tile, aggregate: Aggregate,
+                          dtype=np.float32) -> FrameBuffer:
+        """A tile's render target, cleared to the blend identity."""
+        fbo = FrameBuffer.for_viewport(
+            tile, channels=aggregate.channels, dtype=dtype
+        )
+        if aggregate.blend != "add":
+            for name in aggregate.channels:
+                fbo.channel(name).fill(aggregate.identity())
+        return fbo
+
+    def _dispatch_tiles(
+        self, tiles: Sequence, tile_fn, parallelism: int | None = None
+    ) -> list[TilePartial]:
+        """Run ``tile_fn(tile_idx, tile)`` per tile; partials in tile order."""
+        tasks = [
+            (lambda idx=idx, tile=tile: tile_fn(idx, tile))
+            for idx, tile in enumerate(tiles)
+        ]
+        return self.backend.run_tasks(tasks, parallelism=parallelism)
+
+    @staticmethod
+    def _merge_tile_partials(
+        partials: Sequence[TilePartial],
+        prepared: PreparedPolygons,
+        aggregate: Aggregate,
+        accumulators: dict[str, np.ndarray],
+        stats: ExecutionStats,
+    ) -> bool:
+        """Fold per-tile partials into the final result, in tile order.
+
+        Partials arrive in tile-index order whatever order they finished
+        in, and each one was folded from the blend identity, so this
+        merge produces bit-identical accumulators for every backend and
+        worker count.  Newly built prepared-state pieces (boundary masks,
+        coverage) are installed here, on the caller's side of the process
+        boundary, so the session warms even under the fork backend.
+        """
+        saw_points = False
+        for partial in partials:
+            saw_points = saw_points or partial.saw_points
+            for name, arr in partial.accumulators.items():
+                accumulators[name] = aggregate.combine(accumulators[name], arr)
+            stats.merge(partial.stats)
+            pixels = partial.stats.extra.get("boundary_pixels")
+            if pixels is not None:
+                stats.extra["boundary_pixels"] = (
+                    stats.extra.get("boundary_pixels", 0) + pixels
+                )
+            if (
+                partial.boundary_mask is not None
+                and partial.tile_idx not in prepared.boundary_masks
+            ):
+                prepared.boundary_masks[partial.tile_idx] = partial.boundary_mask
+            if (
+                partial.coverage is not None
+                and partial.tile_idx not in prepared.coverage
+            ):
+                prepared.coverage[partial.tile_idx] = partial.coverage
+        return saw_points
 
     @staticmethod
     def _new_accumulators(

@@ -11,14 +11,13 @@ implementations:
 * ``mode="cpu"`` — a faithful scalar single-threaded loop (the C++
   single-CPU baseline anchor of Figures 8/9).
 * ``mode="multicore"`` — the scalar loop parallelized over point chunks
-  with ``multiprocessing`` (the OpenMP baseline): each worker keeps
-  thread-local accumulators that are merged at the end, exactly the
-  paper's locking-avoidance strategy.
+  through the :class:`~repro.exec.backend.ProcessBackend` (the OpenMP
+  baseline): each worker keeps process-local accumulators that are
+  merged at the end, exactly the paper's locking-avoidance strategy.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import os
 import time
 
@@ -31,24 +30,29 @@ from repro.core.filters import FilterSet
 from repro.data.dataset import PointDataset
 from repro.device.memory import GPUDevice, ResidentPointSet
 from repro.errors import QueryError
+from repro.exec.backend import ProcessBackend
+from repro.exec.config import EngineConfig
 from repro.geometry.polygon import PolygonSet
 from repro.geometry.predicates import point_in_polygon
 from repro.index.grid import GridIndex
 from repro.types import ExecutionStats
 
-# Globals shared with forked workers (copy-on-write, no pickling of the
-# index or polygons per task).
-_WORKER_STATE: dict = {}
 
+def _scalar_range(
+    grid: GridIndex,
+    polygons: PolygonSet,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    weights: np.ndarray | None,
+    start: int,
+    end: int,
+) -> tuple[np.ndarray, int]:
+    """Scalar JoinPoint loop over one chunk of points (worker side).
 
-def _worker_chunk(args: tuple[int, int]) -> tuple[np.ndarray, int]:
-    """Scalar JoinPoint loop over one chunk of points (worker side)."""
-    start, end = args
-    grid: GridIndex = _WORKER_STATE["grid"]
-    polygons: PolygonSet = _WORKER_STATE["polygons"]
-    xs: np.ndarray = _WORKER_STATE["xs"]
-    ys: np.ndarray = _WORKER_STATE["ys"]
-    weights: np.ndarray | None = _WORKER_STATE["weights"]
+    Inputs arrive through fork copy-on-write memory (the tasks are
+    closures), so nothing is pickled on the way in; only the per-chunk
+    accumulator travels back.
+    """
     local = np.zeros(len(polygons), dtype=np.float64)
     pip_tests = 0
     for i in range(start, end):
@@ -73,8 +77,9 @@ class IndexJoin(SpatialAggregationEngine):
         workers: int | None = None,
         grid_assignment: str = "mbr",
         session: QuerySession | None = None,
+        config: EngineConfig | None = None,
     ) -> None:
-        super().__init__(device, session=session)
+        super().__init__(device, session=session, config=config)
         if mode not in ("gpu", "cpu", "multicore"):
             raise QueryError(f"unknown IndexJoin mode {mode!r}")
         self.mode = mode
@@ -103,6 +108,14 @@ class IndexJoin(SpatialAggregationEngine):
         stats: ExecutionStats,
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
         grid = self._build_grid(polygons, stats)
+        # The index join renders no tiles; it still reports the execution
+        # environment uniformly so every engine's stats are comparable.
+        # Multicore mode's fork pool IS its execution vehicle, so the
+        # report reflects that rather than the (unused) tile backend.
+        self._record_execution_env(stats, 1)
+        if self.mode == "multicore":
+            stats.extra["backend"] = "process"
+            stats.extra["workers"] = self.workers
         accumulators = self._new_accumulators(polygons, aggregate)
         columns = self.required_columns(aggregate, filters)
         for batch in self._batches(points, columns, stats):
@@ -185,15 +198,16 @@ class IndexJoin(SpatialAggregationEngine):
         chunk = -(-n // self.workers)
         ranges = [(s, min(s + chunk, n)) for s in range(0, n, chunk)]
 
-        _WORKER_STATE.update(
-            grid=grid, polygons=polygons, xs=xs, ys=ys, weights=weights
+        backend = ProcessBackend(workers=self.workers)
+        partials = backend.run_tasks(
+            [
+                (lambda start=start, end=end: _scalar_range(
+                    grid, polygons, xs, ys, weights, start, end
+                ))
+                for start, end in ranges
+            ]
         )
-        try:
-            ctx = mp.get_context("fork")
-            with ctx.Pool(processes=min(self.workers, len(ranges))) as pool:
-                partials = pool.map(_worker_chunk, ranges)
-        finally:
-            _WORKER_STATE.clear()
+        # Chunk partials merge in range order, like the tile merge.
         for local, pip_tests in partials:
             accumulators[channel] += local
             stats.pip_tests += pip_tests

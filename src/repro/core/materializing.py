@@ -31,6 +31,7 @@ from repro.core.engine import SpatialAggregationEngine
 from repro.core.filters import FilterSet
 from repro.data.dataset import PointDataset
 from repro.device.memory import GPUDevice, ResidentPointSet
+from repro.exec.config import EngineConfig
 from repro.geometry.polygon import PolygonSet
 from repro.index.quadtree import PointQuadtree
 from repro.types import ExecutionStats
@@ -47,11 +48,12 @@ class MaterializingJoin(SpatialAggregationEngine):
         leaf_capacity: int = 65_536,
         truncate_bits: int | None = 16,
         session: QuerySession | None = None,
+        config: EngineConfig | None = None,
     ) -> None:
         # The default leaf capacity mirrors the comparator's large
         # per-thread-block GPU batches; smaller leaves would give it
         # unrealistically tight MBR filters.
-        super().__init__(device, session=session)
+        super().__init__(device, session=session, config=config)
         self.leaf_capacity = leaf_capacity
         self.truncate_bits = truncate_bits
 
@@ -65,6 +67,9 @@ class MaterializingJoin(SpatialAggregationEngine):
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
         accumulators = self._new_accumulators(polygons, aggregate)
         columns = self.required_columns(aggregate, filters)
+        # The materializing join renders no tiles; it still reports the
+        # execution environment uniformly across engines.
+        self._record_execution_env(stats, 1)
         # Polygon-side preparation: columnar MBRs, reused via the session.
         prepared = self._prepared_state(polygons, ("mbr-arrays",), stats)
         poly_xmin, poly_xmax, poly_ymin, poly_ymax = (

@@ -26,6 +26,7 @@ from repro.core.bounded import BoundedRasterJoin
 from repro.core.engine import SpatialAggregationEngine
 from repro.data.dataset import PointDataset
 from repro.device.memory import GPUDevice
+from repro.exec.config import EngineConfig
 from repro.geometry.polygon import PolygonSet, rectangle
 from repro.graphics.viewport import Canvas
 
@@ -41,23 +42,40 @@ class CostModel:
 
     def bounded_seconds(
         self, num_points: int, canvas_pixels: int, tiles: int,
-        covered_pixels: int,
+        covered_pixels: int, workers: int = 1,
     ) -> float:
-        """Predicted bounded-join time: point pass per tile + polygon pass."""
+        """Predicted bounded-join time: point pass per tile + polygon pass.
+
+        Tiles are independent, so with ``workers`` parallel tile workers
+        the point pass runs in ``ceil(tiles / workers)`` waves and the
+        polygon pass spreads over the tiles actually running concurrently.
+        """
+        tiles = max(1, tiles)
+        concurrency = max(1, min(workers, tiles))
+        waves = math.ceil(tiles / concurrency)
         return (
-            self.per_point_render * num_points * max(1, tiles)
-            + self.per_pixel_polygon_pass * covered_pixels
+            self.per_point_render * num_points * waves
+            + self.per_pixel_polygon_pass * covered_pixels / concurrency
         )
 
     def accurate_seconds(
-        self, num_points: int, boundary_fraction: float, covered_pixels: int
+        self, num_points: int, boundary_fraction: float, covered_pixels: int,
+        tiles: int = 1, workers: int = 1,
     ) -> float:
-        """Predicted accurate-join time: render + boundary PIP traffic."""
+        """Predicted accurate-join time: render + boundary PIP traffic.
+
+        The render and polygon pass parallelize across tiles like the
+        bounded variant; the boundary PIP path is partitioned with the
+        points, so it divides across concurrent tile workers too.
+        """
+        tiles = max(1, tiles)
+        concurrency = max(1, min(workers, tiles))
+        waves = math.ceil(tiles / concurrency)
         boundary_points = num_points * boundary_fraction
         return (
-            self.per_point_render * num_points
-            + self.per_boundary_point * boundary_points
-            + self.per_pixel_polygon_pass * covered_pixels
+            self.per_point_render * num_points * waves
+            + self.per_boundary_point * boundary_points / concurrency
+            + self.per_pixel_polygon_pass * covered_pixels / concurrency
         )
 
 
@@ -102,6 +120,7 @@ class RasterJoinOptimizer:
         device: GPUDevice | None = None,
         accurate_resolution: int = 1024,
         session: QuerySession | None = None,
+        config: EngineConfig | None = None,
     ) -> None:
         self.device = device
         self.accurate_resolution = accurate_resolution
@@ -109,6 +128,11 @@ class RasterJoinOptimizer:
         #: rezoning loop that keeps asking for the same polygon set reuses
         #: its prepared state regardless of which variant wins.
         self.session = session
+        #: Execution configuration, forwarded to constructed engines and
+        #: folded into the cost predictions (parallel tile workers shrink
+        #: the multi-tile terms of both variants).
+        self.config = config if config is not None else EngineConfig()
+        self._workers = self.config.make_backend().workers
         self._model: CostModel | None = None
 
     @property
@@ -153,15 +177,42 @@ class RasterJoinOptimizer:
             1.0, boundary_pixels / max(acc_canvas.num_pixels, 1)
         )
         model = self.model
+        acc_tiles = acc_canvas.num_tiles(max_res)
         return {
             "bounded": model.bounded_seconds(
-                len(points), canvas.num_pixels, tiles, int(covered * max(1, tiles) ** 0)
+                len(points), canvas.num_pixels, tiles, int(covered),
+                workers=self._effective_workers(points, canvas, max_res, 4),
             ),
             "accurate": model.accurate_seconds(
                 len(points), boundary_fraction,
                 int(acc_canvas.num_pixels * area_fraction),
+                tiles=acc_tiles,
+                workers=self._effective_workers(points, acc_canvas, max_res, 8),
             ),
         }
+
+    def _effective_workers(
+        self, points: PointDataset, canvas: Canvas, max_res: int,
+        channel_bytes: int,
+    ) -> int:
+        """Configured workers, clamped by the device-memory concurrency cap.
+
+        The engines never let more tiles hold a planned batch than the
+        device budget allows (``tile_parallelism``); predicting with the
+        raw worker count would undercost memory-starved queries, so the
+        same clamp is applied here using the variant's FBO footprint.
+        """
+        if self.device is None:
+            return self._workers
+        from repro.device.batching import plan_batches, tile_parallelism
+        from repro.errors import DeviceError
+
+        fbo_bytes = min(canvas.num_pixels, max_res ** 2) * channel_bytes
+        try:
+            plan = plan_batches(points, ("x", "y"), self.device, fbo_bytes)
+        except DeviceError:
+            return 1
+        return tile_parallelism(self.device, fbo_bytes, plan, self._workers)
 
     def choose(
         self,
@@ -173,9 +224,10 @@ class RasterJoinOptimizer:
         cost = self.estimate(points, polygons, epsilon)
         if cost["bounded"] <= cost["accurate"]:
             return BoundedRasterJoin(
-                epsilon=epsilon, device=self.device, session=self.session
+                epsilon=epsilon, device=self.device, session=self.session,
+                config=self.config,
             )
         return AccurateRasterJoin(
             resolution=self.accurate_resolution, device=self.device,
-            session=self.session,
+            session=self.session, config=self.config,
         )

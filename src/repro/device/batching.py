@@ -68,3 +68,34 @@ def plan_batches(
         )
     rows = max(1, budget // max(row_bytes, 1))
     return BatchPlan(len(points), int(rows), columns, row_bytes)
+
+
+def tile_parallelism(
+    device: GPUDevice | None,
+    fbo_bytes: int,
+    plan: BatchPlan | None,
+    workers: int,
+) -> int:
+    """How many tile tasks may hold device batches concurrently.
+
+    Batch *plans* are identical across backends (they depend only on the
+    device capacity, never on the worker count — the determinism
+    guarantee needs identical batch boundaries).  What parallel execution
+    must bound instead is the number of tiles holding a batch plus its
+    framebuffer headroom at once: each concurrent tile's worst-case
+    footprint is one planned batch plus its FBO reservation, and the sum
+    of those per-worker budgets must stay inside the global device
+    budget.  Without a device (or without a known plan, e.g. a streamed
+    chunk source whose sizes are unknown up front with a device present)
+    the answer is conservative: unlimited without a device, one at a time
+    with one.
+    """
+    if device is None:
+        return workers
+    if plan is None:
+        return 1
+    batch_bytes = min(plan.num_points, plan.rows_per_batch) * plan.row_bytes
+    footprint = fbo_bytes + batch_bytes
+    if footprint <= 0:
+        return workers
+    return max(1, min(workers, device.capacity_bytes // footprint))

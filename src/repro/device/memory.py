@@ -10,12 +10,30 @@ transfer does — which is all the out-of-core experiments need from it.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
+import weakref
 from typing import Mapping
 
 import numpy as np
 
 from repro.errors import DeviceError, OutOfDeviceMemoryError
+
+#: Live devices whose locks must be re-armed in forked children: a fork
+#: taken while another thread holds a device lock would otherwise hand
+#: every child a permanently-held lock (the process execution backend
+#: forks mid-query by design).
+_LIVE_DEVICES: "weakref.WeakSet[GPUDevice]" = weakref.WeakSet()
+
+
+def _rearm_device_locks_after_fork() -> None:  # pragma: no cover - fork path
+    for device in _LIVE_DEVICES:
+        device._lock = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_rearm_device_locks_after_fork)
 
 #: The paper limits GPU memory usage to 3 GB (§7.1).
 DEFAULT_CAPACITY_BYTES = 3 * 1024**3
@@ -96,20 +114,41 @@ class GPUDevice:
         self.allocated_bytes = 0
         self.total_bytes_transferred = 0
         self.total_transfer_s = 0.0
+        # Concurrent tile workers allocate and free batch buffers from
+        # several threads at once; the capacity check and the counters
+        # must observe a consistent allocation total.
+        self._lock = threading.Lock()
+        _LIVE_DEVICES.add(self)
 
     # ------------------------------------------------------------------
     # Allocation accounting
     # ------------------------------------------------------------------
     def _reserve(self, nbytes: int) -> None:
-        if self.allocated_bytes + nbytes > self.capacity_bytes:
-            raise OutOfDeviceMemoryError(
-                f"allocation of {nbytes} bytes exceeds capacity "
-                f"({self.allocated_bytes}/{self.capacity_bytes} in use)"
-            )
-        self.allocated_bytes += nbytes
+        with self._lock:
+            if self.allocated_bytes + nbytes > self.capacity_bytes:
+                raise OutOfDeviceMemoryError(
+                    f"allocation of {nbytes} bytes exceeds capacity "
+                    f"({self.allocated_bytes}/{self.capacity_bytes} in use)"
+                )
+            self.allocated_bytes += nbytes
 
     def _release(self, nbytes: int) -> None:
-        self.allocated_bytes = max(0, self.allocated_bytes - nbytes)
+        with self._lock:
+            self.allocated_bytes = max(0, self.allocated_bytes - nbytes)
+
+    # ------------------------------------------------------------------
+    # Pickling (ProcessBackend forks carry copy-on-write device clones;
+    # locks do not survive pickling, so they are recreated on load)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        _LIVE_DEVICES.add(self)
 
     @property
     def free_bytes(self) -> int:
@@ -131,8 +170,9 @@ class GPUDevice:
         dev = np.empty_like(host_array)
         np.copyto(dev, host_array)
         elapsed = time.perf_counter() - start
-        self.total_bytes_transferred += host_array.nbytes
-        self.total_transfer_s += elapsed
+        with self._lock:
+            self.total_bytes_transferred += host_array.nbytes
+            self.total_transfer_s += elapsed
         return DeviceBuffer(self, name, dev), elapsed
 
     def upload_columns(

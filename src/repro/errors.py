@@ -40,6 +40,10 @@ class SqlError(QueryError):
     """The SQL frontend could not lex, parse, or plan a statement."""
 
 
+class ExecutionBackendError(RasterJoinError):
+    """An execution backend was misconfigured or is unavailable."""
+
+
 class DeviceError(RasterJoinError):
     """The simulated GPU device was misused."""
 

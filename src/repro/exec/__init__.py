@@ -1,0 +1,29 @@
+"""Execution backends: serial, threaded, and forked tile parallelism.
+
+The per-tile stages of both raster engines are independent across tiles;
+this package decides where they run.  See :mod:`repro.exec.backend` for
+the task contract and :mod:`repro.exec.config` for the engine-facing
+configuration object.
+"""
+
+from repro.exec.backend import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    TilePartial,
+    default_workers,
+    resolve_backend,
+)
+from repro.exec.config import EngineConfig
+
+__all__ = [
+    "EngineConfig",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "TilePartial",
+    "default_workers",
+    "resolve_backend",
+]

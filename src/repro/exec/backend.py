@@ -1,0 +1,234 @@
+"""Pluggable execution backends for independent tile tasks.
+
+The raster-join pipeline is embarrassingly parallel across canvas tiles:
+each tile's boundary render, point pass, and polygon pass read shared
+prepared state but write only tile-local framebuffers and accumulators.
+A backend decides *where* those tile tasks run — inline, on a thread
+pool, or on forked worker processes — while the engines keep the merge
+deterministic by folding the returned partials in tile-index order.
+
+Every backend obeys the same contract:
+
+* ``run_tasks(tasks)`` executes zero-argument callables and returns their
+  results **in task order**, whatever order they complete in;
+* a raised exception in any task propagates to the caller;
+* ``parallelism`` caps in-flight tasks below ``workers`` (the engines use
+  this to keep concurrent device batches inside the memory budget).
+
+Because results are merged in task order and each task folds its own
+accumulators from the blend identity, results are bit-identical across
+backends and worker counts (see ``docs/parallel_execution.md``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionBackendError
+from repro.types import ExecutionStats
+
+#: Environment variables consulted when no backend is configured
+#: explicitly — the CI matrix runs the whole test suite under each
+#: backend by exporting these, without touching any call site.
+BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
+WORKERS_ENV_VAR = "REPRO_EXEC_WORKERS"
+
+
+@dataclass
+class TilePartial:
+    """Everything one tile task hands back to the deterministic merge.
+
+    ``accumulators`` are per-polygon channel arrays folded from the blend
+    identity over this tile only; ``stats`` counts only this tile's work.
+    ``boundary_mask`` and ``coverage`` carry newly built prepared-state
+    pieces back to the parent (required under the process backend, where
+    workers mutate copy-on-write clones of the artifact), and ``payload``
+    is engine-specific (the bounded engine's per-tile FBO for §5 result
+    intervals).
+    """
+
+    tile_idx: int
+    accumulators: dict[str, np.ndarray] = field(default_factory=dict)
+    stats: ExecutionStats = field(default_factory=ExecutionStats)
+    saw_points: bool = False
+    boundary_mask: np.ndarray | None = None
+    coverage: list | None = None
+    payload: object = None
+
+
+class ExecutionBackend(ABC):
+    """Runs independent tasks and returns their results in task order."""
+
+    name = "abstract"
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers < 1:
+            raise ExecutionBackendError(
+                f"worker count must be >= 1, got {workers}"
+            )
+        self.workers = workers if workers is not None else default_workers()
+
+    @abstractmethod
+    def run_tasks(
+        self,
+        tasks: Sequence[Callable[[], object]],
+        parallelism: int | None = None,
+    ) -> list:
+        """Execute every task, returning results in task order."""
+
+    def _effective_workers(
+        self, num_tasks: int, parallelism: int | None
+    ) -> int:
+        limit = self.workers if parallelism is None else min(
+            self.workers, max(1, parallelism)
+        )
+        return max(1, min(limit, num_tasks))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialBackend(ExecutionBackend):
+    """Inline execution — the reference semantics every backend matches."""
+
+    name = "serial"
+
+    def __init__(self, workers: int | None = None) -> None:
+        # A serial backend runs one task at a time by definition; the
+        # worker count is pinned so stats reporting never lies.
+        super().__init__(1)
+
+    def run_tasks(self, tasks, parallelism=None):
+        return [task() for task in tasks]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Thread-pool execution: shared prepared state, no pickling.
+
+    NumPy kernels release the GIL for the bulk of the per-tile work
+    (rasterization, gathers, reductions), so threads overlap well on
+    multi-core hosts while sharing :class:`PreparedPolygons` artifacts
+    and device-resident point sets by reference.
+    """
+
+    name = "thread"
+
+    def run_tasks(self, tasks, parallelism=None):
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        workers = self._effective_workers(len(tasks), parallelism)
+        if workers == 1:
+            return [task() for task in tasks]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            # Executor.map yields results in submission order regardless
+            # of completion order — the determinism anchor.
+            return list(pool.map(lambda task: task(), tasks))
+
+
+#: Task list inherited by forked workers (copy-on-write; nothing is
+#: pickled on the way in — only results are pickled on the way back).
+#: Guarded by ``_FORK_LOCK`` so concurrent fan-outs from different
+#: threads serialize instead of clobbering each other's task lists.
+_FORKED_TASKS: Sequence[Callable[[], object]] | None = None
+_FORK_LOCK = threading.Lock()
+
+
+def _run_forked_task(index: int):
+    return _FORKED_TASKS[index]()
+
+
+class ProcessBackend(ExecutionBackend):
+    """Fork-pool execution: true parallelism, copy-on-write sharing.
+
+    Tasks are plain closures handed to forked children through process
+    memory, so nothing on the way *in* needs to be picklable; results
+    (:class:`TilePartial`) are pickled on the way back.  Requires the
+    ``fork`` start method (POSIX); platforms without it should use
+    :class:`ThreadBackend` — see ``docs/parallel_execution.md``.
+    """
+
+    name = "process"
+
+    def run_tasks(self, tasks, parallelism=None):
+        global _FORKED_TASKS
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        workers = self._effective_workers(len(tasks), parallelism)
+        if workers == 1 or _FORKED_TASKS is not None:
+            # Degenerate parallelism, or a nested call from inside a
+            # forked worker: run inline (results are identical anyway).
+            return [task() for task in tasks]
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError as exc:
+            raise ExecutionBackendError(
+                "ProcessBackend needs the 'fork' start method, which this "
+                "platform does not provide; use ThreadBackend instead"
+            ) from exc
+        with _FORK_LOCK:
+            _FORKED_TASKS = tasks
+            try:
+                with ctx.Pool(processes=workers) as pool:
+                    return pool.map(_run_forked_task, range(len(tasks)))
+            finally:
+                _FORKED_TASKS = None
+
+
+_BACKEND_CLASSES: dict[str, type[ExecutionBackend]] = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def default_workers() -> int:
+    """Worker count when none is configured: env override, else cores."""
+    env = os.environ.get(WORKERS_ENV_VAR)
+    if env:
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ExecutionBackendError(
+                f"{WORKERS_ENV_VAR} must be an integer, got {env!r}"
+            ) from None
+        if workers < 1:
+            raise ExecutionBackendError(
+                f"{WORKERS_ENV_VAR} must be >= 1, got {workers}"
+            )
+        return workers
+    return os.cpu_count() or 1
+
+
+def resolve_backend(
+    spec: str | ExecutionBackend | None = None,
+    workers: int | None = None,
+) -> ExecutionBackend:
+    """Materialize a backend from a name, an instance, or the environment.
+
+    ``None`` falls back to ``$REPRO_EXEC_BACKEND`` (and worker counts to
+    ``$REPRO_EXEC_WORKERS``), defaulting to serial execution — existing
+    call sites keep their exact pre-parallelism behaviour unless they, or
+    the environment, opt in.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR) or "serial"
+    try:
+        cls = _BACKEND_CLASSES[spec]
+    except KeyError:
+        raise ExecutionBackendError(
+            f"unknown execution backend {spec!r}; "
+            f"expected one of {sorted(_BACKEND_CLASSES)}"
+        ) from None
+    return cls(workers=workers)

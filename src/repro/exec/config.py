@@ -1,0 +1,36 @@
+"""Engine-level execution configuration.
+
+An :class:`EngineConfig` is the single knob callers (engine constructors,
+the optimizer, the SQL planner) use to choose how tile tasks execute.  It
+is deliberately tiny — a backend selector plus a worker count — so it can
+be passed through every layer unchanged and compared or hashed freely.
+
+Results never depend on it: every backend/worker combination produces
+bit-identical grids (see ``docs/parallel_execution.md``), so the config
+is purely a performance decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exec.backend import ExecutionBackend, resolve_backend
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """How an engine executes: which backend, how many workers.
+
+    ``backend`` is a name (``"serial"``, ``"thread"``, ``"process"``), an
+    :class:`ExecutionBackend` instance, or ``None`` to consult
+    ``$REPRO_EXEC_BACKEND`` and default to serial.  ``workers`` of
+    ``None`` consults ``$REPRO_EXEC_WORKERS`` and defaults to the host's
+    core count (always 1 for the serial backend).
+    """
+
+    backend: str | ExecutionBackend | None = None
+    workers: int | None = None
+
+    def make_backend(self) -> ExecutionBackend:
+        """The backend instance this configuration describes."""
+        return resolve_backend(self.backend, self.workers)

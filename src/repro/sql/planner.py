@@ -26,6 +26,7 @@ from repro.core.filters import Filter, FilterSet
 from repro.data.dataset import PointDataset
 from repro.device.memory import GPUDevice
 from repro.errors import SqlError
+from repro.exec.config import EngineConfig
 from repro.geometry.polygon import PolygonSet
 from repro.sql.ast import SelectStatement
 from repro.sql.parser import parse
@@ -47,9 +48,14 @@ class QueryPlanner:
         self,
         device: GPUDevice | None = None,
         session: QuerySession | None = None,
+        config: EngineConfig | None = None,
     ) -> None:
         self.device = device
         self.session = session if session is not None else QuerySession()
+        #: Execution configuration attached to every lowered engine, so a
+        #: SQL deployment opts whole statements into parallel tile
+        #: execution in one place.
+        self.config = config if config is not None else EngineConfig()
         self._points: dict[str, PointDataset] = {}
         self._regions: dict[str, PolygonSet] = {}
 
@@ -158,11 +164,12 @@ class QueryPlanner:
         epsilon = stmt.spatial.epsilon
         if epsilon is not None:
             engine: SpatialAggregationEngine = BoundedRasterJoin(
-                epsilon=epsilon, device=self.device, session=self.session
+                epsilon=epsilon, device=self.device, session=self.session,
+                config=self.config,
             )
         else:
             engine = AccurateRasterJoin(
-                device=self.device, session=self.session
+                device=self.device, session=self.session, config=self.config,
             )
         return engine, points, regions, aggregate, filters
 

@@ -1,0 +1,126 @@
+"""Execution-environment stats are reported uniformly by every engine.
+
+Before the parallel-backend PR only the raster engines set
+``ExecutionStats.extra["tiles"]`` (and only on some paths); now every
+engine reports tile count, backend name, and worker count on every
+execution path, so dashboards and the optimizer can read one schema.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccurateRasterJoin,
+    BoundedRasterJoin,
+    EngineConfig,
+    GPUDevice,
+    IndexJoin,
+    MaterializingJoin,
+    PointDataset,
+    Polygon,
+    PolygonSet,
+)
+
+REQUIRED_KEYS = ("tiles", "backend", "workers")
+
+
+@pytest.fixture
+def workload(rng):
+    n = 2_000
+    points = PointDataset(
+        rng.uniform(0.0, 100.0, n), rng.uniform(0.0, 100.0, n)
+    )
+    polygons = PolygonSet(
+        [
+            Polygon([(10, 10), (45, 12), (40, 45), (12, 40)]),
+            Polygon([(55, 55), (90, 58), (85, 92), (50, 85)]),
+        ]
+    )
+    return points, polygons
+
+
+ENGINE_FACTORIES = {
+    "accurate-raster": lambda config: AccurateRasterJoin(
+        resolution=128, config=config
+    ),
+    "bounded-raster": lambda config: BoundedRasterJoin(
+        resolution=128, config=config
+    ),
+    "index-join-gpu": lambda config: IndexJoin(
+        mode="gpu", grid_resolution=64, config=config
+    ),
+    "index-join-cpu": lambda config: IndexJoin(
+        mode="cpu", grid_resolution=64, config=config
+    ),
+    "materializing-join": lambda config: MaterializingJoin(
+        truncate_bits=None, config=config
+    ),
+}
+
+
+class TestExecutionEnvReporting:
+    @pytest.mark.parametrize("name", sorted(ENGINE_FACTORIES))
+    def test_every_engine_reports_default_env(self, name, workload,
+                                              monkeypatch):
+        # Neutralize the CI matrix override: this test pins the
+        # *built-in* default, which is serial.
+        monkeypatch.delenv("REPRO_EXEC_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_EXEC_WORKERS", raising=False)
+        points, polygons = workload
+        stats = ENGINE_FACTORIES[name](None).execute(points, polygons).stats
+        for key in REQUIRED_KEYS:
+            assert key in stats.extra, (name, key)
+        assert stats.extra["backend"] == "serial"
+        assert stats.extra["workers"] == 1
+        assert stats.extra["tiles"] >= 1
+
+    @pytest.mark.parametrize("name", sorted(ENGINE_FACTORIES))
+    def test_every_engine_reports_configured_backend(self, name, workload):
+        points, polygons = workload
+        config = EngineConfig(backend="thread", workers=2)
+        stats = ENGINE_FACTORIES[name](config).execute(points, polygons).stats
+        assert stats.extra["backend"] == "thread"
+        assert stats.extra["workers"] == 2
+
+    def test_multicore_index_join_reports_its_fork_pool(self, workload):
+        """Multicore mode's own process pool is its execution vehicle,
+        so the report must say so instead of echoing the tile backend."""
+        points, polygons = workload
+        engine = IndexJoin(mode="multicore", grid_resolution=64, workers=2)
+        stats = engine.execute(points, polygons).stats
+        assert stats.extra["backend"] == "process"
+        assert stats.extra["workers"] == 2
+        assert stats.extra["tiles"] == 1
+
+    def test_raster_tile_count_matches_canvas(self, workload):
+        points, polygons = workload
+        device = GPUDevice(max_resolution=48)
+        result = AccurateRasterJoin(resolution=128, device=device).execute(
+            points, polygons
+        )
+        # 128-pixel longer side over 48-pixel FBOs: 3 tile columns, and
+        # the reported count is exactly the prepared layout's.
+        assert result.stats.extra["tiles"] >= 3
+
+    def test_streamed_path_reports_env_too(self, workload):
+        points, polygons = workload
+
+        def chunks():
+            yield points
+
+        result = BoundedRasterJoin(resolution=128).execute_stream(
+            chunks, polygons
+        )
+        for key in REQUIRED_KEYS:
+            assert key in result.stats.extra
+
+    def test_values_unchanged_by_reporting(self, workload):
+        """Reporting is observability only — results stay identical."""
+        points, polygons = workload
+        serial = ENGINE_FACTORIES["accurate-raster"](None).execute(
+            points, polygons
+        )
+        threaded = ENGINE_FACTORIES["accurate-raster"](
+            EngineConfig(backend="thread", workers=2)
+        ).execute(points, polygons)
+        assert np.array_equal(serial.values, threaded.values)

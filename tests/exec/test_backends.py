@@ -1,0 +1,152 @@
+"""Unit tests for the execution-backend subsystem.
+
+The contract every backend must honor: results come back in task order
+(whatever order tasks complete in), exceptions propagate, worker counts
+and parallelism caps are respected, and configuration resolves from
+names, instances, and the environment.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ExecutionBackendError
+from repro.exec import (
+    EngineConfig,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    default_workers,
+    resolve_backend,
+)
+from repro.exec.backend import BACKEND_ENV_VAR, WORKERS_ENV_VAR
+
+ALL_BACKENDS = [
+    SerialBackend(),
+    ThreadBackend(workers=4),
+    ProcessBackend(workers=2),
+]
+
+
+def _ids(backend):
+    return backend.name
+
+
+class TestTaskOrder:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=_ids)
+    def test_results_in_task_order(self, backend):
+        tasks = [lambda i=i: i * i for i in range(10)]
+        assert backend.run_tasks(tasks) == [i * i for i in range(10)]
+
+    def test_thread_order_survives_out_of_order_completion(self):
+        """Early tasks sleeping longest must not reorder the results."""
+        def make(i):
+            def task():
+                time.sleep(0.05 * (4 - i))
+                return i
+            return task
+
+        backend = ThreadBackend(workers=4)
+        assert backend.run_tasks([make(i) for i in range(4)]) == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=_ids)
+    def test_empty_task_list(self, backend):
+        assert backend.run_tasks([]) == []
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=_ids)
+    def test_exceptions_propagate(self, backend):
+        def boom():
+            raise ValueError("tile exploded")
+
+        with pytest.raises(ValueError, match="tile exploded"):
+            backend.run_tasks([lambda: 1, boom, lambda: 3])
+
+
+class TestWorkerLimits:
+    def test_serial_backend_is_single_worker(self):
+        # Even an explicit worker count cannot make serial parallel.
+        assert SerialBackend(workers=8).workers == 1
+
+    def test_worker_count_must_be_positive(self):
+        with pytest.raises(ExecutionBackendError):
+            ThreadBackend(workers=0)
+
+    def test_parallelism_caps_inflight_tasks(self):
+        """The memory-budget cap truly bounds concurrent execution."""
+        lock = threading.Lock()
+        state = {"running": 0, "peak": 0}
+
+        def task():
+            with lock:
+                state["running"] += 1
+                state["peak"] = max(state["peak"], state["running"])
+            time.sleep(0.02)
+            with lock:
+                state["running"] -= 1
+            return True
+
+        backend = ThreadBackend(workers=8)
+        results = backend.run_tasks([task] * 12, parallelism=2)
+        assert all(results)
+        assert state["peak"] <= 2
+
+    def test_process_backend_nested_runs_inline(self):
+        """A process backend used from inside a forked worker must not
+        fork again — it falls back to inline execution."""
+        outer = ProcessBackend(workers=2)
+
+        def nested():
+            return ProcessBackend(workers=2).run_tasks(
+                [lambda: 1, lambda: 2]
+            )
+
+        assert outer.run_tasks([nested, nested]) == [[1, 2], [1, 2]]
+
+
+class TestResolution:
+    def test_names_resolve(self):
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("thread"), ThreadBackend)
+        assert isinstance(resolve_backend("process"), ProcessBackend)
+
+    def test_instance_passthrough(self):
+        backend = ThreadBackend(workers=3)
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ExecutionBackendError, match="unknown"):
+            resolve_backend("gpu-warp")
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert isinstance(resolve_backend(None), SerialBackend)
+
+    def test_environment_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "thread")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        backend = resolve_backend(None)
+        assert isinstance(backend, ThreadBackend)
+        assert backend.workers == 3
+
+    def test_environment_worker_count_validated(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "zero")
+        with pytest.raises(ExecutionBackendError):
+            default_workers()
+        monkeypatch.setenv(WORKERS_ENV_VAR, "-2")
+        with pytest.raises(ExecutionBackendError):
+            default_workers()
+
+    def test_engine_config_builds_backend(self):
+        backend = EngineConfig(backend="thread", workers=2).make_backend()
+        assert isinstance(backend, ThreadBackend)
+        assert backend.workers == 2
+
+    def test_engine_config_default_honors_environment(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        assert isinstance(EngineConfig().make_backend(), ProcessBackend)
+
+    def test_explicit_instance_in_config(self):
+        backend = SerialBackend()
+        assert EngineConfig(backend=backend).make_backend() is backend

@@ -3,6 +3,11 @@
 Every exact engine must agree bit-for-bit; the bounded engine must approach
 them as resolution grows.  These tests run the full taxi-over-neighborhoods
 pipeline end to end, which is the paper's headline experiment in miniature.
+
+``TestExecutionMatrix`` additionally sweeps the full execution matrix —
+(engine × backend × streamed/monolithic × warm/cold QuerySession) — and
+requires every cell to be bit-identical to the serial, cold, monolithic
+reference on a multi-tile canvas.
 """
 
 import numpy as np
@@ -13,14 +18,18 @@ from repro import (
     Average,
     BoundedRasterJoin,
     Count,
+    EngineConfig,
     Filter,
+    GPUDevice,
     IndexJoin,
     MaterializingJoin,
+    PointDataset,
+    QuerySession,
     Sum,
 )
 from repro.data import generate_taxi, generate_voronoi_regions
 from repro.geometry.bbox import BBox
-from tests.conftest import brute_force_counts
+from tests.conftest import brute_force_counts, brute_force_sums
 
 
 @pytest.fixture(scope="module")
@@ -114,6 +123,124 @@ class TestBoundedConvergence:
         )
         both = np.isfinite(accurate.values) & np.isfinite(bounded.values)
         assert np.abs(accurate.values[both] - bounded.values[both]).max() < 0.5
+
+
+#: The execution matrix dimensions (satellite of the parallel-backend PR).
+MATRIX_ENGINES = ("accurate", "bounded")
+MATRIX_BACKENDS = ("serial", "thread", "process")
+
+#: A framebuffer limit below the render resolution forces a multi-tile
+#: canvas, so the backend dimension exercises real tile fan-out.
+MATRIX_RESOLUTION = 256
+MATRIX_MAX_FBO = 128
+
+
+def _matrix_engine(kind: str, backend: str, session: QuerySession | None):
+    config = EngineConfig(backend=backend, workers=3)
+    device = GPUDevice(max_resolution=MATRIX_MAX_FBO)
+    if kind == "accurate":
+        return AccurateRasterJoin(
+            resolution=MATRIX_RESOLUTION, device=device,
+            grid_resolution=256, session=session, config=config,
+        )
+    return BoundedRasterJoin(
+        resolution=MATRIX_RESOLUTION, device=device, session=session,
+        config=config,
+    )
+
+
+class TestExecutionMatrix:
+    """Every (engine × backend × streamed × warm) cell is bit-identical
+    to the serial / cold / monolithic reference of the same engine."""
+
+    @pytest.fixture(scope="class")
+    def matrix_points(self, taxi):
+        return taxi.head(6_000)
+
+    @pytest.fixture(scope="class")
+    def matrix_chunks(self, matrix_points):
+        def chunk_source():
+            n = len(matrix_points)
+            step = -(-n // 3)
+            fares = matrix_points.column("fare")
+            for start in range(0, n, step):
+                end = min(start + step, n)
+                yield PointDataset(
+                    matrix_points.xs[start:end],
+                    matrix_points.ys[start:end],
+                    {"fare": fares[start:end]},
+                )
+        return chunk_source
+
+    @pytest.fixture(scope="class")
+    def references(self, matrix_points, matrix_chunks, hoods):
+        """Serial cold result per (engine kind, ingestion mode).
+
+        Monolithic and streamed ingestion fold boundary-path partial
+        sums in different chunkings (a pre-existing last-ulp effect of
+        pairwise summation), so bit-equality is defined per mode; the
+        backend, worker count, and session warmth must never change a
+        bit within one.
+        """
+        out = {}
+        for kind in MATRIX_ENGINES:
+            monolithic = _matrix_engine(kind, "serial", None).execute(
+                matrix_points, hoods, aggregate=Sum("fare")
+            )
+            # The matrix only means something on a multi-tile canvas.
+            assert monolithic.stats.extra["tiles"] > 1
+            out[(kind, False)] = monolithic
+            out[(kind, True)] = _matrix_engine(
+                kind, "serial", None
+            ).execute_stream(matrix_chunks, hoods, aggregate=Sum("fare"))
+            assert np.allclose(out[(kind, False)].values,
+                               out[(kind, True)].values, rtol=1e-9)
+        return out
+
+    @pytest.mark.parametrize("warm", [False, True], ids=["cold", "warm"])
+    @pytest.mark.parametrize(
+        "streamed", [False, True], ids=["monolithic", "streamed"]
+    )
+    @pytest.mark.parametrize("backend", MATRIX_BACKENDS)
+    @pytest.mark.parametrize("kind", MATRIX_ENGINES)
+    def test_cell_bit_identical(
+        self, kind, backend, streamed, warm, matrix_points, matrix_chunks,
+        hoods, references,
+    ):
+        session = QuerySession() if warm else None
+        engine = _matrix_engine(kind, backend, session)
+        aggregate = Sum("fare")
+
+        def run():
+            if streamed:
+                return engine.execute_stream(
+                    matrix_chunks, hoods, aggregate=aggregate
+                )
+            return engine.execute(matrix_points, hoods, aggregate=aggregate)
+
+        if warm:
+            run()  # priming run populates the session
+            result = run()
+            assert result.stats.prepared_hits == 1
+        else:
+            result = run()
+
+        reference = references[(kind, streamed)]
+        assert np.array_equal(result.values, reference.values)
+        for name in reference.channels:
+            assert np.array_equal(result.channels[name],
+                                  reference.channels[name])
+        assert result.stats.extra["backend"] == backend
+        assert result.stats.extra["tiles"] == reference.stats.extra["tiles"]
+
+    def test_accurate_reference_matches_brute_force(
+        self, matrix_points, hoods, references
+    ):
+        """The anchor: the multi-tile accurate reference is correct, so
+        bit-equality with it means every matrix cell is correct."""
+        expected = brute_force_sums(matrix_points, hoods, "fare")
+        assert np.allclose(references[("accurate", False)].values, expected,
+                           rtol=1e-9)
 
 
 class TestVisualizationQuality:

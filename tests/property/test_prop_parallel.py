@@ -1,0 +1,146 @@
+"""Hypothesis property tests for parallel tile execution.
+
+The determinism guarantee of ``repro.exec``: for random workloads,
+resolutions, worker counts, and backends, the accurate and bounded
+engines produce **bit-identical** values and channel arrays to serial
+execution, for every aggregate kind.  Multi-tile canvases are forced via
+a small device framebuffer limit so the parallelism is real, not a
+single-tile no-op.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AccurateRasterJoin,
+    Average,
+    BoundedRasterJoin,
+    Count,
+    EngineConfig,
+    GPUDevice,
+    Max,
+    Min,
+    PointDataset,
+    PolygonSet,
+    Sum,
+)
+from tests.conftest import random_star_polygon
+
+#: One instance of each aggregate kind per example — the bit-equality
+#: claim covers additive, algebraic, and order-statistic blends alike.
+AGGREGATE_KINDS = (
+    lambda: Count(),
+    lambda: Sum("val"),
+    lambda: Average("val"),
+    lambda: Min("val"),
+    lambda: Max("val"),
+)
+
+
+@st.composite
+def parallel_workloads(draw):
+    """Random points + polygons + render/execution configuration."""
+    seed = draw(st.integers(0, 2**31 - 1))
+    n_points = draw(st.integers(50, 1000))
+    n_polys = draw(st.integers(1, 3))
+    resolution = draw(st.sampled_from([96, 144]))
+    workers = draw(st.integers(2, 4))
+    backend = draw(st.sampled_from(["thread", "thread", "process"]))
+    rng = np.random.default_rng(seed)
+    points = PointDataset(
+        rng.uniform(0.0, 100.0, n_points),
+        rng.uniform(0.0, 100.0, n_points),
+        # Signed values stress float summation-order sensitivity.
+        {"val": rng.normal(0.0, 10.0, n_points)},
+    )
+    centers = [(30.0, 30.0), (70.0, 60.0), (40.0, 75.0)]
+    polygons = PolygonSet(
+        [
+            random_star_polygon(
+                rng, center=centers[k], radius_range=(4.0, 22.0),
+                vertices=int(rng.integers(4, 9)),
+            )
+            for k in range(n_polys)
+        ]
+    )
+    return points, polygons, resolution, workers, backend
+
+
+def _device():
+    # A tiny FBO limit forces the canvas into multiple tiles at these
+    # resolutions, so the backends genuinely fan tile tasks out.
+    return GPUDevice(max_resolution=48)
+
+
+def _assert_bit_identical(reference, result, label):
+    assert np.array_equal(reference.values, result.values, equal_nan=True), label
+    assert reference.channels.keys() == result.channels.keys(), label
+    for name in reference.channels:
+        assert np.array_equal(
+            reference.channels[name], result.channels[name]
+        ), (label, name)
+
+
+@given(parallel_workloads())
+@settings(max_examples=6, deadline=None)
+def test_accurate_parallel_bit_identical_to_serial(workload):
+    points, polygons, resolution, workers, backend = workload
+    for make_aggregate in AGGREGATE_KINDS:
+        serial = AccurateRasterJoin(
+            resolution=resolution, device=_device()
+        ).execute(points, polygons, aggregate=make_aggregate())
+        assert serial.stats.extra["tiles"] > 1
+        parallel = AccurateRasterJoin(
+            resolution=resolution, device=_device(),
+            config=EngineConfig(backend=backend, workers=workers),
+        ).execute(points, polygons, aggregate=make_aggregate())
+        _assert_bit_identical(
+            serial, parallel,
+            (backend, workers, type(make_aggregate()).__name__),
+        )
+
+
+@given(parallel_workloads())
+@settings(max_examples=6, deadline=None)
+def test_bounded_parallel_bit_identical_to_serial(workload):
+    points, polygons, resolution, workers, backend = workload
+    for make_aggregate in AGGREGATE_KINDS:
+        serial = BoundedRasterJoin(
+            resolution=resolution, device=_device()
+        ).execute(points, polygons, aggregate=make_aggregate())
+        assert serial.stats.extra["tiles"] > 1
+        parallel = BoundedRasterJoin(
+            resolution=resolution, device=_device(),
+            config=EngineConfig(backend=backend, workers=workers),
+        ).execute(points, polygons, aggregate=make_aggregate())
+        _assert_bit_identical(
+            serial, parallel,
+            (backend, workers, type(make_aggregate()).__name__),
+        )
+
+
+@given(parallel_workloads())
+@settings(max_examples=4, deadline=None)
+def test_streamed_parallel_bit_identical_to_serial(workload):
+    """Chunked sources re-iterated per tile keep the guarantee."""
+    points, polygons, resolution, workers, backend = workload
+
+    def chunk_source():
+        step = max(1, len(points) // 3)
+        for start in range(0, len(points), step):
+            yield PointDataset(
+                points.xs[start:start + step],
+                points.ys[start:start + step],
+                {"val": points.column("val")[start:start + step]},
+            )
+
+    aggregate = Sum("val")
+    serial = AccurateRasterJoin(
+        resolution=resolution, device=_device()
+    ).execute_stream(chunk_source, polygons, aggregate=aggregate)
+    parallel = AccurateRasterJoin(
+        resolution=resolution, device=_device(),
+        config=EngineConfig(backend=backend, workers=workers),
+    ).execute_stream(chunk_source, polygons, aggregate=aggregate)
+    _assert_bit_identical(serial, parallel, (backend, workers, "stream"))
