@@ -13,16 +13,27 @@ coverage after every change:
 4. flip back and forth between competing proposals (the undo/redo loop)
    with a :class:`QuerySession`, so revisiting a zoning — or running a
    different aggregate over it — reuses its triangulations, grid index,
-   boundary masks, and coverage instead of rebuilding them.
+   boundary masks, and coverage instead of rebuilding them;
+5. save the day's prepared state to an :class:`ArtifactStore`, "restart"
+   the planning tool, and answer the first query of the next session
+   disk-warm — no re-triangulation, bit-identical numbers.
 
 Run:  python examples/interactive_rezoning.py
 """
 
+import tempfile
 import time
 
 import numpy as np
 
-from repro import AccurateRasterJoin, BoundedRasterJoin, Count, QuerySession, Sum
+from repro import (
+    AccurateRasterJoin,
+    ArtifactStore,
+    BoundedRasterJoin,
+    Count,
+    QuerySession,
+    Sum,
+)
 from repro.data import generate_taxi, generate_voronoi_regions
 from repro.data.regions import NYC_REGION_EXTENT
 from repro.geometry.bbox import BBox
@@ -122,12 +133,44 @@ def proposal_comparison(taxi) -> None:
     print(f"  => {session!r}")
 
 
+def warm_restart(taxi) -> None:
+    """End of day: the planner closes the tool; tomorrow the first query
+    over yesterday's zoning should not pay the cold build again.  An
+    ArtifactStore persists prepared state write-through, so a *new
+    process* (simulated here by a brand-new session over the same
+    directory) starts disk-warm."""
+    print("\n-- Save / restart / warm query with an ArtifactStore --")
+    zoning = generate_voronoi_regions(18, NYC_REGION_EXTENT, seed=100)
+    with tempfile.TemporaryDirectory(prefix="rezoning-store-") as store_dir:
+        # Today's session: the cold build is persisted as a side effect.
+        today = QuerySession(store=ArtifactStore(store_dir))
+        engine = AccurateRasterJoin(resolution=1024, session=today)
+        start = time.perf_counter()
+        before = engine.execute(taxi, zoning, aggregate=Sum("fare"))
+        cold_s = time.perf_counter() - start
+        print(f"  today    : cold build + write-through   [{cold_s:.3f}s, "
+              f"{len(today.store)} artifact(s) on disk]")
+
+        # "Restart": a fresh session + store handle, empty memory tier.
+        tomorrow = QuerySession(store=ArtifactStore(store_dir))
+        engine = AccurateRasterJoin(resolution=1024, session=tomorrow)
+        start = time.perf_counter()
+        after = engine.execute(taxi, zoning, aggregate=Sum("fare"))
+        warm_s = time.perf_counter() - start
+        state = "disk-warm" if after.stats.prepared_store_hits else "cold?!"
+        identical = np.array_equal(before.values, after.values)
+        print(f"  tomorrow : first query {state}          [{warm_s:.3f}s, "
+              f"{cold_s / warm_s:.1f}x faster, bit-identical={identical}]")
+        print(f"  => {tomorrow!r}")
+
+
 def main() -> None:
     print("Generating 500k taxi pickups...")
     taxi = generate_taxi(500_000, seed=9)
     rezoning_session(taxi)
     facility_coverage(taxi)
     proposal_comparison(taxi)
+    warm_restart(taxi)
 
 
 if __name__ == "__main__":

@@ -48,6 +48,7 @@ from repro.exec import (
     ThreadBackend,
 )
 from repro.geometry import BBox, Polygon, PolygonSet
+from repro.store import ArtifactStore
 from repro.types import AggregationResult, ExecutionStats, ResultIntervals
 
 __version__ = "1.0.0"
@@ -56,6 +57,7 @@ __all__ = [
     "AccurateRasterJoin",
     "Aggregate",
     "AggregationResult",
+    "ArtifactStore",
     "Average",
     "BBox",
     "BoundedRasterJoin",

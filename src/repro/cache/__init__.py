@@ -12,11 +12,14 @@ accelerated aggregation):
 * :class:`~repro.cache.prepared.PreparedPolygons` — the reusable artifact,
   keyed by a content fingerprint of the polygon set plus the engine's
   render configuration;
-* :class:`~repro.cache.session.QuerySession` — a bounded LRU cache of
-  prepared artifacts shared by every engine that accepts ``session=``.
+* :class:`~repro.cache.session.QuerySession` — a tiered, byte-budgeted
+  cache of prepared artifacts shared by every engine that accepts
+  ``session=``, optionally backed by the persistent
+  :class:`~repro.store.ArtifactStore` disk tier so a restarted process
+  answers repeated queries warm.
 
 See ``docs/query_sessions.md`` for the API contract and the cache
-invalidation rules.
+invalidation rules, and ``docs/artifact_store.md`` for the disk tier.
 """
 
 from repro.cache.prepared import PreparedPolygons, polygon_fingerprint

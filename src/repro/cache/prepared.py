@@ -38,14 +38,21 @@ def polygon_fingerprint(polygons: PolygonSet | Sequence[Polygon]) -> str:
     order, so two :class:`PolygonSet` objects with identical content hash
     identically while any vertex edit, insertion, deletion, or reordering
     produces a new key — the cache can never serve stale geometry.
+
+    The hash is byte-stable across platforms: coordinates are hashed as
+    canonical little-endian float64 buffers and lengths as little-endian
+    integers, never as ``repr`` text or native-endian memory, so an
+    artifact store populated on one machine addresses identically on any
+    other.  (The on-disk key additionally folds in the format version and
+    dtype tag — see :func:`repro.store.format.key_id`.)
     """
     digest = hashlib.blake2b(digest_size=16)
     polys = list(polygons)
     digest.update(len(polys).to_bytes(8, "little"))
     for poly in polys:
         for ring in poly.rings:
-            digest.update(np.int64(len(ring)).tobytes())
-            digest.update(np.ascontiguousarray(ring, dtype=np.float64).tobytes())
+            digest.update(len(ring).to_bytes(8, "little"))
+            digest.update(np.ascontiguousarray(ring, dtype="<f8").tobytes())
     return digest.hexdigest()
 
 
@@ -131,8 +138,54 @@ class PreparedPolygons:
         return self.mbr_arrays
 
     # ------------------------------------------------------------------
+    # Tiered demotion support
+    # ------------------------------------------------------------------
+    @property
+    def has_derived(self) -> bool:
+        """Whether the artifact carries re-derivable render state.
+
+        Boundary masks and coverage are pure functions of the fields that
+        remain after stripping them (tiles, triangles), so they are the
+        first tier a byte-budgeted session gives back.
+        """
+        return bool(self.boundary_masks) or bool(self.coverage)
+
+    def strip_derived(self) -> int:
+        """Drop boundary masks and coverage, returning the bytes freed.
+
+        The artifact becomes *partial*: triangles, grid, canvas, and MBRs
+        stay hot while the (much larger) per-pixel state is released.
+        Engines re-derive the dropped pieces lazily, tile by tile, and
+        the re-derived arrays are bit-identical to the dropped ones.
+        """
+        before = self.nbytes
+        self.boundary_masks = {}
+        self.coverage = {}
+        return before - self.nbytes
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def content_signature(self) -> tuple:
+        """O(1) proxy for "has the artifact changed since I last looked".
+
+        Within one cache key the contents are deterministic and fields
+        only ever appear (or vanish wholesale via :meth:`strip_derived`),
+        so which fields are present — plus the per-tile dict sizes — pins
+        the content: equal signatures imply equal ``nbytes``.  Sessions
+        use this to skip the (expensive) byte walk for unchanged entries.
+        """
+        return (
+            self.canvas is not None,
+            self.tiles is not None,
+            self.triangles is not None,
+            self.grid is not None,
+            self.mbr_arrays is not None,
+            len(self.boundary_masks),
+            len(self.coverage),
+        )
+
     @property
     def nbytes(self) -> int:
         """Approximate artifact footprint (for capacity decisions)."""

@@ -1,4 +1,4 @@
-"""A bounded cache of prepared polygon artifacts shared across queries.
+"""A tiered cache of prepared polygon artifacts shared across queries.
 
 Pass one :class:`QuerySession` to every engine (or to the SQL planner /
 optimizer, which forward it) and repeated queries over the same polygon
@@ -10,18 +10,34 @@ and polygon coverage instead of rebuilding them:
     engine.execute(points, zones)          # cold: builds prepared state
     engine.execute(points, zones)          # warm: prepared-state hit
 
+The session is *tiered* (see ``docs/artifact_store.md``):
+
+1. **Memory, full** — the artifact with every derived field hot.
+2. **Memory, partial** — under byte-budget pressure the coverage arrays
+   and boundary masks of cold entries are dropped (they re-derive
+   lazily, bit-identically); triangles and the grid index stay hot.
+3. **Disk** — with an :class:`~repro.store.ArtifactStore` attached (or
+   ``$REPRO_STORE_DIR`` set), entries leaving memory are *demoted* to
+   the store instead of dropped, and lookups that miss memory consult
+   the store before rebuilding — which is how a restarted process
+   answers its first repeated query warm.
+4. **Rebuild** — a miss everywhere builds from scratch, exactly the
+   sessionless code path.
+
 Invalidation rules (see ``docs/query_sessions.md``):
 
 * entries are keyed by a *content fingerprint* of the polygon geometry
   plus the engine's render spec, so editing a polygon set (or passing a
   different one) can never hit a stale entry — it simply keys a new one;
-* the session holds at most ``capacity`` artifacts and evicts the least
-  recently used beyond that;
-* :meth:`QuerySession.invalidate` drops entries eagerly, for all polygon
-  sets or one, when the caller wants memory back *now*.
+* the session holds at most ``capacity`` artifacts (and at most
+  ``byte_budget`` bytes, when set), demoting the least recently used
+  beyond that;
+* :meth:`QuerySession.invalidate` drops in-memory entries eagerly when
+  the caller wants memory back *now* (the store keeps its copies).
 
-Results are bit-identical with and without a session: engines run the
-same reduction code over the same arrays either way.
+Results are bit-identical with and without a session, and with and
+without the store: engines run the same reduction code over the same
+arrays wherever those arrays came from.
 """
 
 from __future__ import annotations
@@ -35,15 +51,60 @@ from repro.geometry.polygon import Polygon, PolygonSet
 
 
 class QuerySession:
-    """LRU cache of :class:`PreparedPolygons`, shared by many engines."""
+    """Tiered cache of :class:`PreparedPolygons`, shared by many engines.
 
-    def __init__(self, capacity: int = 8) -> None:
+    Parameters
+    ----------
+    capacity:
+        Maximum number of in-memory artifacts (LRU beyond it).
+    byte_budget:
+        Optional cap on the summed ``nbytes`` of in-memory artifacts
+        (plain int or a ``"256M"``-style string).  Over budget, cold
+        entries are first stripped to partial artifacts and then demoted
+        out of memory entirely, LRU-first.  During a lookup the entry
+        being handed out is protected; at the post-execution checkpoint
+        nothing is — a budget smaller than one artifact demotes even the
+        just-executed entry (it stays answerable through the store).
+    store:
+        The disk tier: an :class:`~repro.store.ArtifactStore`, a
+        directory path, ``None`` to consult ``$REPRO_STORE_DIR``, or
+        ``False`` to force-disable the disk tier.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 8,
+        byte_budget: int | str | None = None,
+        store=None,
+    ) -> None:
         if capacity < 1:
             raise QueryError(f"session capacity must be >= 1, got {capacity}")
+        from repro.store import ArtifactStore, parse_bytes
+
         self.capacity = capacity
+        self.byte_budget = parse_bytes(byte_budget)
+        self.store = ArtifactStore.coerce(store)
         self._entries: "OrderedDict[tuple, PreparedPolygons]" = OrderedDict()
+        #: key -> artifact nbytes at the time it was last persisted.  An
+        #: entry is dirty only while its in-memory content *exceeds* the
+        #: persisted size: per key the content is deterministic and only
+        #: ever shrinks by stripping derived state (which the disk copy
+        #: keeps), so equal-or-smaller means the store already holds a
+        #: superset and re-saving would write identical (or less) data.
+        self._persisted: dict[tuple, int] = {}
+        #: key -> nbytes at which the store rejected the artifact as
+        #: larger than its whole disk budget; suppresses pointless
+        #: re-serialization until the artifact grows past that size.
+        self._unstorable: dict[tuple, int] = {}
+        #: key -> (content signature, nbytes): the byte walk is O(all
+        #: coverage pieces), so it runs only when an entry's O(1)
+        #: signature says the content actually changed.
+        self._sizes: dict[tuple, tuple[tuple, int]] = {}
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
+        self.demotions = 0
+        self.partial_demotions = 0
 
     # ------------------------------------------------------------------
     # Lookup
@@ -52,12 +113,17 @@ class QuerySession:
         self,
         polygons: PolygonSet | Sequence[Polygon],
         spec: tuple,
-    ) -> tuple[PreparedPolygons, bool]:
-        """The artifact for (polygons, spec), plus whether it was cached.
+    ) -> tuple[PreparedPolygons, str]:
+        """The artifact for (polygons, spec), plus where it came from.
 
         ``spec`` is the engine's render configuration tuple — everything
         besides geometry that the artifact's contents depend on (engine
         kind, resolution/epsilon, grid resolution, tiling limit, ...).
+
+        The second element is ``"memory"`` for an in-memory hit,
+        ``"store"`` for a disk-tier hit (loaded and promoted back into
+        memory), or ``""`` (falsy) for a miss that created a fresh
+        artifact.
         """
         key = (polygon_fingerprint(polygons),) + tuple(spec)
         entry = self._entries.get(key)
@@ -65,13 +131,255 @@ class QuerySession:
             self._entries.move_to_end(key)
             self.hits += 1
             entry.uses += 1
-            return entry, True
+            # A hit changes nothing the tiers care about — no new entry,
+            # no bytes, no mutation since the last post-execution
+            # checkpoint — so the warm path skips maintenance and stays
+            # O(1), like the pre-store LRU.
+            return entry, "memory"
+        if self.store is not None:
+            entry = self.store.load(key, polygons)
+            if entry is not None:
+                self._entries[key] = entry
+                # Fresh from disk: identical bytes are already persisted,
+                # so the next flush skips it unless it grows.
+                self._persisted[key] = entry.nbytes
+                self.store_hits += 1
+                entry.uses += 1
+                self._maintain(exclude=key)
+                return entry, "store"
         entry = PreparedPolygons(key)
         self._entries[key] = entry
         self.misses += 1
+        self._maintain(exclude=key)
+        return entry, ""
+
+    def contains(
+        self,
+        polygons: PolygonSet | Sequence[Polygon],
+        spec: tuple,
+    ) -> bool:
+        """Whether an artifact exists for (polygons, spec) in memory or
+        on disk — without touching LRU order, counters, or the files."""
+        key = (polygon_fingerprint(polygons),) + tuple(spec)
+        if key in self._entries:
+            return True
+        return self.store is not None and self.store.contains(key)
+
+    def warmth(
+        self,
+        polygons: PolygonSet | Sequence[Polygon],
+        spec: tuple,
+    ) -> str | None:
+        """How warm (polygons, spec) is: ``"full"``, ``"partial"``, or
+        ``None`` — without touching LRU order, counters, or mtimes.
+
+        ``"full"`` means the polygon pass replays stored coverage;
+        ``"partial"`` means triangulation/grid are reusable but coverage
+        (and boundary masks) re-derive.  Cache-aware optimizer costing
+        discounts exactly what each grade actually skips.  Invalid disk
+        pairs grade ``None`` — costing then assumes (correctly) a cold
+        rebuild.
+
+        A *resident* entry's grade is authoritative even when the disk
+        copy is richer: lookups serve the memory entry as-is (promoting
+        the full disk copy back would undo the byte budget that
+        stripped it), so a partial entry really does re-rasterize — the
+        grade reflects the execution that will happen, not the best
+        artifact that exists somewhere.
+        """
+        key = (polygon_fingerprint(polygons),) + tuple(spec)
+        entry = self._entries.get(key)
+        if entry is not None:
+            if entry.coverage:
+                return "full"
+            if entry.triangles is not None or entry.grid is not None:
+                return "partial"
+            return None  # empty shell: execution rebuilds everything
+        if self.store is not None:
+            fields = self.store.describe(key)
+            if fields is not None:
+                if "coverage" in fields:
+                    return "full"
+                if "triangles" in fields or "grid" in fields:
+                    return "partial"
+        return None
+
+    # ------------------------------------------------------------------
+    # Tier maintenance
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Persist dirty artifacts and enforce both budgets.
+
+        Engines call this after every execution, which makes the store
+        write-through: by the time a query's result is returned, its
+        prepared state is durable and a process restart answers the same
+        query warm.  Unchanged artifacts are never re-written.
+        """
+        self._maintain(exclude=None)
+
+    def _maintain(self, exclude: tuple | None) -> None:
+        """Post-lookup/post-execution housekeeping.
+
+        ``exclude`` protects the entry being handed out of a lookup.
+        Artifact sizes are measured once per event (``nbytes`` walks
+        every coverage piece, so it is the expensive part) and shared by
+        the flush and both budget passes.  A session with neither a
+        store nor a byte budget skips the measurement entirely — its
+        warm hits stay O(1) as before, capacity eviction needs no sizes.
+        """
+        if self.store is None and self.byte_budget is None:
+            self._enforce_capacity(exclude, {})
+            return
+        sizes = {
+            key: self._entry_nbytes(key, entry)
+            for key, entry in self._entries.items()
+        }
+        self._flush_dirty(sizes)
+        self._enforce_capacity(exclude, sizes)
+        self._enforce_byte_budget(exclude, sizes)
+
+    def _entry_nbytes(self, key: tuple, entry: PreparedPolygons) -> int:
+        """The entry's ``nbytes``, re-measured only when its content
+        signature changed since the last measurement."""
+        signature = entry.content_signature
+        cached = self._sizes.get(key)
+        if cached is not None and cached[0] == signature:
+            return cached[1]
+        nbytes = entry.nbytes
+        self._sizes[key] = (signature, nbytes)
+        return nbytes
+
+    def _is_dirty(self, key: tuple, nbytes: int) -> bool:
+        """Whether the store lacks (a superset of) this entry's content.
+
+        Grown content (``nbytes`` above the persisted size) is dirty;
+        so is any non-empty entry whose on-disk pair has vanished
+        underneath us (``store.clear()``, disk-budget eviction, another
+        process) — the existence probe keeps the ``_persisted`` markers
+        from silently turning demotion into data loss.
+        """
+        if nbytes == 0:
+            return False
+        if key in self._unstorable and nbytes >= self._unstorable[key]:
+            # Refused at a size it still meets or exceeds: retrying is
+            # guaranteed to fail.  An artifact that *shrank* below the
+            # rejected size (a budget strip) falls through — the smaller
+            # pair may fit the disk cap now.
+            return False
+        if nbytes > self._persisted.get(key, -1):
+            return True
+        return not self.store.contains(key)
+
+    def _try_save(self, key: tuple, entry: PreparedPolygons,
+                  nbytes: int) -> bool:
+        """Best-effort persistence: a failing disk never fails a query.
+
+        The query's result is already correct when persistence runs, so
+        I/O errors (disk full, dead mount, permissions) only forfeit
+        warmth: the entry stays dirty and the next checkpoint retries.
+        An artifact the store *rejects* (bigger than the whole disk
+        budget) is remembered as unstorable at that size, so checkpoints
+        don't re-serialize it query after query.
+        """
+        from repro.store import ArtifactTooLargeError
+
+        try:
+            self.store.save(key, entry)
+        except ArtifactTooLargeError:
+            self._unstorable[key] = nbytes
+            return False
+        except (TypeError, ValueError):
+            # A spec value the format can't address (not JSON
+            # serializable): the key is unstorable at any size — this
+            # session serves it from memory only.
+            self._unstorable[key] = nbytes
+            return False
+        except OSError:
+            self.store.save_failures += 1
+            return False
+        self._persisted[key] = nbytes
+        self._unstorable.pop(key, None)  # it fits after all (it shrank)
+        return True
+
+    def _flush_dirty(self, sizes: dict) -> int:
+        if self.store is None:
+            return 0
+        saved = 0
+        for key, entry in list(self._entries.items()):
+            if not self._is_dirty(key, sizes[key]):
+                continue  # empty (never executed) or already durable
+            if self._try_save(key, entry, sizes[key]):
+                saved += 1
+        return saved
+
+    def _demote(self, key: tuple, nbytes: int) -> None:
+        """Move one entry out of memory, persisting it first if needed."""
+        entry = self._entries.pop(key)
+        if self.store is not None and self._is_dirty(key, nbytes):
+            self._try_save(key, entry, nbytes)
+        self._forget(key)
+        self.demotions += 1
+
+    def _forget(self, key: tuple) -> None:
+        """Drop a departed key's bookkeeping.
+
+        The side maps are keyed only by *resident* entries, so a
+        long-lived serving session (every rezoning stroke keys a fresh
+        fingerprint) stays bounded by ``capacity``.  Worst case of
+        forgetting: one redundant save if the same key is ever rebuilt
+        from scratch instead of re-entering through a store hit.
+        """
+        self._sizes.pop(key, None)
+        self._persisted.pop(key, None)
+        self._unstorable.pop(key, None)
+
+    def _enforce_capacity(self, exclude: tuple | None, sizes: dict) -> None:
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-        return entry, False
+            victim = next(
+                (k for k in self._entries if k != exclude), None
+            )
+            if victim is None:
+                return
+            self._demote(victim, sizes.get(victim, 0))
+
+    def _enforce_byte_budget(self, exclude: tuple | None,
+                             sizes: dict) -> None:
+        if self.byte_budget is None:
+            return
+        total = sum(sizes[key] for key in self._entries)
+        if total <= self.byte_budget:
+            return
+        # Tier 1: strip re-derivable state (coverage, boundary masks)
+        # from cold entries, keeping triangles and grid hot.  Full
+        # artifacts are persisted first so the disk tier keeps coverage.
+        for key in list(self._entries):
+            if total <= self.byte_budget:
+                return
+            if key == exclude:
+                continue
+            entry = self._entries[key]
+            if not entry.has_derived:
+                continue
+            if self.store is not None and self._is_dirty(key, sizes[key]):
+                # Persist the *full* artifact before stripping, so the
+                # disk tier keeps coverage.  ``_persisted`` stays at the
+                # full size: the stripped entry reads as clean (the
+                # store holds a superset) and lazy re-derivation — which
+                # is bit-identical — reads as clean too, so repeated
+                # budget-pressured queries never rewrite the pair.
+                self._try_save(key, entry, sizes[key])
+            freed = entry.strip_derived()
+            sizes[key] -= freed
+            total -= freed
+            self.partial_demotions += 1
+        # Tier 2: demote whole entries to the store, LRU-first.
+        for key in list(self._entries):
+            if total <= self.byte_budget:
+                return
+            if key == exclude:
+                continue
+            total -= sizes[key]
+            self._demote(key, sizes[key])
 
     # ------------------------------------------------------------------
     # Invalidation
@@ -79,19 +387,25 @@ class QuerySession:
     def invalidate(
         self, polygons: PolygonSet | Sequence[Polygon] | None = None
     ) -> int:
-        """Drop cached artifacts, returning how many were removed.
+        """Drop cached in-memory artifacts, returning how many were
+        removed.
 
         With ``polygons`` given, only entries for that geometry (any spec)
-        are dropped; with ``None``, the whole session is cleared.
+        are dropped; with ``None``, the whole session is cleared.  The
+        disk tier is left intact — use ``session.store.clear()`` (or
+        ``delete``) to reclaim disk space.
         """
         if polygons is None:
             removed = len(self._entries)
+            for key in list(self._entries):
+                self._forget(key)
             self._entries.clear()
             return removed
         fingerprint = polygon_fingerprint(polygons)
         doomed = [key for key in self._entries if key[0] == fingerprint]
         for key in doomed:
             del self._entries[key]
+            self._forget(key)
         return len(doomed)
 
     # ------------------------------------------------------------------
@@ -102,12 +416,20 @@ class QuerySession:
 
     @property
     def nbytes(self) -> int:
-        """Approximate bytes held by all cached artifacts."""
+        """Approximate bytes held by all in-memory artifacts."""
         return sum(entry.nbytes for entry in self._entries.values())
 
     def __repr__(self) -> str:
-        return (
+        body = (
             f"QuerySession({len(self._entries)}/{self.capacity} entries, "
             f"{self.hits} hits, {self.misses} misses, "
-            f"~{self.nbytes / 1e6:.1f} MB)"
+            f"~{self.nbytes / 1e6:.1f} MB"
         )
+        if self.byte_budget is not None:
+            body += f" of {self.byte_budget / 1e6:.1f} MB budget"
+        if self.store is not None:
+            body += (
+                f", store: {self.store_hits} hits, "
+                f"{self.demotions} demotions"
+            )
+        return body + ")"

@@ -79,17 +79,25 @@ class AccurateRasterJoin(SpatialAggregationEngine):
     # ------------------------------------------------------------------
     # Prepared state
     # ------------------------------------------------------------------
-    def _prepare(
-        self, polygons: PolygonSet, stats: ExecutionStats
-    ) -> PreparedPolygons:
-        """Canvas layout, triangulations, and grid index — built once."""
-        spec = (
+    def prepared_spec(self) -> tuple:
+        """The render-spec part of this engine's artifact cache key.
+
+        Everything besides geometry that prepared state depends on.  The
+        optimizer probes sessions with this spec for cache-aware costing;
+        it must stay in lockstep with what :meth:`_prepare` keys on.
+        """
+        return (
             "accurate",
             self.resolution,
             self.grid_resolution,
             self.max_resolution,
         )
-        prepared = self._prepared_state(polygons, spec, stats)
+
+    def _prepare(
+        self, polygons: PolygonSet, stats: ExecutionStats
+    ) -> PreparedPolygons:
+        """Canvas layout, triangulations, and grid index — built once."""
+        prepared = self._prepared_state(polygons, self.prepared_spec(), stats)
         if prepared.canvas is None:
             extent = polygons.bbox
             probe = Canvas.for_resolution(extent, self.resolution)
@@ -146,6 +154,7 @@ class AccurateRasterJoin(SpatialAggregationEngine):
             raise QueryError("chunk source produced no chunks")
         if stats.batches == 0:
             stats.batches = 1
+        self._checkpoint_session()
         return AggregationResult(
             values=aggregate.finalize(accumulators),
             channels=accumulators,

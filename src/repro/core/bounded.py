@@ -108,18 +108,26 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         pad = max(probe.pixel_width, probe.pixel_height)
         return Canvas.for_resolution(extent.expanded(pad), self.resolution)
 
-    def _prepare(
-        self, polygons: PolygonSet, stats: ExecutionStats
-    ) -> PreparedPolygons:
-        """Canvas layout and triangulations — built once per polygon set."""
-        spec = (
+    def prepared_spec(self) -> tuple:
+        """The render-spec part of this engine's artifact cache key.
+
+        Everything besides geometry that prepared state depends on.  The
+        optimizer probes sessions with this spec for cache-aware costing;
+        it must stay in lockstep with what :meth:`_prepare` keys on.
+        """
+        return (
             "bounded",
             self.epsilon,
             self.resolution,
             self.max_resolution,
             self.use_scanline,
         )
-        prepared = self._prepared_state(polygons, spec, stats)
+
+    def _prepare(
+        self, polygons: PolygonSet, stats: ExecutionStats
+    ) -> PreparedPolygons:
+        """Canvas layout and triangulations — built once per polygon set."""
+        prepared = self._prepared_state(polygons, self.prepared_spec(), stats)
         if prepared.canvas is None:
             prepared.canvas = self._make_canvas(polygons)
             prepared.tiles = list(prepared.canvas.tiles(self.max_resolution))
@@ -191,6 +199,7 @@ class BoundedRasterJoin(SpatialAggregationEngine):
             raise QueryError("chunk source produced no chunks")
         if stats.batches == 0:
             stats.batches = 1
+        self._checkpoint_session()
         return AggregationResult(
             values=aggregate.finalize(accumulators),
             channels=accumulators,

@@ -58,16 +58,24 @@ class SpatialAggregationEngine(ABC):
         config: EngineConfig | None = None,
     ) -> None:
         self.device = device
+        #: Execution configuration: which backend runs independent tile
+        #: tasks and with how many workers, plus the optional artifact
+        #: store location.  Results are bit-identical for every choice —
+        #: this is purely a performance knob.
+        self.config = config if config is not None else EngineConfig()
+        self.backend = self.config.make_backend()
+        if session is None:
+            # An explicit store location on the config opts the engine
+            # into cross-session persistence even without a caller-owned
+            # session: prepared state flows through a private session
+            # backed by that store (None unless config.store_dir is set
+            # — see EngineConfig.default_session for the gate).
+            session = self.config.default_session()
         #: Optional prepared-state cache shared across queries (and across
         #: engines).  Without one, every execution builds throwaway
         #: prepared state through the same preparation code — nothing is
         #: retained, and results are bit-identical either way.
         self.session = session
-        #: Execution configuration: which backend runs independent tile
-        #: tasks and with how many workers.  Results are bit-identical
-        #: for every choice — this is purely a performance knob.
-        self.config = config if config is not None else EngineConfig()
-        self.backend = self.config.make_backend()
 
     # ------------------------------------------------------------------
     # Public API
@@ -94,6 +102,7 @@ class SpatialAggregationEngine(ABC):
             stats.passes = 1
         if stats.batches == 0:
             stats.batches = 1
+        self._checkpoint_session()
         return AggregationResult(values=values, channels=channels, stats=stats)
 
     def execute_stream(
@@ -166,16 +175,38 @@ class SpatialAggregationEngine(ABC):
         into) the cache and the hit/miss is recorded in ``stats``; without
         one, a fresh throwaway artifact is returned so both paths run the
         same preparation code.
+
+        ``prepared_hits``/``prepared_misses`` describe the *in-memory*
+        cache; a disk-tier hit therefore counts as a memory miss plus a
+        ``prepared_store_hits`` increment, so the memory counters read
+        identically whether or not a store is attached.
         """
         if self.session is None:
             return PreparedPolygons()
-        prepared, hit = self.session.prepared_for(polygons, spec)
-        if hit:
+        prepared, source = self.session.prepared_for(polygons, spec)
+        if source == "memory":
             stats.prepared_hits += 1
+            stats.extra["prepared"] = "hit"
+        elif source == "store":
+            stats.prepared_misses += 1
+            stats.prepared_store_hits += 1
+            stats.extra["prepared"] = "store-hit"
         else:
             stats.prepared_misses += 1
-        stats.extra["prepared"] = "hit" if hit else "miss"
+            stats.extra["prepared"] = "miss"
         return prepared
+
+    def _checkpoint_session(self) -> None:
+        """Make the session durable after an execution.
+
+        Write-through persistence: freshly built prepared state reaches
+        the session's artifact store (when one is attached) before the
+        result is returned, and the in-memory byte budget is enforced.
+        Runs outside the timed execution stats — durability is not query
+        work.
+        """
+        if self.session is not None:
+            self.session.checkpoint()
 
     # ------------------------------------------------------------------
     # Tile execution (backend dispatch + deterministic merge)

@@ -89,12 +89,14 @@ class IndexJoin(SpatialAggregationEngine):
         self.name = f"index-join-{mode}"
 
     # ------------------------------------------------------------------
+    def prepared_spec(self) -> tuple:
+        """The render-spec part of this engine's artifact cache key."""
+        return ("grid", self.grid_resolution, self.grid_assignment)
+
     def _build_grid(self, polygons: PolygonSet, stats: ExecutionStats) -> GridIndex:
-        """The polygon grid, reused across queries via the session."""
-        prepared = self._prepared_state(
-            polygons, ("grid", self.grid_resolution, self.grid_assignment),
-            stats,
-        )
+        """The polygon grid, reused across queries (and, with a store,
+        across processes) via the session."""
+        prepared = self._prepared_state(polygons, self.prepared_spec(), stats)
         return prepared.ensure_grid(
             polygons, self.grid_resolution, self.grid_assignment, stats
         )

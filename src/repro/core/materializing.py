@@ -57,6 +57,10 @@ class MaterializingJoin(SpatialAggregationEngine):
         self.leaf_capacity = leaf_capacity
         self.truncate_bits = truncate_bits
 
+    def prepared_spec(self) -> tuple:
+        """The render-spec part of this engine's artifact cache key."""
+        return ("mbr-arrays",)
+
     def _run(
         self,
         points: PointDataset | ResidentPointSet,
@@ -71,7 +75,7 @@ class MaterializingJoin(SpatialAggregationEngine):
         # execution environment uniformly across engines.
         self._record_execution_env(stats, 1)
         # Polygon-side preparation: columnar MBRs, reused via the session.
-        prepared = self._prepared_state(polygons, ("mbr-arrays",), stats)
+        prepared = self._prepared_state(polygons, self.prepared_spec(), stats)
         poly_xmin, poly_xmax, poly_ymin, poly_ymax = (
             prepared.ensure_mbr_arrays(polygons)
         )

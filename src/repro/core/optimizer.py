@@ -33,18 +33,42 @@ from repro.graphics.viewport import Canvas
 
 @dataclass
 class CostModel:
-    """Fitted per-unit costs (seconds)."""
+    """Fitted per-unit costs (seconds).
+
+    ``per_vertex_triangulate`` and ``per_vertex_grid`` price the
+    polygon-side preparation (triangulation; grid-index build) that a
+    cold run pays and a warm run skips.  The ``warm`` argument of the
+    predictors grades what the session actually holds for the variant:
+
+    * ``"full"`` (or ``True``) — the artifact carries coverage, so both
+      the preparation term and the polygon-pass term are dropped (the
+      warm polygon pass replays stored coverage indices, whose gather
+      cost is noise next to rasterizing the triangles);
+    * ``"partial"`` — triangulation/grid are reusable but coverage must
+      re-rasterize, so only the preparation term is dropped;
+    * ``False``/``None`` — cold: every term is paid.
+    """
 
     per_point_render: float
     per_pixel_polygon_pass: float
     per_pip_test: float
     per_boundary_point: float
+    per_vertex_triangulate: float = 0.0
+    per_vertex_grid: float = 0.0
+
+    @staticmethod
+    def _grades(warm) -> tuple[bool, bool]:
+        """(preparation reusable, coverage replayable) for a warm grade."""
+        full = warm is True or warm == "full"
+        return full or warm == "partial", full
 
     def bounded_seconds(
         self, num_points: int, canvas_pixels: int, tiles: int,
-        covered_pixels: int, workers: int = 1,
+        covered_pixels: int, workers: int = 1, num_vertices: int = 0,
+        warm: "str | bool | None" = False,
     ) -> float:
-        """Predicted bounded-join time: point pass per tile + polygon pass.
+        """Predicted bounded-join time: prepare + point pass per tile +
+        polygon pass.
 
         Tiles are independent, so with ``workers`` parallel tile workers
         the point pass runs in ``ceil(tiles / workers)`` waves and the
@@ -53,30 +77,43 @@ class CostModel:
         tiles = max(1, tiles)
         concurrency = max(1, min(workers, tiles))
         waves = math.ceil(tiles / concurrency)
-        return (
-            self.per_point_render * num_points * waves
-            + self.per_pixel_polygon_pass * covered_pixels / concurrency
-        )
+        prepared, replayable = self._grades(warm)
+        seconds = self.per_point_render * num_points * waves
+        if not prepared:
+            seconds += self.per_vertex_triangulate * num_vertices
+        if not replayable:
+            seconds += self.per_pixel_polygon_pass * covered_pixels / concurrency
+        return seconds
 
     def accurate_seconds(
         self, num_points: int, boundary_fraction: float, covered_pixels: int,
-        tiles: int = 1, workers: int = 1,
+        tiles: int = 1, workers: int = 1, num_vertices: int = 0,
+        warm: "str | bool | None" = False,
     ) -> float:
-        """Predicted accurate-join time: render + boundary PIP traffic.
+        """Predicted accurate-join time: prepare + render + boundary PIP.
 
         The render and polygon pass parallelize across tiles like the
         bounded variant; the boundary PIP path is partitioned with the
-        points, so it divides across concurrent tile workers too.
+        points, so it divides across concurrent tile workers too.  The
+        boundary PIP traffic is per-query point work and is paid warm or
+        cold.
         """
         tiles = max(1, tiles)
         concurrency = max(1, min(workers, tiles))
         waves = math.ceil(tiles / concurrency)
         boundary_points = num_points * boundary_fraction
-        return (
+        prepared, replayable = self._grades(warm)
+        seconds = (
             self.per_point_render * num_points * waves
             + self.per_boundary_point * boundary_points / concurrency
-            + self.per_pixel_polygon_pass * covered_pixels / concurrency
         )
+        if not prepared:
+            seconds += (
+                self.per_vertex_triangulate + self.per_vertex_grid
+            ) * num_vertices
+        if not replayable:
+            seconds += self.per_pixel_polygon_pass * covered_pixels / concurrency
+        return seconds
 
 
 def _calibrate(device: GPUDevice | None, probe_points: int = 20_000) -> CostModel:
@@ -104,11 +141,16 @@ def _calibrate(device: GPUDevice | None, probe_points: int = 20_000) -> CostMode
     boundary_pts = max(res_a.stats.boundary_points, 1)
     pip_tests = max(res_a.stats.pip_tests, 1)
     pip_time = max(res_a.stats.processing_s - res_b.stats.processing_s, 1e-9)
+    probe_vertices = sum(p.num_vertices for p in polys)
     return CostModel(
         per_point_render=per_point,
         per_pixel_polygon_pass=per_pixel,
         per_pip_test=pip_time / pip_tests,
         per_boundary_point=pip_time / boundary_pts,
+        per_vertex_triangulate=max(
+            res_b.stats.triangulation_s / probe_vertices, 0.0
+        ),
+        per_vertex_grid=max(res_a.stats.index_build_s / probe_vertices, 0.0),
     )
 
 
@@ -124,14 +166,21 @@ class RasterJoinOptimizer:
     ) -> None:
         self.device = device
         self.accurate_resolution = accurate_resolution
-        #: Forwarded to every engine this optimizer constructs, so a
-        #: rezoning loop that keeps asking for the same polygon set reuses
-        #: its prepared state regardless of which variant wins.
-        self.session = session
         #: Execution configuration, forwarded to constructed engines and
         #: folded into the cost predictions (parallel tile workers shrink
         #: the multi-tile terms of both variants).
         self.config = config if config is not None else EngineConfig()
+        if session is None:
+            # Mirror the engines: an explicit store location on the
+            # config yields an optimizer-owned session (via the shared
+            # EngineConfig.default_session gate), so routing decisions
+            # keep a live memory tier instead of every choose() paying
+            # a disk load through a throwaway per-engine session.
+            session = self.config.default_session()
+        #: Forwarded to every engine this optimizer constructs, so a
+        #: rezoning loop that keeps asking for the same polygon set reuses
+        #: its prepared state regardless of which variant wins.
+        self.session = session
         self._workers = self.config.make_backend().workers
         self._model: CostModel | None = None
 
@@ -142,13 +191,68 @@ class RasterJoinOptimizer:
         return self._model
 
     # ------------------------------------------------------------------
+    def _candidates(
+        self, epsilon: float
+    ) -> tuple[BoundedRasterJoin, AccurateRasterJoin]:
+        """The two engines this optimizer chooses between."""
+        return (
+            BoundedRasterJoin(
+                epsilon=epsilon, device=self.device, session=self.session,
+                config=self.config,
+            ),
+            AccurateRasterJoin(
+                resolution=self.accurate_resolution, device=self.device,
+                session=self.session, config=self.config,
+            ),
+        )
+
+    def _warmth(self, engine, polygons: PolygonSet) -> "str | None":
+        """The warmth grade of the engine's artifact, or ``None`` (cold).
+
+        Probes the *candidate engine's* session — the shared optimizer
+        session when one was given (or derived from an explicit
+        ``EngineConfig.store_dir``); a session-less optimizer costs
+        everything cold, matching the cache-free execution its engines
+        will actually run.  The grade comes from what is actually
+        stored (manifest fields, not bare file existence), so a partial
+        artifact is only credited the preparation it really skips; the
+        probe never touches LRU order, counters, or mtimes — costing a
+        query must never change cache state.
+        """
+        if engine.session is None:
+            return None
+        return engine.session.warmth(polygons, engine.prepared_spec())
+
     def estimate(
         self,
         points: PointDataset,
         polygons: PolygonSet,
         epsilon: float,
     ) -> dict[str, float]:
-        """Predicted seconds for each variant at the given ε."""
+        """Predicted seconds for each variant at the given ε.
+
+        Cache-aware: when the session (memory or artifact store) already
+        holds a variant's prepared artifact, that variant's preparation
+        and polygon-pass terms are dropped — which is how a warm accurate
+        engine can beat a cold bounded one.  The returned dict also
+        reports each variant's warmth under ``"bounded_warm"`` /
+        ``"accurate_warm"``.
+        """
+        return self._estimate(points, polygons, epsilon,
+                              *self._candidates(epsilon))
+
+    def _estimate(
+        self,
+        points: PointDataset,
+        polygons: PolygonSet,
+        epsilon: float,
+        bounded_engine: BoundedRasterJoin,
+        accurate_engine: AccurateRasterJoin,
+    ) -> dict[str, float]:
+        """:meth:`estimate` over an already-constructed candidate pair."""
+        warm_bounded = self._warmth(bounded_engine, polygons)
+        warm_accurate = self._warmth(accurate_engine, polygons)
+        num_vertices = sum(p.num_vertices for p in polygons)
         canvas = Canvas.for_epsilon(polygons.bbox, epsilon)
         max_res = (
             self.device.max_resolution if self.device is not None else 8192
@@ -182,13 +286,17 @@ class RasterJoinOptimizer:
             "bounded": model.bounded_seconds(
                 len(points), canvas.num_pixels, tiles, int(covered),
                 workers=self._effective_workers(points, canvas, max_res, 4),
+                num_vertices=num_vertices, warm=warm_bounded,
             ),
             "accurate": model.accurate_seconds(
                 len(points), boundary_fraction,
                 int(acc_canvas.num_pixels * area_fraction),
                 tiles=acc_tiles,
                 workers=self._effective_workers(points, acc_canvas, max_res, 8),
+                num_vertices=num_vertices, warm=warm_accurate,
             ),
+            "bounded_warm": warm_bounded or False,
+            "accurate_warm": warm_accurate or False,
         }
 
     def _effective_workers(
@@ -220,14 +328,17 @@ class RasterJoinOptimizer:
         polygons: PolygonSet,
         epsilon: float,
     ) -> SpatialAggregationEngine:
-        """The engine predicted to be faster for this query."""
-        cost = self.estimate(points, polygons, epsilon)
+        """The engine predicted to be faster for this query.
+
+        Predictions are cache-aware (see :meth:`estimate`): a variant
+        whose prepared artifact is already in the session — in memory or
+        in the artifact store — competes without its preparation and
+        polygon-pass cost, so a warm accurate engine routinely wins over
+        a cold bounded one in an interactive loop.
+        """
+        bounded_engine, accurate_engine = self._candidates(epsilon)
+        cost = self._estimate(points, polygons, epsilon,
+                              bounded_engine, accurate_engine)
         if cost["bounded"] <= cost["accurate"]:
-            return BoundedRasterJoin(
-                epsilon=epsilon, device=self.device, session=self.session,
-                config=self.config,
-            )
-        return AccurateRasterJoin(
-            resolution=self.accurate_resolution, device=self.device,
-            session=self.session, config=self.config,
-        )
+            return bounded_engine
+        return accurate_engine

@@ -1,13 +1,16 @@
 """Engine-level execution configuration.
 
 An :class:`EngineConfig` is the single knob callers (engine constructors,
-the optimizer, the SQL planner) use to choose how tile tasks execute.  It
-is deliberately tiny — a backend selector plus a worker count — so it can
-be passed through every layer unchanged and compared or hashed freely.
+the optimizer, the SQL planner) use to choose how tile tasks execute and
+where prepared-state artifacts persist.  It is deliberately tiny — a
+backend selector, a worker count, and an artifact-store location — so it
+can be passed through every layer unchanged and compared or hashed
+freely.
 
-Results never depend on it: every backend/worker combination produces
-bit-identical grids (see ``docs/parallel_execution.md``), so the config
-is purely a performance decision.
+Results never depend on it: every backend/worker/store combination
+produces bit-identical grids (see ``docs/parallel_execution.md`` and
+``docs/artifact_store.md``), so the config is purely a performance
+decision.
 """
 
 from __future__ import annotations
@@ -19,18 +22,71 @@ from repro.exec.backend import ExecutionBackend, resolve_backend
 
 @dataclass(frozen=True)
 class EngineConfig:
-    """How an engine executes: which backend, how many workers.
+    """How an engine executes: backend, workers, artifact persistence.
 
     ``backend`` is a name (``"serial"``, ``"thread"``, ``"process"``), an
     :class:`ExecutionBackend` instance, or ``None`` to consult
     ``$REPRO_EXEC_BACKEND`` and default to serial.  ``workers`` of
     ``None`` consults ``$REPRO_EXEC_WORKERS`` and defaults to the host's
     core count (always 1 for the serial backend).
+
+    ``store_dir`` names the directory of a persistent
+    :class:`~repro.store.ArtifactStore`; ``None`` leaves store selection
+    to the session (which consults ``$REPRO_STORE_DIR``).  When set, an
+    engine or planner constructed without a session creates one backed
+    by that store, so cross-session persistence can be switched on from
+    configuration alone.  ``store_budget`` caps that store's on-disk
+    size (bytes, or a ``"512M"``-style string; ``None`` consults
+    ``$REPRO_STORE_BUDGET``).
     """
 
     backend: str | ExecutionBackend | None = None
     workers: int | None = None
+    store_dir: str | None = None
+    store_budget: int | str | None = None
 
     def make_backend(self) -> ExecutionBackend:
         """The backend instance this configuration describes."""
         return resolve_backend(self.backend, self.workers)
+
+    def make_store(self):
+        """The artifact store this configuration describes (or ``None``).
+
+        Explicit fields win over the environment independently: the
+        directory comes from ``store_dir`` else ``$REPRO_STORE_DIR``,
+        the disk cap from ``store_budget`` else ``$REPRO_STORE_BUDGET``.
+        No directory from either source means no store.
+        """
+        import os
+
+        from repro.store import (
+            STORE_BUDGET_ENV_VAR,
+            STORE_DIR_ENV_VAR,
+            ArtifactStore,
+        )
+
+        root = self.store_dir or os.environ.get(STORE_DIR_ENV_VAR)
+        if not root:
+            return None
+        budget = self.store_budget
+        if budget is None:
+            budget = os.environ.get(STORE_BUDGET_ENV_VAR)
+        return ArtifactStore(root, disk_budget=budget)
+
+    def default_session(self):
+        """The session a session-less engine/optimizer should own, or
+        ``None``.
+
+        Only an *explicit* ``store_dir`` creates one: persistence needs
+        a session to live in, and a bare ``$REPRO_STORE_DIR`` must not
+        silently convert cache-free (session-less) construction into
+        caching construction — the environment takes effect through
+        whatever ``QuerySession()`` the caller does create.  This is the
+        single gate for that decision; engines, the optimizer, and the
+        planner all route through it.
+        """
+        if not self.store_dir:
+            return None
+        from repro.cache.session import QuerySession
+
+        return QuerySession(store=self.make_store())

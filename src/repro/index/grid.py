@@ -82,6 +82,37 @@ class GridIndex:
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        polygons: PolygonSet | Sequence[Polygon],
+        resolution: int,
+        assignment: str,
+        extent: BBox,
+        cell_start: np.ndarray,
+        entries: np.ndarray,
+    ) -> "GridIndex":
+        """Rehydrate an index from persisted CSR arrays, skipping the build.
+
+        Used by the artifact store: the CSR arrays are a pure function of
+        (polygon content, resolution, assignment, extent), so an index
+        loaded from disk probes identically to one built from scratch.
+        ``build_seconds`` is zero — nothing was rebuilt.
+        """
+        if assignment not in ("mbr", "exact"):
+            raise GeometryError(f"unknown assignment mode {assignment!r}")
+        self = cls.__new__(cls)
+        self.extent = extent
+        self.resolution = resolution
+        self.assignment = assignment
+        self.polygons = list(polygons)
+        self.cell_w = extent.width / resolution
+        self.cell_h = extent.height / resolution
+        self.cell_start = np.asarray(cell_start, dtype=np.int64)
+        self.entries = np.asarray(entries, dtype=np.int64)
+        self.build_seconds = 0.0
+        return self
+
     def _cells_of(self, polygon: Polygon) -> np.ndarray:
         """Flat cell ids a polygon is assigned to, per the assignment mode."""
         r = self.resolution

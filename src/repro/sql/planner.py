@@ -51,11 +51,24 @@ class QueryPlanner:
         config: EngineConfig | None = None,
     ) -> None:
         self.device = device
-        self.session = session if session is not None else QuerySession()
         #: Execution configuration attached to every lowered engine, so a
         #: SQL deployment opts whole statements into parallel tile
-        #: execution in one place.
+        #: execution — and into artifact persistence — in one place.
         self.config = config if config is not None else EngineConfig()
+        if session is None:
+            # The planner-owned session picks up the artifact store from
+            # the config (explicit ``store_dir``, via the shared
+            # EngineConfig.default_session gate) or — unlike bare
+            # engines, which stay cache-free without a session — from
+            # the environment (``$REPRO_STORE_DIR``), because a SQL
+            # server always owns a session anyway; either way a
+            # restarted server answers its first repeated statement
+            # warm.
+            session = self.config.default_session()
+        if session is None:
+            store = self.config.make_store()
+            session = QuerySession(store=store if store is not None else False)
+        self.session = session
         self._points: dict[str, PointDataset] = {}
         self._regions: dict[str, PolygonSet] = {}
 

@@ -1,0 +1,40 @@
+"""Persistent artifact store: disk-spilled prepared polygon state.
+
+PR 1's :class:`~repro.cache.session.QuerySession` makes repeated queries
+warm *within* one process; this package makes them warm *across*
+processes.  A :class:`~repro.store.store.ArtifactStore` is a directory
+of ``(.npz, .json manifest)`` pairs — one per (geometry fingerprint,
+render spec) key — with atomic writes, checksum validation,
+corruption-tolerant loads, and an LRU-by-recency disk budget.  Attach
+one to a session (or set ``$REPRO_STORE_DIR``) and a restarted server
+answers its first repeated query without re-triangulating anything.
+
+See ``docs/artifact_store.md`` for the format, the eviction tiers, and
+the environment knobs.
+"""
+
+from repro.store.format import (
+    COORD_DTYPE,
+    FORMAT_VERSION,
+    ArtifactFormatError,
+    key_id,
+)
+from repro.store.store import (
+    STORE_BUDGET_ENV_VAR,
+    STORE_DIR_ENV_VAR,
+    ArtifactStore,
+    ArtifactTooLargeError,
+    parse_bytes,
+)
+
+__all__ = [
+    "ArtifactFormatError",
+    "ArtifactStore",
+    "ArtifactTooLargeError",
+    "COORD_DTYPE",
+    "FORMAT_VERSION",
+    "STORE_BUDGET_ENV_VAR",
+    "STORE_DIR_ENV_VAR",
+    "key_id",
+    "parse_bytes",
+]

@@ -1,0 +1,367 @@
+"""On-disk artifact format: one ``.npz`` + one JSON manifest per key.
+
+A persisted :class:`~repro.cache.prepared.PreparedPolygons` is split into
+two files so the cheap part (the manifest) can be read without touching
+the bulk arrays:
+
+* ``<key_id>.npz`` — every array field of the artifact, flattened into
+  named NumPy arrays (triangles, grid CSR, boundary masks, coverage
+  indices, MBR columns, canvas/tile geometry);
+* ``<key_id>.json`` — the manifest: format version, the full cache key
+  (fingerprint + render spec), which fields are present, structural
+  metadata, and a checksum over the ``.npz`` bytes.
+
+``key_id`` is a content hash of ``(FORMAT_VERSION, COORD_DTYPE,
+fingerprint, spec)``: bumping the format version or changing the
+canonical coordinate dtype silently invalidates every existing file by
+keying new names, so no migration code is ever needed — stale files age
+out through the disk budget.
+
+Everything here is pure (bytes in, objects out); durability, atomicity,
+and eviction live in :mod:`repro.store.store`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Sequence
+
+import numpy as np
+
+from repro.cache.prepared import PreparedPolygons
+from repro.errors import QueryError
+from repro.geometry.bbox import BBox
+from repro.graphics.viewport import Canvas, Viewport
+from repro.index.grid import GridIndex
+
+#: Bump on any incompatible change to the array layout or manifest shape.
+#: The version participates in the key hash, so old artifacts are never
+#: even opened by a newer reader — they just stop being addressable.
+FORMAT_VERSION = 1
+
+#: Canonical coordinate dtype: little-endian float64.  Part of the key so
+#: artifacts written on any platform address the same bytes.
+COORD_DTYPE = "<f8"
+
+#: Index dtype for pixel/CSR arrays.
+INDEX_DTYPE = "<i8"
+
+#: Narrow on-disk index dtype, used whenever the values fit.  Pixel and
+#: CSR indices are int64 in memory but virtually never exceed 2^31, so
+#: storing them as int32 halves the dominant arrays; loads widen them
+#: back, making the round trip value-exact either way.
+NARROW_INDEX_DTYPE = "<i4"
+
+
+def _compact_indices(arr: np.ndarray) -> np.ndarray:
+    """Non-negative index array in the narrowest lossless on-disk dtype."""
+    arr = np.asarray(arr)
+    if arr.size == 0 or int(arr.max()) < np.iinfo(np.int32).max:
+        return arr.astype(NARROW_INDEX_DTYPE)
+    return arr.astype(INDEX_DTYPE)
+
+
+class ArtifactFormatError(QueryError):
+    """A persisted artifact failed validation (corrupt, torn, or stale)."""
+
+
+def _canonical_value(value):
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    return value
+
+
+def canonical_spec(spec: Sequence) -> list:
+    """Render-spec values in the exact shape JSON will return them.
+
+    Two jobs, both at the format boundary so save/hash/validate can
+    never disagree: NumPy scalars (``resolution=np.int64(...)`` out of
+    a parameter sweep) become their Python counterparts instead of
+    crashing the manifest dump, and nested sequences become lists —
+    the shape a JSON round trip produces — so a spec saved with a tuple
+    in it still validates when loaded back.
+    """
+    return [_canonical_value(value) for value in spec]
+
+
+def key_id(key: Sequence) -> str:
+    """Stable file-name hash of a cache key (fingerprint + render spec).
+
+    The hash covers the format version and canonical dtype in addition to
+    the key itself, so a format bump or dtype change re-keys every
+    artifact instead of misreading old bytes.
+    """
+    fingerprint, *spec = key
+    canonical = json.dumps(
+        [FORMAT_VERSION, COORD_DTYPE, fingerprint, canonical_spec(spec)],
+        separators=(",", ":"),
+        sort_keys=True,
+    )
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def checksum(data: bytes) -> str:
+    """Integrity digest stored in the manifest and verified on load."""
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Encode
+# ----------------------------------------------------------------------
+def encode(prepared: PreparedPolygons, key: Sequence) -> tuple[dict, dict]:
+    """Flatten an artifact into (named arrays, manifest) for persistence.
+
+    Only populated fields are written; the manifest records which, so a
+    partial artifact (triangles + grid, no coverage) round-trips as
+    exactly that partial artifact.
+    """
+    fingerprint, *spec = key
+    arrays: dict[str, np.ndarray] = {}
+    fields: list[str] = []
+    manifest: dict = {
+        "version": FORMAT_VERSION,
+        "dtype": COORD_DTYPE,
+        "fingerprint": fingerprint,
+        "spec": canonical_spec(spec),
+        "created": time.time(),
+        "nbytes": int(prepared.nbytes),
+        "fields": fields,
+    }
+
+    if prepared.canvas is not None:
+        fields.append("canvas")
+        ext = prepared.canvas.extent
+        arrays["canvas_extent"] = np.asarray(
+            [ext.xmin, ext.ymin, ext.xmax, ext.ymax], dtype=COORD_DTYPE
+        )
+        manifest["canvas"] = {
+            "width": int(prepared.canvas.width),
+            "height": int(prepared.canvas.height),
+        }
+    if prepared.tiles is not None:
+        fields.append("tiles")
+        arrays["tiles_bbox"] = np.asarray(
+            [
+                (t.bbox.xmin, t.bbox.ymin, t.bbox.xmax, t.bbox.ymax)
+                for t in prepared.tiles
+            ],
+            dtype=COORD_DTYPE,
+        ).reshape(len(prepared.tiles), 4)
+        arrays["tiles_shape"] = np.asarray(
+            [
+                (t.width, t.height, t.x_offset, t.y_offset)
+                for t in prepared.tiles
+            ],
+            dtype=INDEX_DTYPE,
+        ).reshape(len(prepared.tiles), 4)
+    if prepared.triangles is not None:
+        fields.append("triangles")
+        flat = [
+            np.asarray(tri, dtype=COORD_DTYPE)
+            for tris in prepared.triangles
+            for tri in tris
+        ]
+        arrays["tri_data"] = (
+            np.stack(flat) if flat else np.zeros((0, 3, 2), dtype=COORD_DTYPE)
+        )
+        arrays["tri_counts"] = _compact_indices(
+            np.asarray([len(tris) for tris in prepared.triangles])
+        )
+    if prepared.grid is not None:
+        fields.append("grid")
+        grid = prepared.grid
+        ext = grid.extent
+        arrays["grid_cell_start"] = _compact_indices(grid.cell_start)
+        arrays["grid_entries"] = _compact_indices(grid.entries)
+        arrays["grid_extent"] = np.asarray(
+            [ext.xmin, ext.ymin, ext.xmax, ext.ymax], dtype=COORD_DTYPE
+        )
+        manifest["grid"] = {
+            "resolution": int(grid.resolution),
+            "assignment": grid.assignment,
+        }
+    if prepared.boundary_masks:
+        fields.append("boundary_masks")
+        # Masks are bit-packed on disk (8x smaller); the manifest keeps
+        # each tile's (height, width) so loads can unpack exactly.
+        manifest["boundary_tiles"] = [
+            [idx, *map(int, prepared.boundary_masks[idx].shape)]
+            for idx in sorted(int(i) for i in prepared.boundary_masks)
+        ]
+        for idx, _, _ in manifest["boundary_tiles"]:
+            arrays[f"bmask_{idx}"] = np.packbits(prepared.boundary_masks[idx])
+    if prepared.coverage:
+        fields.append("coverage")
+        manifest["coverage_tiles"] = sorted(int(i) for i in prepared.coverage)
+        for idx in manifest["coverage_tiles"]:
+            pids, lens, iys, ixs = [], [], [], []
+            for pid, pieces in prepared.coverage[idx]:
+                for piece_iy, piece_ix in pieces:
+                    pids.append(pid)
+                    lens.append(len(piece_iy))
+                    iys.append(piece_iy)
+                    ixs.append(piece_ix)
+            arrays[f"cov_{idx}_pid"] = _compact_indices(np.asarray(pids))
+            arrays[f"cov_{idx}_len"] = _compact_indices(np.asarray(lens))
+            arrays[f"cov_{idx}_iy"] = _compact_indices(
+                np.concatenate(iys) if iys else np.zeros(0, dtype=np.int64)
+            )
+            arrays[f"cov_{idx}_ix"] = _compact_indices(
+                np.concatenate(ixs) if ixs else np.zeros(0, dtype=np.int64)
+            )
+    if prepared.mbr_arrays is not None:
+        fields.append("mbr_arrays")
+        for name, arr in zip(
+            ("mbr_xmin", "mbr_xmax", "mbr_ymin", "mbr_ymax"),
+            prepared.mbr_arrays,
+        ):
+            arrays[name] = np.asarray(arr, dtype=COORD_DTYPE)
+    return arrays, manifest
+
+
+# ----------------------------------------------------------------------
+# Decode
+# ----------------------------------------------------------------------
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ArtifactFormatError(message)
+
+
+def validate_manifest(manifest: dict, key: Sequence) -> None:
+    """Reject manifests from another format version or a different key."""
+    _require(isinstance(manifest, dict), "manifest is not an object")
+    _require(
+        manifest.get("version") == FORMAT_VERSION,
+        f"format version {manifest.get('version')!r} != {FORMAT_VERSION}",
+    )
+    _require(manifest.get("dtype") == COORD_DTYPE, "coordinate dtype mismatch")
+    fingerprint, *spec = key
+    _require(
+        manifest.get("fingerprint") == fingerprint
+        and manifest.get("spec") == canonical_spec(spec),
+        "manifest key does not match the requested key",
+    )
+
+
+def decode(arrays, manifest: dict, polygons, key: Sequence) -> PreparedPolygons:
+    """Rebuild a :class:`PreparedPolygons` from persisted arrays.
+
+    ``polygons`` is the live polygon set the caller is querying with —
+    the grid index references polygon objects, which are never persisted
+    (the fingerprint in the key guarantees the caller's geometry is the
+    geometry the artifact was built from).
+    """
+    prepared = PreparedPolygons(tuple(key))
+    fields = set(manifest.get("fields", ()))
+
+    if "canvas" in fields:
+        ext = np.asarray(arrays["canvas_extent"], dtype=np.float64)
+        _require(ext.shape == (4,), "bad canvas extent")
+        meta = manifest["canvas"]
+        prepared.canvas = Canvas(
+            BBox(float(ext[0]), float(ext[1]), float(ext[2]), float(ext[3])),
+            int(meta["width"]), int(meta["height"]),
+        )
+    if "tiles" in fields:
+        boxes = np.asarray(arrays["tiles_bbox"], dtype=np.float64)
+        shapes = np.asarray(arrays["tiles_shape"], dtype=np.int64)
+        _require(
+            boxes.ndim == 2 and boxes.shape == (len(shapes), 4),
+            "bad tile tables",
+        )
+        prepared.tiles = [
+            Viewport(
+                BBox(*(float(v) for v in box)),
+                int(w), int(h), x_offset=int(xo), y_offset=int(yo),
+            )
+            for box, (w, h, xo, yo) in zip(boxes, shapes)
+        ]
+    if "triangles" in fields:
+        data = np.asarray(arrays["tri_data"], dtype=np.float64)
+        counts = np.asarray(arrays["tri_counts"], dtype=np.int64)
+        _require(
+            data.ndim == 3 and data.shape[1:] == (3, 2)
+            and int(counts.sum()) == len(data),
+            "triangle table does not add up",
+        )
+        triangles: list[list[np.ndarray]] = []
+        cursor = 0
+        for count in counts:
+            triangles.append(
+                [data[cursor + k] for k in range(int(count))]
+            )
+            cursor += int(count)
+        prepared.triangles = triangles
+    if "grid" in fields:
+        meta = manifest["grid"]
+        ext = np.asarray(arrays["grid_extent"], dtype=np.float64)
+        _require(ext.shape == (4,), "bad grid extent")
+        cell_start = np.asarray(arrays["grid_cell_start"], dtype=np.int64)
+        entries = np.asarray(arrays["grid_entries"], dtype=np.int64)
+        resolution = int(meta["resolution"])
+        _require(
+            len(cell_start) == resolution * resolution + 1
+            and int(cell_start[-1]) == len(entries),
+            "grid CSR arrays do not add up",
+        )
+        prepared.grid = GridIndex.from_arrays(
+            polygons,
+            resolution=resolution,
+            assignment=meta["assignment"],
+            extent=BBox(
+                float(ext[0]), float(ext[1]), float(ext[2]), float(ext[3])
+            ),
+            cell_start=cell_start,
+            entries=entries,
+        )
+    if "boundary_masks" in fields:
+        for idx, height, width in manifest["boundary_tiles"]:
+            packed = np.asarray(arrays[f"bmask_{idx}"], dtype=np.uint8)
+            count = int(height) * int(width)
+            _require(packed.size * 8 >= count, "bad boundary mask size")
+            prepared.boundary_masks[int(idx)] = (
+                np.unpackbits(packed, count=count)
+                .reshape(int(height), int(width))
+                .astype(bool)
+            )
+    if "coverage" in fields:
+        for idx in manifest["coverage_tiles"]:
+            pids = np.asarray(arrays[f"cov_{idx}_pid"], dtype=np.int64)
+            lens = np.asarray(arrays[f"cov_{idx}_len"], dtype=np.int64)
+            iy = np.asarray(arrays[f"cov_{idx}_iy"], dtype=np.int64)
+            ix = np.asarray(arrays[f"cov_{idx}_ix"], dtype=np.int64)
+            _require(
+                len(pids) == len(lens)
+                and int(lens.sum()) == len(iy) == len(ix),
+                "coverage table does not add up",
+            )
+            entries_list: list = []
+            cursor = 0
+            for pid, length in zip(pids, lens):
+                piece = (
+                    iy[cursor:cursor + int(length)],
+                    ix[cursor:cursor + int(length)],
+                )
+                cursor += int(length)
+                # Pieces of one polygon are stored (and were built)
+                # consecutively, so regrouping by run reproduces the
+                # original [(pid, [pieces])] structure exactly.
+                if entries_list and entries_list[-1][0] == int(pid):
+                    entries_list[-1][1].append(piece)
+                else:
+                    entries_list.append((int(pid), [piece]))
+            prepared.coverage[int(idx)] = entries_list
+    if "mbr_arrays" in fields:
+        prepared.mbr_arrays = tuple(
+            np.asarray(arrays[name], dtype=np.float64)
+            for name in ("mbr_xmin", "mbr_xmax", "mbr_ymin", "mbr_ymax")
+        )
+    return prepared

@@ -24,10 +24,15 @@ class ExecutionStats:
     ``index_build_s`` are the polygon preprocessing costs of Table 1, kept
     separate because the paper excludes them from query time but reports
     them on their own.  ``prepared_hits``/``prepared_misses`` count
-    prepared-state cache lookups when the engine runs with a
+    *in-memory* prepared-state cache lookups when the engine runs with a
     :class:`~repro.cache.session.QuerySession` (zero without one): a hit
     means triangulation, grid index, canvas layout, boundary masks, and
     polygon coverage were all reused instead of rebuilt.
+    ``prepared_store_hits`` counts the memory misses that were answered
+    by the session's disk tier (the artifact store) instead of a rebuild
+    — every store hit is also counted as a ``prepared_miss``, so the
+    memory-cache counters read the same whether or not a store is
+    attached.
     """
 
     engine: str = ""
@@ -45,6 +50,7 @@ class ExecutionStats:
     bytes_transferred: int = 0
     prepared_hits: int = 0
     prepared_misses: int = 0
+    prepared_store_hits: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -78,6 +84,7 @@ class ExecutionStats:
         self.bytes_transferred += other.bytes_transferred
         self.prepared_hits += other.prepared_hits
         self.prepared_misses += other.prepared_misses
+        self.prepared_store_hits += other.prepared_store_hits
 
 
 @dataclass

@@ -5,9 +5,29 @@ import pytest
 
 from repro import (
     AccurateRasterJoin,
+    ArtifactStore,
     BoundedRasterJoin,
+    QuerySession,
     RasterJoinOptimizer,
 )
+from repro.core.optimizer import CostModel
+
+
+def hand_tuned_model() -> CostModel:
+    """A deterministic model where preparation + polygon pass dominate.
+
+    Point traffic is priced at ~0 so the cache-aware terms (preparation,
+    polygon pass) fully decide the comparison — choices become exact
+    assertions instead of timing-dependent ones.
+    """
+    return CostModel(
+        per_point_render=1e-12,
+        per_pixel_polygon_pass=1e-6,
+        per_pip_test=1e-12,
+        per_boundary_point=1e-12,
+        per_vertex_triangulate=1e-6,
+        per_vertex_grid=1e-6,
+    )
 
 
 @pytest.fixture(scope="module")
@@ -60,3 +80,136 @@ class TestChoice:
         engine = optimizer.choose(uniform_points, three_regions, epsilon=2.0)
         result = engine.execute(uniform_points, three_regions)
         assert len(result.values) == len(three_regions)
+
+
+class TestCacheAwareCosting:
+    """The ROADMAP item: a variant whose artifact the session already
+    holds competes without its preparation and polygon-pass cost."""
+
+    EPSILON = 5.0  # coarse: bounded wins this comfortably when both cold
+
+    def _optimizer(self, session) -> RasterJoinOptimizer:
+        opt = RasterJoinOptimizer(session=session)
+        opt._model = hand_tuned_model()
+        return opt
+
+    def test_cold_baseline_prefers_bounded(self, uniform_points,
+                                           three_regions):
+        opt = self._optimizer(QuerySession(store=False))
+        cost = opt.estimate(uniform_points, three_regions, self.EPSILON)
+        assert not cost["bounded_warm"] and not cost["accurate_warm"]
+        assert cost["bounded"] < cost["accurate"]
+        assert isinstance(
+            opt.choose(uniform_points, three_regions, self.EPSILON),
+            BoundedRasterJoin,
+        )
+
+    def test_warm_accurate_beats_cold_bounded(self, uniform_points,
+                                              three_regions):
+        session = QuerySession(store=False)
+        opt = self._optimizer(session)
+        # Warm the accurate variant the way a real loop would: run it.
+        accurate = AccurateRasterJoin(session=session)
+        accurate.execute(uniform_points, three_regions)
+        cost = opt.estimate(uniform_points, three_regions, self.EPSILON)
+        assert cost["accurate_warm"] and not cost["bounded_warm"]
+        assert cost["accurate"] < cost["bounded"]
+        chosen = opt.choose(uniform_points, three_regions, self.EPSILON)
+        assert isinstance(chosen, AccurateRasterJoin)
+        # The chosen engine actually runs warm.
+        result = chosen.execute(uniform_points, three_regions)
+        assert result.stats.prepared_hits == 1
+
+    def test_store_tier_counts_as_warm(self, uniform_points, three_regions,
+                                       tmp_path):
+        """An artifact that lives only on disk (previous process) still
+        discounts the variant — the restarted optimizer prefers it."""
+        store_dir = tmp_path / "store"
+        warmup = QuerySession(store=ArtifactStore(store_dir))
+        AccurateRasterJoin(session=warmup).execute(
+            uniform_points, three_regions
+        )
+        # "Restart": fresh session, same store, empty memory tier.
+        session = QuerySession(store=ArtifactStore(store_dir))
+        opt = self._optimizer(session)
+        cost = opt.estimate(uniform_points, three_regions, self.EPSILON)
+        assert cost["accurate_warm"]
+        assert isinstance(
+            opt.choose(uniform_points, three_regions, self.EPSILON),
+            AccurateRasterJoin,
+        )
+
+    def test_costing_never_mutates_cache_state(self, uniform_points,
+                                               three_regions):
+        session = QuerySession(store=False)
+        accurate = AccurateRasterJoin(session=session)
+        accurate.execute(uniform_points, three_regions)
+        hits, misses = session.hits, session.misses
+        opt = self._optimizer(session)
+        opt.estimate(uniform_points, three_regions, self.EPSILON)
+        opt.choose(uniform_points, three_regions, self.EPSILON)
+        assert (session.hits, session.misses) == (hits, misses)
+
+    def test_config_wired_store_counts_as_warm(self, uniform_points,
+                                               three_regions, tmp_path):
+        """With the store wired only through EngineConfig (no explicit
+        session anywhere), the optimizer still sees disk warmth — it
+        probes the candidate engines' own store-backed sessions."""
+        from repro import EngineConfig
+
+        config = EngineConfig(store_dir=str(tmp_path / "cfg-store"))
+        AccurateRasterJoin(config=config).execute(
+            uniform_points, three_regions
+        )
+        opt = RasterJoinOptimizer(config=config)
+        opt._model = hand_tuned_model()
+        cost = opt.estimate(uniform_points, three_regions, self.EPSILON)
+        assert cost["accurate_warm"]
+        assert isinstance(
+            opt.choose(uniform_points, three_regions, self.EPSILON),
+            AccurateRasterJoin,
+        )
+
+    def test_partial_artifact_discounts_only_preparation(
+        self, uniform_points, three_regions, tmp_path
+    ):
+        """A partial pair on disk (triangles/grid, no coverage) must not
+        receive the polygon-pass discount it cannot deliver."""
+        store_dir = tmp_path / "store"
+        warmup = QuerySession(store=ArtifactStore(store_dir))
+        accurate = AccurateRasterJoin(session=warmup)
+        accurate.execute(uniform_points, three_regions)
+        # Rewrite the stored artifact as partial (the shape a failed
+        # full save followed by a budget strip leaves behind).
+        key = next(iter(warmup._entries))
+        artifact = warmup._entries[key]
+        artifact.strip_derived()
+        warmup.store.save(key, artifact)
+
+        session = QuerySession(store=ArtifactStore(store_dir))
+        opt = self._optimizer(session)
+        cost = opt.estimate(uniform_points, three_regions, self.EPSILON)
+        assert cost["accurate_warm"] == "partial"
+        cold = self._optimizer(QuerySession(store=False)).estimate(
+            uniform_points, three_regions, self.EPSILON
+        )
+        # Cheaper than cold (preparation dropped) but nowhere near the
+        # full-warm discount (polygon pass still paid).
+        assert cost["accurate"] < cold["accurate"]
+        model = hand_tuned_model()
+        verts = sum(p.num_vertices for p in three_regions)
+        prep = (model.per_vertex_triangulate + model.per_vertex_grid) * verts
+        assert cost["accurate"] == pytest.approx(cold["accurate"] - prep)
+
+    def test_warm_bounded_stays_preferred(self, uniform_points, three_regions):
+        session = QuerySession(store=False)
+        opt = self._optimizer(session)
+        BoundedRasterJoin(epsilon=self.EPSILON, session=session).execute(
+            uniform_points, three_regions
+        )
+        cost = opt.estimate(uniform_points, three_regions, self.EPSILON)
+        assert cost["bounded_warm"]
+        assert isinstance(
+            opt.choose(uniform_points, three_regions, self.EPSILON),
+            BoundedRasterJoin,
+        )
