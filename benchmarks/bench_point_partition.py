@@ -1,0 +1,238 @@
+"""Tile-local point partitioning: speedup and bit-equality vs full scan.
+
+Without partitioning, a T-tile canvas scans the point input T times (every
+tile task projects **all** points and discards the foreign ones); the
+partition stage scans it once and hands each tile only its own points.
+This benchmark builds a square canvas that splits into exactly 16
+device-sized tiles (the regime the full scan wastes a factor of T in),
+warms a :class:`QuerySession` so the per-query work is
+the point pass itself, and compares partitioned vs full-scan execution
+serial (1 worker) and parallel (4 workers).  It asserts
+
+* every cell is **bit-identical** to the full-scan serial reference;
+* at 4 workers the partitioned point pass is at least **2x** faster than
+  the full-scan path (the acceptance bar of the partitioning PR) — the
+  win is algorithmic (1 projection instead of 4), so it must hold even
+  on single-core hosts;
+* on a single-tile canvas partitioning cheaply no-ops: within timing
+  noise of the full-scan path and reported as ``partition: off``;
+* the second query on an engine reuses the persistent worker pool (no
+  pool construction in its stats).
+
+Results are also written to ``BENCH_partition.json`` at the repository
+root so later PRs have a machine-readable perf trajectory to regress
+against.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks import harness
+from repro import (
+    AccurateRasterJoin,
+    EngineConfig,
+    GPUDevice,
+    PointDataset,
+    QuerySession,
+    Sum,
+)
+from repro.data import generate_voronoi_regions
+from repro.geometry.bbox import BBox
+
+POINT_ROWS = 1_500_000
+RESOLUTION = 1024
+MAX_FBO = 256          # 1024^2 canvas over 256^2 FBOs -> 4x4 = 16 tiles
+SINGLE_TILE_FBO = 2048  # same canvas in one tile: partitioning must no-op
+WORKERS = 4
+EXTENT = BBox(0.0, 0.0, 1000.0, 1000.0)  # square extent => square canvas
+REPEATS = 3
+RESULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_partition.json"
+
+
+def _table():
+    return harness.table(
+        "point_partition",
+        "Tile-local point partitioning (accurate engine, warm session)",
+        ["cell", "tiles", "workers", "partition", "wall_s",
+         "speedup_vs_fullscan", "bit_identical"],
+    )
+
+
+@pytest.fixture(scope="module")
+def square_workload():
+    rng = np.random.default_rng(7)
+    points = PointDataset(
+        rng.uniform(EXTENT.xmin, EXTENT.xmax, POINT_ROWS),
+        rng.uniform(EXTENT.ymin, EXTENT.ymax, POINT_ROWS),
+        {"val": rng.normal(10.0, 3.0, POINT_ROWS)},
+    )
+    polygons = generate_voronoi_regions(16, EXTENT, seed=7)
+    return points, polygons
+
+
+def _engine(partition: bool, workers: int, max_fbo: int,
+            session: QuerySession) -> AccurateRasterJoin:
+    backend = "serial" if workers == 1 else "thread"
+    return AccurateRasterJoin(
+        resolution=RESOLUTION,
+        device=GPUDevice(max_resolution=max_fbo),
+        session=session,
+        config=EngineConfig(
+            backend=backend, workers=workers, partition_points=partition,
+        ),
+    )
+
+
+def _timed_best(engine, points, polygons, aggregate):
+    """Best-of-N wall time of a warm query (the point pass dominates)."""
+    best = float("inf")
+    last = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        last = engine.execute(points, polygons, aggregate=aggregate)
+        best = min(best, time.perf_counter() - start)
+        assert last.stats.prepared_hits == 1
+    return best, last
+
+
+def _assert_identical(reference, result, label):
+    assert np.array_equal(reference.values, result.values), label
+    for name in reference.channels:
+        assert np.array_equal(
+            reference.channels[name], result.channels[name]
+        ), (label, name)
+
+
+@pytest.mark.benchmark(group="point-partition")
+def test_point_partition_smoke(benchmark, square_workload):
+    points, polygons = square_workload
+    aggregate = Sum("val")
+    table = _table()
+    record = {
+        "benchmark": "point_partition",
+        "points": POINT_ROWS,
+        "resolution": RESOLUTION,
+        "max_fbo": MAX_FBO,
+        "workers": WORKERS,
+        "repeats": REPEATS,
+        "cells": {},
+    }
+
+    # ------------------------------------------------------------------
+    # 16-tile canvas: partitioned vs full scan, serial and parallel.
+    # ------------------------------------------------------------------
+    timings: dict[tuple[bool, int], float] = {}
+    results: dict[tuple[bool, int], object] = {}
+    pool_events: dict[tuple[bool, int], str] = {}
+    for partition in (False, True):
+        for workers in (1, WORKERS):
+            session = QuerySession()
+            engine = _engine(partition, workers, MAX_FBO, session)
+            cold = engine.execute(points, polygons, aggregate=aggregate)
+            assert cold.stats.extra["tiles"] == 16, cold.stats.extra
+            assert cold.stats.extra["partition"] == (
+                "on" if partition else "off"
+            )
+            wall, warm = _timed_best(engine, points, polygons, aggregate)
+            timings[(partition, workers)] = wall
+            results[(partition, workers)] = warm
+            pool_events[(partition, workers)] = warm.stats.extra["pool"]
+            engine.close()
+
+    reference = results[(False, 1)]
+    for (partition, workers), wall in sorted(timings.items()):
+        result = results[(partition, workers)]
+        _assert_identical(reference, result, (partition, workers))
+        speedup = timings[(False, workers)] / wall
+        cell = f"{'partitioned' if partition else 'full-scan'}@{workers}w"
+        table.add_row(
+            cell, 16, workers, "on" if partition else "off", wall, speedup,
+            True,
+        )
+        record["cells"][cell] = {
+            "tiles": 16,
+            "workers": workers,
+            "partition": partition,
+            "wall_s": wall,
+            "speedup_vs_fullscan_same_workers": speedup,
+            "bit_identical": True,
+            "pool": pool_events[(partition, workers)],
+        }
+
+    # The persistent pool really is reused: the warm parallel queries ran
+    # on the pool the cold query spawned, with no construction in their
+    # stats trace.
+    assert pool_events[(True, WORKERS)] == "reused", pool_events
+
+    # ------------------------------------------------------------------
+    # Single-tile canvas: partitioning must cheaply no-op.
+    # ------------------------------------------------------------------
+    single_timings = {}
+    single_results = {}
+    for partition in (False, True):
+        session = QuerySession()
+        engine = _engine(partition, 1, SINGLE_TILE_FBO, session)
+        cold = engine.execute(points, polygons, aggregate=aggregate)
+        assert cold.stats.extra["tiles"] == 1
+        # On one tile there is nothing to partition — the stage reports
+        # itself off regardless of the config.
+        assert cold.stats.extra["partition"] == "off"
+        assert cold.stats.partition_s == 0.0
+        wall, warm = _timed_best(engine, points, polygons, aggregate)
+        single_timings[partition] = wall
+        single_results[partition] = warm
+        engine.close()
+    _assert_identical(
+        single_results[False], single_results[True], "single-tile"
+    )
+    single_ratio = single_timings[True] / single_timings[False]
+    table.add_row(
+        "partitioned@1-tile", 1, 1, "off(no-op)", single_timings[True],
+        1.0 / single_ratio, True,
+    )
+    record["cells"]["partitioned@1-tile"] = {
+        "tiles": 1,
+        "workers": 1,
+        "partition": True,
+        "wall_s": single_timings[True],
+        "ratio_vs_fullscan": single_ratio,
+        "bit_identical": True,
+    }
+
+    benchmark.pedantic(
+        lambda: _engine(True, WORKERS, MAX_FBO, QuerySession()).execute(
+            points, polygons, aggregate=aggregate
+        ),
+        rounds=1, iterations=1,
+    )
+
+    # ------------------------------------------------------------------
+    # Acceptance bars + the machine-readable trajectory record.
+    # ------------------------------------------------------------------
+    speedup_parallel = timings[(False, WORKERS)] / timings[(True, WORKERS)]
+    speedup_serial = timings[(False, 1)] / timings[(True, 1)]
+    record["speedup_at_4_workers"] = speedup_parallel
+    record["speedup_at_1_worker"] = speedup_serial
+    record["single_tile_overhead_ratio"] = single_ratio
+    RESULT_JSON.write_text(json.dumps(record, indent=2, sort_keys=True))
+
+    assert speedup_parallel >= 2.0, (
+        f"partitioned point pass is only {speedup_parallel:.2f}x faster "
+        f"than full scan at {WORKERS} workers on a 16-tile canvas "
+        f"(need >= 2x)"
+    )
+    # Serial partitioning must never lose either: it replaces 4 full
+    # projections with one projection + bucketing.
+    assert speedup_serial >= 1.0, (
+        f"partitioned serial execution is {speedup_serial:.2f}x the "
+        f"full-scan speed (must not be slower)"
+    )
+    # Single-tile no-op: within timing noise of the untouched path.
+    assert single_ratio <= 1.25, (
+        f"partitioning overhead on a single-tile canvas is "
+        f"{single_ratio:.2f}x (must be a cheap no-op)"
+    )

@@ -187,6 +187,13 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         fbo_bytes = self._max_fbo_bytes(tiles, aggregate, self.fbo_dtype)
         parallelism = self._tile_concurrency(points_hint, columns, fbo_bytes)
         retain = self.session is not None
+        # Partitioned point pass: scan the source once in the parent and
+        # hand each tile only its own (batch-aligned) sub-chunks; the
+        # full-scan path re-iterates the source per tile.  Results are
+        # bit-identical either way (see repro.exec.partition).
+        partitioned = self._partition_tile_chunks(
+            prepared, source, aggregate, columns, self.fbo_dtype, stats,
+        )
 
         def run_tile(tile_idx: int, tile: Viewport) -> TilePartial:
             tile_stats = ExecutionStats(engine=self.name, batches=0, passes=0)
@@ -200,7 +207,8 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                 tile_stats.extra["boundary_pixels"] = int(boundary.sum())
             fbo = self._tile_framebuffer(tile, aggregate, self.fbo_dtype)
             saw_points = False
-            for chunk in source():
+            chunks = source() if partitioned is None else partitioned[0][tile_idx]
+            for chunk in chunks:
                 saw_points = True
                 self._route_points(tile, boundary, fbo, chunk, polygons,
                                    prepared.grid, columns, aggregate, filters,
@@ -216,10 +224,11 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                 coverage=built_coverage if retain else None,
             )
 
-        partials = self._dispatch_tiles(tiles, run_tile, parallelism)
-        return self._merge_tile_partials(
+        partials = self._dispatch_tiles(tiles, run_tile, parallelism, stats)
+        saw = self._merge_tile_partials(
             partials, prepared, aggregate, accumulators, stats
         )
+        return saw or (partitioned is not None and partitioned[1])
 
     # ------------------------------------------------------------------
     # Per-tile stages
@@ -273,27 +282,46 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                 stats.processing_s += time.perf_counter() - start
                 continue
             on_boundary = boundary[iy, ix]
-            stats.boundary_points += int(np.count_nonzero(on_boundary))
-            # Boundary points: exact join via the polygon grid index.
-            grid_pip_aggregate(
-                xs[on_boundary], ys[on_boundary],
-                {n: a[on_boundary] for n, a in attrs.items()},
-                grid, polygons, aggregate, accumulators, stats,
-            )
-            # Interior points: plain additive rasterization.
-            interior = ~on_boundary
-            iix, iiy = ix[interior], iy[interior]
-            if aggregate.blend == "add":
-                for ch, col in aggregate.channels.items():
-                    vals = attrs[col][interior] if col is not None else 1.0
-                    np.add.at(fbo.channel(ch), (iiy, iix), vals)
-            else:
-                for ch, col in aggregate.channels.items():
-                    vals = attrs[col][interior]
-                    if aggregate.blend == "min":
-                        np.minimum.at(fbo.channel(ch), (iiy, iix), vals)
-                    else:
-                        np.maximum.at(fbo.channel(ch), (iiy, iix), vals)
+            num_boundary = int(np.count_nonzero(on_boundary))
+            stats.boundary_points += num_boundary
+            all_boundary = num_boundary == len(xs)
+            if num_boundary:
+                # Boundary points: exact join via the polygon grid index.
+                # When the whole batch is boundary the masked gathers are
+                # skipped — identical values in identical order.
+                grid_pip_aggregate(
+                    xs if all_boundary else xs[on_boundary],
+                    ys if all_boundary else ys[on_boundary],
+                    attrs if all_boundary else
+                    {n: a[on_boundary] for n, a in attrs.items()},
+                    grid, polygons, aggregate, accumulators, stats,
+                )
+            if not all_boundary:
+                # Interior points: plain additive rasterization.  A batch
+                # with no boundary points skips the mask entirely — the
+                # unmasked arrays are the same values in the same order,
+                # so the scatter visits pixels identically.
+                if num_boundary:
+                    interior = ~on_boundary
+                    iix, iiy = ix[interior], iy[interior]
+                else:
+                    interior = None
+                    iix, iiy = ix, iy
+
+                def _vals(col):
+                    return attrs[col] if interior is None else attrs[col][interior]
+
+                if aggregate.blend == "add":
+                    for ch, col in aggregate.channels.items():
+                        vals = _vals(col) if col is not None else 1.0
+                        np.add.at(fbo.channel(ch), (iiy, iix), vals)
+                else:
+                    for ch, col in aggregate.channels.items():
+                        vals = _vals(col)
+                        if aggregate.blend == "min":
+                            np.minimum.at(fbo.channel(ch), (iiy, iix), vals)
+                        else:
+                            np.maximum.at(fbo.channel(ch), (iiy, iix), vals)
             stats.processing_s += time.perf_counter() - start
 
     def _polygon_pass(

@@ -232,13 +232,20 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         parallelism = self._tile_concurrency(points_hint, columns, fbo_bytes)
         retain = self.session is not None
         want_fbos = bounds_inputs is not None
+        # Partitioned point pass: the parent scans the source once and
+        # buckets points per tile (bit-identical to the full scan — see
+        # repro.exec.partition); tiles otherwise re-iterate the source.
+        partitioned = self._partition_tile_chunks(
+            prepared, source, aggregate, columns, np.float32, stats,
+        )
 
         def run_tile(tile_idx: int, tile: Viewport) -> TilePartial:
             tile_stats = ExecutionStats(engine=self.name, batches=0, passes=0)
             partial_acc = self._new_accumulators(polygons, aggregate)
             fbo = self._tile_framebuffer(tile, aggregate)
             saw_points = False
-            for chunk in source():
+            chunks = source() if partitioned is None else partitioned[0][tile_idx]
+            for chunk in chunks:
                 saw_points = True
                 self._rasterize_chunk(tile, fbo, chunk, columns, aggregate,
                                       filters, tile_stats)
@@ -253,12 +260,13 @@ class BoundedRasterJoin(SpatialAggregationEngine):
                 payload=(tile, fbo) if want_fbos else None,
             )
 
-        partials = self._dispatch_tiles(tiles, run_tile, parallelism)
+        partials = self._dispatch_tiles(tiles, run_tile, parallelism, stats)
         if bounds_inputs is not None:
             bounds_inputs.extend(p.payload for p in partials)
-        return self._merge_tile_partials(
+        saw = self._merge_tile_partials(
             partials, prepared, aggregate, accumulators, stats
         )
+        return saw or (partitioned is not None and partitioned[1])
 
     # ------------------------------------------------------------------
     # Step I: draw points

@@ -26,6 +26,7 @@ from repro.device.memory import GPUDevice, ResidentPointSet
 from repro.errors import QueryError
 from repro.exec.backend import TilePartial
 from repro.exec.config import EngineConfig
+from repro.exec.partition import ResidentSubset, partition_chunk
 from repro.geometry.polygon import PolygonSet
 from repro.graphics.fbo import FrameBuffer
 from repro.types import AggregationResult, ExecutionStats
@@ -64,6 +65,10 @@ class SpatialAggregationEngine(ABC):
         #: this is purely a performance knob.
         self.config = config if config is not None else EngineConfig()
         self.backend = self.config.make_backend()
+        # Resolved once here so a malformed $REPRO_PARTITION_POINTS
+        # fails at construction (like the other env-driven flags), not
+        # deep inside a query's tile fan-out.
+        self._partition_points = self.config.partition_enabled()
         if session is None:
             # An explicit store location on the config opts the engine
             # into cross-session persistence even without a caller-owned
@@ -208,6 +213,21 @@ class SpatialAggregationEngine(ABC):
         if self.session is not None:
             self.session.checkpoint()
 
+    def close(self) -> None:
+        """Release the backend's long-lived worker pool (if any).
+
+        Engines stay usable after ``close()`` — the next parallel
+        dispatch simply respawns the pool lazily.  Unclosed pools are
+        reclaimed at interpreter exit.
+        """
+        self.backend.close()
+
+    def __enter__(self) -> "SpatialAggregationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # Tile execution (backend dispatch + deterministic merge)
     # ------------------------------------------------------------------
@@ -252,6 +272,65 @@ class SpatialAggregationEngine(ABC):
         return len(aggregate.channels) * np.dtype(dtype).itemsize * biggest
 
     @staticmethod
+    def _tile_fbo_bytes(tile, aggregate: Aggregate, dtype) -> int:
+        """One tile's framebuffer footprint — must equal the ``nbytes``
+        of the :class:`FrameBuffer` its task will build, because the
+        partition stage replicates each task's batch plan (which
+        reserves exactly that many bytes)."""
+        return (
+            len(aggregate.channels)
+            * np.dtype(dtype).itemsize
+            * tile.width * tile.height
+        )
+
+    def _partition_tile_chunks(
+        self,
+        prepared: PreparedPolygons,
+        source,
+        aggregate: Aggregate,
+        columns: tuple[str, ...],
+        fbo_dtype,
+        stats: ExecutionStats,
+    ) -> tuple[list[list], bool] | None:
+        """Partition the chunk source into per-tile sub-chunk lists.
+
+        The tentpole of the partitioned point pass: the parent iterates
+        ``source()`` exactly once, projects each chunk against the
+        global canvas, and buckets points into batch-aligned per-tile
+        sub-chunks (see :mod:`repro.exec.partition` for the
+        bit-equality argument).  Tile tasks then scan only their own
+        points instead of re-projecting the full input T times.
+
+        Returns ``(per_tile_chunks, saw_any_chunk)``, or ``None`` when
+        partitioning is off or pointless (single-tile canvas) — the
+        cheap no-op the single-tile path is guaranteed to keep.
+        """
+        tiles = prepared.tiles
+        if len(tiles) <= 1 or not self._partition_points:
+            stats.extra["partition"] = "off"
+            return None
+        start = time.perf_counter()
+        fbo_bytes = [
+            self._tile_fbo_bytes(tile, aggregate, fbo_dtype) for tile in tiles
+        ]
+        per_tile: list[list] = [[] for _ in tiles]
+        saw_chunk = False
+        duplicates = 0
+        for chunk in source():
+            saw_chunk = True
+            pieces, dupes = partition_chunk(
+                chunk, prepared.canvas, tiles, self.max_resolution,
+                columns, self.device, fbo_bytes,
+            )
+            duplicates += dupes
+            for idx, subs in enumerate(pieces):
+                per_tile[idx].extend(subs)
+        stats.extra["partition"] = "on"
+        stats.extra["partition_duplicates"] = duplicates
+        stats.partition_s += time.perf_counter() - start
+        return per_tile, saw_chunk
+
+    @staticmethod
     def _tile_framebuffer(tile, aggregate: Aggregate,
                           dtype=np.float32) -> FrameBuffer:
         """A tile's render target, cleared to the blend identity."""
@@ -264,14 +343,26 @@ class SpatialAggregationEngine(ABC):
         return fbo
 
     def _dispatch_tiles(
-        self, tiles: Sequence, tile_fn, parallelism: int | None = None
+        self,
+        tiles: Sequence,
+        tile_fn,
+        parallelism: int | None = None,
+        stats: ExecutionStats | None = None,
     ) -> list[TilePartial]:
-        """Run ``tile_fn(tile_idx, tile)`` per tile; partials in tile order."""
+        """Run ``tile_fn(tile_idx, tile)`` per tile; partials in tile order.
+
+        Records how the dispatch executed (``extra["pool"]``: inline /
+        created / reused / ephemeral / forked) so a trace shows whether
+        the persistent pool was actually reused.
+        """
         tasks = [
             (lambda idx=idx, tile=tile: tile_fn(idx, tile))
             for idx, tile in enumerate(tiles)
         ]
-        return self.backend.run_tasks(tasks, parallelism=parallelism)
+        partials = self.backend.run_tasks(tasks, parallelism=parallelism)
+        if stats is not None and self.backend.last_pool_event is not None:
+            stats.extra["pool"] = self.backend.last_pool_event
+        return partials
 
     @staticmethod
     def _merge_tile_partials(
@@ -368,7 +459,10 @@ class SpatialAggregationEngine(ABC):
         are released as soon as a batch has been consumed, like the
         round-robin persistent buffers of the paper's implementation.
         """
-        if isinstance(points, ResidentPointSet):
+        if isinstance(points, (ResidentPointSet, ResidentSubset)):
+            # Resident sets — and the per-tile subsets the partition
+            # stage gathers from them — are already device memory: one
+            # zero-cost batch, no planning.
             stats.batches += 1
             yield _Batch(
                 {c: points.column(c) for c in columns}, len(points), 0.0

@@ -87,6 +87,13 @@ class IndexJoin(SpatialAggregationEngine):
         self.grid_assignment = grid_assignment
         self.workers = workers or max(1, os.cpu_count() or 1)
         self.name = f"index-join-{mode}"
+        #: Multicore mode's fan-out vehicle, owned by the engine so a
+        #: second query reuses it (per-dispatch forks inherit the
+        #: parent's resident arrays copy-on-write) instead of
+        #: constructing a fresh backend per batch.
+        self._fanout_backend = (
+            ProcessBackend(workers=self.workers) if mode == "multicore" else None
+        )
 
     # ------------------------------------------------------------------
     def prepared_spec(self) -> tuple:
@@ -200,8 +207,7 @@ class IndexJoin(SpatialAggregationEngine):
         chunk = -(-n // self.workers)
         ranges = [(s, min(s + chunk, n)) for s in range(0, n, chunk)]
 
-        backend = ProcessBackend(workers=self.workers)
-        partials = backend.run_tasks(
+        partials = self._fanout_backend.run_tasks(
             [
                 (lambda start=start, end=end: _scalar_range(
                     grid, polygons, xs, ys, weights, start, end
@@ -209,7 +215,14 @@ class IndexJoin(SpatialAggregationEngine):
                 for start, end in ranges
             ]
         )
+        stats.extra["pool"] = self._fanout_backend.last_pool_event
         # Chunk partials merge in range order, like the tile merge.
         for local, pip_tests in partials:
             accumulators[channel] += local
             stats.pip_tests += pip_tests
+
+    def close(self) -> None:
+        """Release both the tile backend and the multicore fan-out pool."""
+        super().close()
+        if self._fanout_backend is not None:
+            self._fanout_backend.close()

@@ -56,6 +56,12 @@ class MaterializingJoin(SpatialAggregationEngine):
         super().__init__(device, session=session, config=config)
         self.leaf_capacity = leaf_capacity
         self.truncate_bits = truncate_bits
+        #: Minimum materialized candidate pairs per batch before the PIP
+        #: refinement fans out across the execution backend; below it the
+        #: dispatch overhead outweighs the parallel PIP work.  The
+        #: threshold depends only on the data, never on the backend, so
+        #: the refinement path (and its bit pattern) is deterministic.
+        self.parallel_refine_threshold = 100_000
 
     def prepared_spec(self) -> tuple:
         """The render-spec part of this engine's artifact cache key."""
@@ -128,6 +134,11 @@ class MaterializingJoin(SpatialAggregationEngine):
             cand_poly = cand_poly[keep]
 
             # Refinement: PIP per candidate pair, producing the match list.
+            # Polygon groups are independent, so they fan out over the
+            # engine's (persistent) execution backend when the
+            # materialized pair count is worth the dispatch; partials
+            # merge in slice order, so the match list — and therefore
+            # the aggregation — is bit-identical to inline refinement.
             match_pt: list[np.ndarray] = []
             match_poly: list[np.ndarray] = []
             order = np.argsort(cand_poly, kind="stable")
@@ -136,14 +147,48 @@ class MaterializingJoin(SpatialAggregationEngine):
             group_bounds = np.flatnonzero(np.diff(cand_poly)) + 1
             starts = np.concatenate([[0], group_bounds])
             ends = np.concatenate([group_bounds, [len(cand_poly)]])
-            for s, e in zip(starts, ends):
-                pid = int(cand_poly[s])
-                ids = cand_pt[s:e]
-                inside = polygons[pid].contains_points(xs[ids], ys[ids])
-                stats.pip_tests += len(ids)
-                if inside.any():
-                    match_pt.append(ids[inside])
-                    match_poly.append(np.full(int(inside.sum()), pid, dtype=np.int64))
+            groups = list(zip(starts, ends))
+
+            def refine(lo: int, hi: int):
+                pt_out: list[np.ndarray] = []
+                poly_out: list[np.ndarray] = []
+                tests = 0
+                for s, e in groups[lo:hi]:
+                    pid = int(cand_poly[s])
+                    ids = cand_pt[s:e]
+                    inside = polygons[pid].contains_points(xs[ids], ys[ids])
+                    tests += len(ids)
+                    if inside.any():
+                        pt_out.append(ids[inside])
+                        poly_out.append(
+                            np.full(int(inside.sum()), pid, dtype=np.int64)
+                        )
+                return pt_out, poly_out, tests
+
+            workers = self.backend.workers
+            if (
+                workers > 1
+                and len(groups) > 1
+                and len(cand_poly) >= self.parallel_refine_threshold
+            ):
+                span = -(-len(groups) // workers)
+                slices = [
+                    (lo, min(lo + span, len(groups)))
+                    for lo in range(0, len(groups), span)
+                ]
+                partials = self.backend.run_tasks(
+                    [
+                        (lambda lo=lo, hi=hi: refine(lo, hi))
+                        for lo, hi in slices
+                    ]
+                )
+                stats.extra["pool"] = self.backend.last_pool_event
+            else:
+                partials = [refine(0, len(groups))]
+            for pt_out, poly_out, tests in partials:
+                match_pt.extend(pt_out)
+                match_poly.extend(poly_out)
+                stats.pip_tests += tests
             if match_pt:
                 joined_pt = np.concatenate(match_pt)
                 joined_poly = np.concatenate(match_poly)

@@ -62,10 +62,27 @@ class CostModel:
         full = warm is True or warm == "full"
         return full or warm == "partial", full
 
+    def _point_pass_seconds(
+        self, num_points: int, tiles: int, waves: int, partitioned: bool
+    ) -> float:
+        """Point-pass cost for one query.
+
+        Full scan: every tile projects all ``num_points``, so each wave
+        costs the full point count.  Partitioned: the parent pays one
+        global projection up front and each tile then scans only its
+        share (``num_points / tiles``), so the term scales by the
+        per-tile point share instead of the total — the difference
+        between "parallel" and "scales with cores" on multi-tile
+        canvases.
+        """
+        if not partitioned or tiles <= 1:
+            return self.per_point_render * num_points * waves
+        return self.per_point_render * num_points * (1.0 + waves / tiles)
+
     def bounded_seconds(
         self, num_points: int, canvas_pixels: int, tiles: int,
         covered_pixels: int, workers: int = 1, num_vertices: int = 0,
-        warm: "str | bool | None" = False,
+        warm: "str | bool | None" = False, partitioned: bool = False,
     ) -> float:
         """Predicted bounded-join time: prepare + point pass per tile +
         polygon pass.
@@ -73,12 +90,14 @@ class CostModel:
         Tiles are independent, so with ``workers`` parallel tile workers
         the point pass runs in ``ceil(tiles / workers)`` waves and the
         polygon pass spreads over the tiles actually running concurrently.
+        With ``partitioned`` point execution each wave scans only the
+        per-tile point share (see :meth:`_point_pass_seconds`).
         """
         tiles = max(1, tiles)
         concurrency = max(1, min(workers, tiles))
         waves = math.ceil(tiles / concurrency)
         prepared, replayable = self._grades(warm)
-        seconds = self.per_point_render * num_points * waves
+        seconds = self._point_pass_seconds(num_points, tiles, waves, partitioned)
         if not prepared:
             seconds += self.per_vertex_triangulate * num_vertices
         if not replayable:
@@ -88,7 +107,7 @@ class CostModel:
     def accurate_seconds(
         self, num_points: int, boundary_fraction: float, covered_pixels: int,
         tiles: int = 1, workers: int = 1, num_vertices: int = 0,
-        warm: "str | bool | None" = False,
+        warm: "str | bool | None" = False, partitioned: bool = False,
     ) -> float:
         """Predicted accurate-join time: prepare + render + boundary PIP.
 
@@ -96,7 +115,9 @@ class CostModel:
         bounded variant; the boundary PIP path is partitioned with the
         points, so it divides across concurrent tile workers too.  The
         boundary PIP traffic is per-query point work and is paid warm or
-        cold.
+        cold.  With ``partitioned`` point execution the render term
+        scales by the per-tile point share (see
+        :meth:`_point_pass_seconds`).
         """
         tiles = max(1, tiles)
         concurrency = max(1, min(workers, tiles))
@@ -104,7 +125,7 @@ class CostModel:
         boundary_points = num_points * boundary_fraction
         prepared, replayable = self._grades(warm)
         seconds = (
-            self.per_point_render * num_points * waves
+            self._point_pass_seconds(num_points, tiles, waves, partitioned)
             + self.per_boundary_point * boundary_points / concurrency
         )
         if not prepared:
@@ -168,8 +189,12 @@ class RasterJoinOptimizer:
         self.accurate_resolution = accurate_resolution
         #: Execution configuration, forwarded to constructed engines and
         #: folded into the cost predictions (parallel tile workers shrink
-        #: the multi-tile terms of both variants).
-        self.config = config if config is not None else EngineConfig()
+        #: the multi-tile terms of both variants).  The backend is
+        #: resolved once and pinned into the config as an instance, so
+        #: every engine this optimizer constructs shares one backend —
+        #: and therefore one persistent worker pool — across choices.
+        config = config if config is not None else EngineConfig()
+        self.config = config.with_pinned_backend()
         if session is None:
             # Mirror the engines: an explicit store location on the
             # config yields an optimizer-owned session (via the shared
@@ -181,8 +206,13 @@ class RasterJoinOptimizer:
         #: rezoning loop that keeps asking for the same polygon set reuses
         #: its prepared state regardless of which variant wins.
         self.session = session
-        self._workers = self.config.make_backend().workers
+        self._workers = self.config.backend.workers
+        self._partitioned = self.config.partition_enabled()
         self._model: CostModel | None = None
+
+    def close(self) -> None:
+        """Release the shared backend's worker pool (respawns lazily)."""
+        self.config.backend.close()
 
     @property
     def model(self) -> CostModel:
@@ -282,11 +312,16 @@ class RasterJoinOptimizer:
         )
         model = self.model
         acc_tiles = acc_canvas.num_tiles(max_res)
+        # The engines this optimizer constructs inherit its config, so
+        # the prediction must assume the same point-pass execution they
+        # will actually run: partitioned tiles scan only their share.
+        partitioned = self._partitioned
         return {
             "bounded": model.bounded_seconds(
                 len(points), canvas.num_pixels, tiles, int(covered),
                 workers=self._effective_workers(points, canvas, max_res, 4),
                 num_vertices=num_vertices, warm=warm_bounded,
+                partitioned=partitioned,
             ),
             "accurate": model.accurate_seconds(
                 len(points), boundary_fraction,
@@ -294,6 +329,7 @@ class RasterJoinOptimizer:
                 tiles=acc_tiles,
                 workers=self._effective_workers(points, acc_canvas, max_res, 8),
                 num_vertices=num_vertices, warm=warm_accurate,
+                partitioned=partitioned,
             ),
             "bounded_warm": warm_bounded or False,
             "accurate_warm": warm_accurate or False,

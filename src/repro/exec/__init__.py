@@ -1,9 +1,10 @@
 """Execution backends: serial, threaded, and forked tile parallelism.
 
 The per-tile stages of both raster engines are independent across tiles;
-this package decides where they run.  See :mod:`repro.exec.backend` for
-the task contract and :mod:`repro.exec.config` for the engine-facing
-configuration object.
+this package decides where they run — and, via :mod:`repro.exec.partition`,
+which points each tile task even has to look at.  See
+:mod:`repro.exec.backend` for the task contract and pool lifecycle, and
+:mod:`repro.exec.config` for the engine-facing configuration object.
 """
 
 from repro.exec.backend import (
@@ -16,14 +17,17 @@ from repro.exec.backend import (
     resolve_backend,
 )
 from repro.exec.config import EngineConfig
+from repro.exec.partition import ResidentSubset, partition_chunk
 
 __all__ = [
     "EngineConfig",
     "ExecutionBackend",
     "ProcessBackend",
+    "ResidentSubset",
     "SerialBackend",
     "ThreadBackend",
     "TilePartial",
     "default_workers",
+    "partition_chunk",
     "resolve_backend",
 ]

@@ -18,15 +18,29 @@ Every backend obeys the same contract:
 Because results are merged in task order and each task folds its own
 accumulators from the blend identity, results are bit-identical across
 backends and worker counts (see ``docs/parallel_execution.md``).
+
+Pools are **persistent** by default: a :class:`ThreadBackend` spawns its
+executor lazily on first multi-task dispatch and keeps it for the life
+of the backend instance, so a second query on the same engine pays zero
+pool construction.  ``close()`` releases the pool explicitly; anything
+still open is reclaimed at interpreter exit, and forked children drop
+inherited pools (whose threads do not survive a fork) so they rebuild
+lazily.  :class:`ProcessBackend` deliberately stays fork-per-dispatch —
+see its docstring for why a long-lived fork pool cannot work here —
+but what *persists* across its queries is the parent's memory (prepared
+artifacts, partitioned point segments), which every re-fork inherits
+copy-on-write at zero copy cost.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import os
 import threading
+import weakref
 from abc import ABC, abstractmethod
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait as wait_futures
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -40,6 +54,26 @@ from repro.types import ExecutionStats
 #: backend by exporting these, without touching any call site.
 BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
 WORKERS_ENV_VAR = "REPRO_EXEC_WORKERS"
+PERSISTENT_ENV_VAR = "REPRO_PERSISTENT_POOL"
+
+_TRUE_FLAGS = frozenset({"1", "true", "yes", "on"})
+_FALSE_FLAGS = frozenset({"0", "false", "no", "off"})
+
+
+def flag_from_env(name: str, default: bool) -> bool:
+    """Parse a boolean environment flag, rejecting unrecognized values."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    lowered = raw.strip().lower()
+    if lowered in _TRUE_FLAGS:
+        return True
+    if lowered in _FALSE_FLAGS:
+        return False
+    raise ExecutionBackendError(
+        f"{name} must be a boolean flag "
+        f"({sorted(_TRUE_FLAGS)} / {sorted(_FALSE_FLAGS)}), got {raw!r}"
+    )
 
 
 @dataclass
@@ -64,17 +98,78 @@ class TilePartial:
     payload: object = None
 
 
+#: Live backends whose pools must be dropped in forked children (their
+#: threads do not cross the fork) and closed at interpreter exit.
+_LIVE_BACKENDS: "weakref.WeakSet[ExecutionBackend]" = weakref.WeakSet()
+
+#: True in every process forked from this one (pool workers, including
+#: replacements the pool spawns mid-map).  A ProcessBackend dispatch in
+#: such a child runs inline instead of forking again.
+_IN_FORKED_CHILD = False
+
+
+def _mark_forked_child() -> None:  # pragma: no cover - fork path
+    global _IN_FORKED_CHILD
+    _IN_FORKED_CHILD = True
+    for backend in _LIVE_BACKENDS:
+        backend._forget_pool()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_mark_forked_child)
+
+
+@atexit.register
+def _close_backends_at_exit() -> None:  # pragma: no cover - exit path
+    for backend in list(_LIVE_BACKENDS):
+        try:
+            backend.close()
+        except Exception:
+            pass
+
+
 class ExecutionBackend(ABC):
     """Runs independent tasks and returns their results in task order."""
 
     name = "abstract"
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self, workers: int | None = None, persistent: bool | None = None
+    ) -> None:
         if workers is not None and workers < 1:
             raise ExecutionBackendError(
                 f"worker count must be >= 1, got {workers}"
             )
         self.workers = workers if workers is not None else default_workers()
+        #: Whether multi-task dispatches reuse a long-lived pool.
+        #: ``None`` consults ``$REPRO_PERSISTENT_POOL``, defaulting to
+        #: ``True``.  Purely a performance decision — results are
+        #: bit-identical either way.
+        self.persistent = (
+            flag_from_env(PERSISTENT_ENV_VAR, True)
+            if persistent is None
+            else persistent
+        )
+        # Per-thread dispatch events: backends are deliberately shared
+        # across engines (optimizer, planner), so concurrent queries
+        # must each read the event of *their own* dispatch, not the
+        # latest one on the instance.
+        self._events = threading.local()
+        _LIVE_BACKENDS.add(self)
+
+    @property
+    def last_pool_event(self) -> str | None:
+        """How this thread's most recent ``run_tasks`` executed:
+        ``"inline"`` (no pool), ``"created"`` (persistent pool spawned),
+        ``"reused"`` (persistent pool already live), ``"ephemeral"``
+        (throwaway pool), or ``"forked"`` (fresh fork fan-out).
+        Engines copy it into ``ExecutionStats.extra["pool"]``.  Recorded
+        per calling thread, so concurrent queries on one shared backend
+        never see each other's events."""
+        return getattr(self._events, "last", None)
+
+    def _record_event(self, event: str) -> None:
+        self._events.last = event
 
     @abstractmethod
     def run_tasks(
@@ -83,6 +178,19 @@ class ExecutionBackend(ABC):
         parallelism: int | None = None,
     ) -> list:
         """Execute every task, returning results in task order."""
+
+    def close(self) -> None:
+        """Release any long-lived pool.  Safe to call repeatedly; the
+        next dispatch simply respawns lazily."""
+
+    def _forget_pool(self) -> None:
+        """Drop pool state without joining it (fork-child reset)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _effective_workers(
         self, num_tasks: int, parallelism: int | None
@@ -101,12 +209,15 @@ class SerialBackend(ExecutionBackend):
 
     name = "serial"
 
-    def __init__(self, workers: int | None = None) -> None:
+    def __init__(
+        self, workers: int | None = None, persistent: bool | None = None
+    ) -> None:
         # A serial backend runs one task at a time by definition; the
         # worker count is pinned so stats reporting never lies.
-        super().__init__(1)
+        super().__init__(1, persistent)
 
     def run_tasks(self, tasks, parallelism=None):
+        self._record_event("inline")
         return [task() for task in tasks]
 
 
@@ -117,33 +228,129 @@ class ThreadBackend(ExecutionBackend):
     (rasterization, gathers, reductions), so threads overlap well on
     multi-core hosts while sharing :class:`PreparedPolygons` artifacts
     and device-resident point sets by reference.
+
+    The pool is owned by the backend instance: spawned lazily on the
+    first dispatch that needs it and reused by every later one (sized
+    ``workers``; per-dispatch ``parallelism`` caps are enforced with a
+    semaphore instead of a smaller pool).  ``close()`` joins it;
+    interpreter exit reclaims stragglers; a forked child drops the
+    inherited pool, whose threads did not survive the fork, and
+    respawns on demand.
     """
 
     name = "thread"
+
+    def __init__(
+        self, workers: int | None = None, persistent: bool | None = None
+    ) -> None:
+        super().__init__(workers, persistent)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._in_worker = threading.local()
+
+    def _submit_all(self, call, tasks) -> list:
+        """Submit every task to the persistent pool, spawning it if needed.
+
+        Submission happens under the pool lock so a concurrent
+        ``close()`` can never shut the executor down halfway through a
+        dispatch — it either runs before (this dispatch respawns the
+        pool) or after (the futures are already queued, and
+        ``shutdown(wait=True)`` lets them finish).
+        """
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-tile",
+                )
+                self._record_event("created")
+            else:
+                self._record_event("reused")
+            return [self._pool.submit(call, task) for task in tasks]
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _forget_pool(self) -> None:  # pragma: no cover - fork path
+        # The inherited executor's threads do not exist in this child;
+        # drop it without shutdown (joining dead threads would hang) and
+        # re-arm the lock, which may have been held at fork time.
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._in_worker = threading.local()
+        self._events = threading.local()
 
     def run_tasks(self, tasks, parallelism=None):
         tasks = list(tasks)
         if not tasks:
             return []
         workers = self._effective_workers(len(tasks), parallelism)
-        if workers == 1:
+        if workers == 1 or getattr(self._in_worker, "active", False):
+            # Degenerate parallelism — or a nested dispatch from inside
+            # one of our own pool threads, which must not wait on pool
+            # slots it is itself occupying.
+            self._record_event("inline")
             return [task() for task in tasks]
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            # Executor.map yields results in submission order regardless
-            # of completion order — the determinism anchor.
-            return list(pool.map(lambda task: task(), tasks))
+        if not self.persistent:
+            self._record_event("ephemeral")
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                # Executor.map yields results in submission order
+                # regardless of completion order — the determinism anchor.
+                return list(pool.map(self._run_one, tasks))
+        if workers < self.workers:
+            gate = threading.BoundedSemaphore(workers)
+
+            def call(task):
+                with gate:
+                    return self._run_one(task)
+        else:
+            call = self._run_one
+        # Futures resolve in submission order whatever order they
+        # complete in — the determinism anchor.  On failure, siblings
+        # are cancelled and awaited so no task of this dispatch is
+        # still running when run_tasks raises (the same invariant the
+        # ephemeral with-block enforces).
+        futures = self._submit_all(call, tasks)
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            wait_futures(futures)
+            raise
+
+    def _run_one(self, task):
+        self._in_worker.active = True
+        try:
+            return task()
+        finally:
+            self._in_worker.active = False
 
 
-#: Task list inherited by forked workers (copy-on-write; nothing is
-#: pickled on the way in — only results are pickled on the way back).
-#: Guarded by ``_FORK_LOCK`` so concurrent fan-outs from different
-#: threads serialize instead of clobbering each other's task lists.
-_FORKED_TASKS: Sequence[Callable[[], object]] | None = None
+#: Task lists inherited by forked workers, keyed by dispatch token
+#: (copy-on-write; nothing is pickled on the way in — only the token
+#: travels through ``pool.map`` and only results are pickled back).
+#: An entry stays published for its pool's whole lifetime, so workers
+#: the pool re-forks mid-map (replacements for a crashed worker) still
+#: inherit the right task list; concurrent dispatches coexist under
+#: distinct tokens.  The name is only ever rebound to a *fresh* dict —
+#: never mutated in place — so a fork snapshotted at any instant (pool
+#: replacements fork from the maintenance thread at arbitrary times)
+#: sees an internally consistent mapping.  ``_FORK_LOCK`` serializes
+#: the rebinding and the initial pool fork; it is released before the
+#: (long) map, so concurrent fan-outs from different threads overlap
+#: their work and serialize only their forks.
+_FORK_REGISTRY: dict[int, Sequence[Callable[[], object]]] = {}
 _FORK_LOCK = threading.Lock()
+_FORK_TOKEN_COUNTER = 0
 
 
-def _run_forked_task(index: int):
-    return _FORKED_TASKS[index]()
+def _run_forked_task(job: tuple[int, int]):
+    token, index = job
+    return _FORK_REGISTRY[token][index]()
 
 
 class ProcessBackend(ExecutionBackend):
@@ -154,19 +361,34 @@ class ProcessBackend(ExecutionBackend):
     (:class:`TilePartial`) are pickled on the way back.  Requires the
     ``fork`` start method (POSIX); platforms without it should use
     :class:`ThreadBackend` — see ``docs/parallel_execution.md``.
+
+    This backend forks **per dispatch** even when ``persistent`` is
+    set, by design rather than omission: a long-lived fork pool
+    snapshots the parent at spawn time, so workers forked before a
+    query can never see that query's task closures — the copy-on-write
+    trick that lets unpicklable closures, prepared artifacts, and chunk
+    sources cross the process boundary for free is fundamentally
+    per-fork.  Shipping tasks to resident workers instead would require
+    every task (and everything it closes over) to be picklable, exactly
+    the cost this backend exists to avoid.  What *is* reused across
+    queries is the parent's memory: session-held artifacts and
+    partitioned point segments are inherited by each re-fork at zero
+    copy cost, which is the "resident segment + re-fork" half of the
+    persistent-pool design (see ``docs/parallel_execution.md``).
     """
 
     name = "process"
 
     def run_tasks(self, tasks, parallelism=None):
-        global _FORKED_TASKS
+        global _FORK_REGISTRY, _FORK_TOKEN_COUNTER
         tasks = list(tasks)
         if not tasks:
             return []
         workers = self._effective_workers(len(tasks), parallelism)
-        if workers == 1 or _FORKED_TASKS is not None:
+        if workers == 1 or _IN_FORKED_CHILD:
             # Degenerate parallelism, or a nested call from inside a
             # forked worker: run inline (results are identical anyway).
+            self._record_event("inline")
             return [task() for task in tasks]
         try:
             ctx = mp.get_context("fork")
@@ -175,13 +397,32 @@ class ProcessBackend(ExecutionBackend):
                 "ProcessBackend needs the 'fork' start method, which this "
                 "platform does not provide; use ThreadBackend instead"
             ) from exc
+        # Publish this dispatch's task list under a fresh token, fork
+        # the pool, and leave the entry published until the map is done
+        # — any worker forked for this pool (including mid-map
+        # replacements) inherits it, while other threads fan out under
+        # their own tokens concurrently.  The entry is pruned on every
+        # exit path, including a failed pool spawn.
         with _FORK_LOCK:
-            _FORKED_TASKS = tasks
-            try:
-                with ctx.Pool(processes=workers) as pool:
-                    return pool.map(_run_forked_task, range(len(tasks)))
-            finally:
-                _FORKED_TASKS = None
+            _FORK_TOKEN_COUNTER += 1
+            token = _FORK_TOKEN_COUNTER
+            _FORK_REGISTRY = {**_FORK_REGISTRY, token: tasks}
+        pool = None
+        try:
+            with _FORK_LOCK:
+                pool = ctx.Pool(processes=workers)
+            self._record_event("forked")
+            return pool.map(
+                _run_forked_task, [(token, i) for i in range(len(tasks))]
+            )
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+            with _FORK_LOCK:
+                _FORK_REGISTRY = {
+                    k: v for k, v in _FORK_REGISTRY.items() if k != token
+                }
 
 
 _BACKEND_CLASSES: dict[str, type[ExecutionBackend]] = {
@@ -212,13 +453,16 @@ def default_workers() -> int:
 def resolve_backend(
     spec: str | ExecutionBackend | None = None,
     workers: int | None = None,
+    persistent: bool | None = None,
 ) -> ExecutionBackend:
     """Materialize a backend from a name, an instance, or the environment.
 
     ``None`` falls back to ``$REPRO_EXEC_BACKEND`` (and worker counts to
-    ``$REPRO_EXEC_WORKERS``), defaulting to serial execution — existing
-    call sites keep their exact pre-parallelism behaviour unless they, or
-    the environment, opt in.
+    ``$REPRO_EXEC_WORKERS``, pool persistence to
+    ``$REPRO_PERSISTENT_POOL``), defaulting to serial execution —
+    existing call sites keep their exact pre-parallelism behaviour
+    unless they, or the environment, opt in.  An instance passes
+    through unchanged, carrying its own persistence setting.
     """
     if isinstance(spec, ExecutionBackend):
         return spec
@@ -231,4 +475,4 @@ def resolve_backend(
             f"unknown execution backend {spec!r}; "
             f"expected one of {sorted(_BACKEND_CLASSES)}"
         ) from None
-    return cls(workers=workers)
+    return cls(workers=workers, persistent=persistent)

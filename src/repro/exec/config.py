@@ -17,7 +17,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.exec.backend import ExecutionBackend, resolve_backend
+from repro.exec.backend import (
+    ExecutionBackend,
+    flag_from_env,
+    resolve_backend,
+)
+
+#: Environment hook for the point-partitioning stage; consulted when
+#: ``EngineConfig.partition_points`` is ``None``.  Defaults to on —
+#: partitioning is bit-identical to the full scan and cheaply no-ops on
+#: single-tile canvases, so there is no correctness reason to opt out.
+PARTITION_ENV_VAR = "REPRO_PARTITION_POINTS"
 
 
 @dataclass(frozen=True)
@@ -38,16 +48,50 @@ class EngineConfig:
     configuration alone.  ``store_budget`` caps that store's on-disk
     size (bytes, or a ``"512M"``-style string; ``None`` consults
     ``$REPRO_STORE_BUDGET``).
+
+    ``partition_points`` controls the tile-local point-partitioning
+    stage on multi-tile canvases (``None`` consults
+    ``$REPRO_PARTITION_POINTS``, defaulting to on); ``persistent_pool``
+    controls whether the backend keeps a long-lived worker pool across
+    queries (``None`` consults ``$REPRO_PERSISTENT_POOL``, defaulting
+    to on).  Results never depend on either — like the backend choice
+    they are purely performance decisions (see
+    ``docs/parallel_execution.md``).
     """
 
     backend: str | ExecutionBackend | None = None
     workers: int | None = None
     store_dir: str | None = None
     store_budget: int | str | None = None
+    partition_points: bool | None = None
+    persistent_pool: bool | None = None
 
     def make_backend(self) -> ExecutionBackend:
         """The backend instance this configuration describes."""
-        return resolve_backend(self.backend, self.workers)
+        return resolve_backend(
+            self.backend, self.workers, persistent=self.persistent_pool
+        )
+
+    def with_pinned_backend(self) -> "EngineConfig":
+        """This config with its backend resolved to a live instance.
+
+        Components that construct many engines (the optimizer, the SQL
+        planner) pin the backend once so every engine they build shares
+        one instance — and therefore one persistent worker pool —
+        instead of respawning a pool per query.  Idempotent: an already
+        pinned config is returned unchanged.
+        """
+        if isinstance(self.backend, ExecutionBackend):
+            return self
+        import dataclasses
+
+        return dataclasses.replace(self, backend=self.make_backend())
+
+    def partition_enabled(self) -> bool:
+        """Whether multi-tile executions partition points per tile."""
+        if self.partition_points is not None:
+            return self.partition_points
+        return flag_from_env(PARTITION_ENV_VAR, True)
 
     def make_store(self):
         """The artifact store this configuration describes (or ``None``).

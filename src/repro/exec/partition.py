@@ -1,0 +1,238 @@
+"""Tile-local point partitioning: scan each chunk once, not once per tile.
+
+Without partitioning, a T-tile canvas makes every tile task iterate the
+full chunk source and project **all** points through its viewport
+transform, discarding the ones that land elsewhere — O(T x points) work
+per query.  :func:`partition_chunk` removes that factor: each chunk is
+projected once against the *global* canvas grid and bucketed into
+per-tile sub-chunks, so the per-tile point passes together scan each
+point once (plus a vanishing number of seam duplicates).
+
+Bit-equality with the full-scan path is by construction, not by luck.
+Three properties make the partitioned result identical bit for bit:
+
+1. **Conservative selection.**  A tile's sub-chunk is a *superset* of
+   the points its own ``Viewport.pixel_of`` maps inside the tile.  The
+   global projection and the tile-local projection compute the same
+   quantity through differently-rounded float64 expressions; their
+   continuous screen coordinates agree to within a few ulps of the
+   canvas size (~1e-11 pixels for an 8192-wide canvas), so their floor
+   can disagree only for points sitting exactly on a pixel boundary,
+   and then only by one pixel.  Bucketing therefore assigns every point
+   to the tile of its global pixel *and* to the neighboring tile
+   whenever the pixel touches a tile seam (first or last pixel row or
+   column of a tile); points up to one pixel outside the canvas are
+   clamped in rather than dropped.  Membership is *decided* by the tile
+   task's own ``pixel_of`` exactly as in the full-scan path — false
+   positives are discarded there, so over-approximation can never
+   change a result, and any point double-counted by two adjacent tile
+   transforms is double-counted identically by both paths.
+2. **Stable order.**  Sub-chunks select rows by sorted original-row
+   index, so within a tile the surviving points keep the chunk order.
+   ``np.add.at`` / ``np.minimum.at`` / ``np.maximum.at`` then visit
+   pixels in the same sequence as the full scan, and the boundary-PIP
+   path sees the same point order — identical rounding everywhere.
+3. **Batch-plan alignment.**  The accurate engine's boundary-PIP path
+   folds partial sums per device batch, so batch *grouping* is part of
+   the bit pattern.  Sub-chunks are therefore split at the row
+   boundaries of the exact batch plan the tile's full-scan task would
+   have used for the original chunk (same columns, same device budget,
+   same per-tile framebuffer reservation); each sub-chunk then fits in
+   one batch by construction, reproducing the full-scan groupings.
+
+Partitioning is a pure performance decision: engines enable it through
+:class:`~repro.exec.config.EngineConfig` (``partition_points=`` or
+``$REPRO_PARTITION_POINTS``) and it cheaply no-ops on single-tile
+canvases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import PointDataset
+from repro.device.batching import plan_batches
+from repro.device.memory import ResidentPointSet
+from repro.errors import DeviceError
+
+
+class ResidentSubset:
+    """Device-resident rows gathered for one tile.
+
+    Slicing a :class:`~repro.device.memory.ResidentPointSet` yields
+    plain arrays that are already device memory — a GPU would perform
+    the gather in-kernel — so engines treat a subset exactly like a
+    resident set: one zero-transfer batch, no upload planning.  Keeping
+    the residency semantics is what lets partitioning help the
+    in-memory scenario instead of taxing it with re-uploads.
+    """
+
+    __slots__ = ("_columns", "length")
+
+    def __init__(self, columns: dict[str, np.ndarray]) -> None:
+        self._columns = columns
+        lengths = {len(arr) for arr in columns.values()}
+        if len(lengths) > 1:
+            raise DeviceError("resident subset columns have inconsistent lengths")
+        self.length = lengths.pop() if lengths else 0
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise DeviceError(f"column {name!r} is not resident") from None
+
+
+def _take(chunk, index: np.ndarray, columns: tuple[str, ...]):
+    """Rows ``index`` of ``chunk``, restricted to the query's columns.
+
+    Resident inputs stay resident (see :class:`ResidentSubset`); host
+    datasets become trimmed host datasets holding only the columns the
+    query touches, so partitioning never widens the data in flight.
+    """
+    if isinstance(chunk, (ResidentPointSet, ResidentSubset)):
+        return ResidentSubset(
+            {name: chunk.column(name)[index] for name in columns}
+        )
+    return PointDataset(
+        chunk.column("x")[index],
+        chunk.column("y")[index],
+        {
+            name: chunk.column(name)[index]
+            for name in columns
+            if name not in ("x", "y")
+        },
+    )
+
+
+def tile_grid_shape(canvas, max_resolution: int) -> tuple[int, int]:
+    """(columns, rows) of the tile grid ``Canvas.tiles`` produces."""
+    nx = -(-canvas.width // max_resolution)
+    ny = -(-canvas.height // max_resolution)
+    return nx, ny
+
+
+def partition_chunk(
+    chunk,
+    canvas,
+    tiles,
+    max_resolution: int,
+    columns: tuple[str, ...],
+    device,
+    tile_fbo_bytes,
+) -> tuple[list[list], int]:
+    """Bucket one chunk into per-tile, batch-aligned sub-chunks.
+
+    Returns ``(per_tile, duplicates)`` where ``per_tile[i]`` is the
+    list of sub-chunks destined for ``tiles[i]`` (in original row
+    order, split at tile ``i``'s batch-plan boundaries over the
+    original chunk) and ``duplicates`` counts seam points assigned to
+    more than one tile.  See the module docstring for why consuming
+    these sub-chunks is bit-identical to full-scan execution.
+    """
+    per_tile: list[list] = [[] for _ in tiles]
+    n = len(chunk)
+    if n == 0:
+        return per_tile, 0
+    xs = chunk.column("x")
+    ys = chunk.column("y")
+    view = canvas.full_viewport()
+    gx, gy, _ = view.pixel_of(xs, ys)
+    width, height = canvas.width, canvas.height
+    nx, ny = tile_grid_shape(canvas, max_resolution)
+
+    # One pixel of slack on every side: the global and tile-local
+    # transforms agree to far less than a pixel, so anything further out
+    # cannot be inside any tile (see module docstring, property 1).
+    cand = (gx >= -1) & (gx <= width) & (gy >= -1) & (gy <= height)
+    if cand.all():
+        idx0 = None  # identity — the common all-on-canvas case
+    else:
+        idx0 = np.flatnonzero(cand)
+        if len(idx0) == 0:
+            return per_tile, 0
+        gx, gy = gx[idx0], gy[idx0]
+    cgx = np.clip(gx, 0, width - 1)
+    cgy = np.clip(gy, 0, height - 1)
+    tx = cgx // max_resolution
+    ty = cgy // max_resolution
+    rx = cgx - tx * max_resolution
+    ry = cgy - ty * max_resolution
+    base_tids = ty * nx + tx
+
+    # Seam membership: a point whose global pixel is the first or last
+    # row/column of a tile may belong to the neighbor per that tile's
+    # own transform; assign it to both and let each tile's exact
+    # ``pixel_of`` check decide (false positives are free).
+    x_near = {
+        -1: (rx == 0) & (tx > 0),
+        1: (rx == max_resolution - 1) & (tx < nx - 1),
+    }
+    y_near = {
+        -1: (ry == 0) & (ty > 0),
+        1: (ry == max_resolution - 1) & (ty < ny - 1),
+    }
+    tid_parts = [base_tids]
+    idx_parts = [idx0]
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            if dx == 0 and dy == 0:
+                continue
+            mask = x_near[dx] if dx else None
+            if dy:
+                mask = y_near[dy] if mask is None else mask & y_near[dy]
+            if not mask.any():
+                continue
+            where = np.flatnonzero(mask)
+            tid_parts.append((ty[where] + dy) * nx + (tx[where] + dx))
+            idx_parts.append(where if idx0 is None else idx0[where])
+    if len(tid_parts) == 1:
+        # No seam duplicates (the overwhelmingly common case): a single
+        # stable integer argsort buckets by tile while preserving the
+        # original row order inside each bucket.
+        duplicates = 0
+        order = np.argsort(base_tids, kind="stable")
+        tids = base_tids[order]
+        idxs = order if idx0 is None else idx0[order]
+    else:
+        if idx_parts[0] is None:
+            idx_parts[0] = np.arange(len(base_tids), dtype=np.int64)
+        tids = np.concatenate(tid_parts)
+        idxs = np.concatenate(idx_parts)
+        duplicates = int(len(idxs) - len(idx_parts[0]))
+        # Group by tile with original row order preserved inside each
+        # group (duplicated seam rows must interleave by row index).
+        order = np.lexsort((idxs, tids))
+        tids = tids[order]
+        idxs = idxs[order]
+    bounds = np.flatnonzero(np.diff(tids)) + 1
+    starts = np.concatenate([[0], bounds])
+    ends = np.concatenate([bounds, [len(tids)]])
+
+    resident = isinstance(chunk, (ResidentPointSet, ResidentSubset))
+    for start, end in zip(starts, ends):
+        tile_idx = int(tids[start])
+        sel = idxs[start:end]
+        if resident:
+            # Resident chunks are consumed as a single zero-transfer
+            # batch whatever their size — no plan to align with.
+            per_tile[tile_idx].append(_take(chunk, sel, columns))
+            continue
+        rows = plan_batches(
+            chunk, columns, device, tile_fbo_bytes[tile_idx]
+        ).rows_per_batch
+        if rows >= n:
+            per_tile[tile_idx].append(_take(chunk, sel, columns))
+            continue
+        cuts = np.searchsorted(sel, np.arange(rows, n, rows))
+        for piece in np.split(sel, cuts):
+            if len(piece):
+                per_tile[tile_idx].append(_take(chunk, piece, columns))
+    return per_tile, duplicates

@@ -54,7 +54,12 @@ class QueryPlanner:
         #: Execution configuration attached to every lowered engine, so a
         #: SQL deployment opts whole statements into parallel tile
         #: execution — and into artifact persistence — in one place.
-        self.config = config if config is not None else EngineConfig()
+        #: The backend is resolved *once* and pinned into the config as
+        #: an instance: every statement this planner lowers shares one
+        #: backend, so its persistent worker pool survives across
+        #: statements instead of being respawned (and leaked) per query.
+        config = config if config is not None else EngineConfig()
+        self.config = config.with_pinned_backend()
         if session is None:
             # The planner-owned session picks up the artifact store from
             # the config (explicit ``store_dir``, via the shared
@@ -190,3 +195,17 @@ class QueryPlanner:
         """Parse, plan, and run a statement."""
         engine, points, regions, aggregate, filters = self.plan(statement)
         return engine.execute(points, regions, aggregate=aggregate, filters=filters)
+
+    def close(self) -> None:
+        """Release the shared backend's worker pool.
+
+        The planner stays usable — the next statement respawns the pool
+        lazily; unclosed pools are reclaimed at interpreter exit.
+        """
+        self.config.backend.close()
+
+    def __enter__(self) -> "QueryPlanner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

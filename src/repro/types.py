@@ -38,6 +38,9 @@ class ExecutionStats:
     engine: str = ""
     transfer_s: float = 0.0
     processing_s: float = 0.0
+    #: Parent-side point partitioning (one global projection + bucketing
+    #: per chunk on multi-tile canvases); part of query processing time.
+    partition_s: float = 0.0
     triangulation_s: float = 0.0
     index_build_s: float = 0.0
     io_s: float = 0.0
@@ -61,7 +64,7 @@ class ExecutionStats:
         matching §7.1: "we do not include the polygon processing time in
         the reported query execution time".
         """
-        return self.transfer_s + self.processing_s + self.io_s
+        return self.transfer_s + self.processing_s + self.partition_s + self.io_s
 
     @property
     def total_s(self) -> float:
@@ -72,6 +75,7 @@ class ExecutionStats:
         """Accumulate another execution's counters into this one."""
         self.transfer_s += other.transfer_s
         self.processing_s += other.processing_s
+        self.partition_s += other.partition_s
         self.triangulation_s += other.triangulation_s
         self.index_build_s += other.index_build_s
         self.io_s += other.io_s

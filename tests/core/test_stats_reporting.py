@@ -124,3 +124,51 @@ class TestExecutionEnvReporting:
             EngineConfig(backend="thread", workers=2)
         ).execute(points, polygons)
         assert np.array_equal(serial.values, threaded.values)
+
+
+class TestPoolReporting:
+    """The persistent-pool acceptance bar: a second query on the same
+    engine reuses the pool, and the stats trace proves it — no pool
+    construction appears in the second execution's report."""
+
+    def _multi_tile_engine(self, backend="thread"):
+        return AccurateRasterJoin(
+            resolution=128,
+            device=GPUDevice(max_resolution=48),
+            config=EngineConfig(backend=backend, workers=2),
+        )
+
+    def test_second_query_reuses_persistent_pool(self, workload):
+        points, polygons = workload
+        engine = self._multi_tile_engine()
+        try:
+            first = engine.execute(points, polygons)
+            assert first.stats.extra["tiles"] > 1
+            assert first.stats.extra["pool"] == "created"
+            second = engine.execute(points, polygons)
+            assert second.stats.extra["pool"] == "reused"
+            assert np.array_equal(first.values, second.values)
+        finally:
+            engine.close()
+
+    def test_close_is_reported_and_recoverable(self, workload):
+        points, polygons = workload
+        engine = self._multi_tile_engine()
+        engine.execute(points, polygons)
+        engine.close()
+        reopened = engine.execute(points, polygons)
+        assert reopened.stats.extra["pool"] == "created"
+        engine.close()
+
+    def test_serial_engine_reports_inline(self, workload):
+        points, polygons = workload
+        engine = self._multi_tile_engine(backend="serial")
+        result = engine.execute(points, polygons)
+        assert result.stats.extra["pool"] == "inline"
+
+    def test_engine_context_manager_closes_pool(self, workload):
+        points, polygons = workload
+        with self._multi_tile_engine() as engine:
+            engine.execute(points, polygons)
+            assert engine.backend._pool is not None
+        assert engine.backend._pool is None

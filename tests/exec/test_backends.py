@@ -21,7 +21,11 @@ from repro.exec import (
     default_workers,
     resolve_backend,
 )
-from repro.exec.backend import BACKEND_ENV_VAR, WORKERS_ENV_VAR
+from repro.exec.backend import (
+    BACKEND_ENV_VAR,
+    PERSISTENT_ENV_VAR,
+    WORKERS_ENV_VAR,
+)
 
 ALL_BACKENDS = [
     SerialBackend(),
@@ -103,6 +107,232 @@ class TestWorkerLimits:
             )
 
         assert outer.run_tasks([nested, nested]) == [[1, 2], [1, 2]]
+
+
+class TestPersistentPools:
+    def test_thread_pool_created_then_reused(self):
+        backend = ThreadBackend(workers=2, persistent=True)
+        try:
+            tasks = [lambda i=i: i for i in range(4)]
+            assert backend.run_tasks(tasks) == list(range(4))
+            assert backend.last_pool_event == "created"
+            assert backend.run_tasks(tasks) == list(range(4))
+            assert backend.last_pool_event == "reused"
+        finally:
+            backend.close()
+
+    def test_close_releases_and_respawns_lazily(self):
+        backend = ThreadBackend(workers=2, persistent=True)
+        tasks = [lambda: 1, lambda: 2]
+        backend.run_tasks(tasks)
+        backend.close()
+        backend.close()  # idempotent
+        assert backend.run_tasks(tasks) == [1, 2]
+        assert backend.last_pool_event == "created"
+        backend.close()
+
+    def test_single_task_dispatch_never_spawns_a_pool(self):
+        """A 1-tile canvas (or parallelism cap of 1) must stay pool-free
+        — the cheap no-op the partitioning acceptance bar requires."""
+        backend = ThreadBackend(workers=4, persistent=True)
+        assert backend.run_tasks([lambda: 7]) == [7]
+        assert backend.last_pool_event == "inline"
+        assert backend._pool is None
+        assert backend.run_tasks([lambda: 1, lambda: 2], parallelism=1) == [1, 2]
+        assert backend.last_pool_event == "inline"
+        assert backend._pool is None
+
+    def test_non_persistent_pool_is_ephemeral(self):
+        backend = ThreadBackend(workers=2, persistent=False)
+        assert backend.run_tasks([lambda: 1, lambda: 2]) == [1, 2]
+        assert backend.last_pool_event == "ephemeral"
+        assert backend._pool is None
+
+    def test_persistence_resolves_from_environment(self, monkeypatch):
+        monkeypatch.setenv(PERSISTENT_ENV_VAR, "off")
+        assert ThreadBackend(workers=2).persistent is False
+        monkeypatch.setenv(PERSISTENT_ENV_VAR, "1")
+        assert ThreadBackend(workers=2).persistent is True
+        monkeypatch.delenv(PERSISTENT_ENV_VAR)
+        assert ThreadBackend(workers=2).persistent is True  # default on
+        monkeypatch.setenv(PERSISTENT_ENV_VAR, "sometimes")
+        with pytest.raises(ExecutionBackendError):
+            ThreadBackend(workers=2)
+
+    def test_engine_config_threads_persistence(self, monkeypatch):
+        monkeypatch.delenv(PERSISTENT_ENV_VAR, raising=False)
+        backend = EngineConfig(
+            backend="thread", workers=2, persistent_pool=False
+        ).make_backend()
+        assert backend.persistent is False
+
+    def test_parallelism_cap_respected_by_persistent_pool(self):
+        """The semaphore that replaces per-call pool sizing truly bounds
+        in-flight tasks below the resident pool's width."""
+        lock = threading.Lock()
+        state = {"running": 0, "peak": 0}
+
+        def task():
+            with lock:
+                state["running"] += 1
+                state["peak"] = max(state["peak"], state["running"])
+            time.sleep(0.02)
+            with lock:
+                state["running"] -= 1
+            return True
+
+        backend = ThreadBackend(workers=8, persistent=True)
+        try:
+            backend.run_tasks([task] * 12)  # warm the pool to 8 threads
+            state["peak"] = 0
+            assert all(backend.run_tasks([task] * 12, parallelism=2))
+            assert backend.last_pool_event == "reused"
+            assert state["peak"] <= 2
+        finally:
+            backend.close()
+
+    def test_nested_dispatch_on_same_backend_runs_inline(self):
+        """A task that fans out on its own backend must not deadlock
+        waiting for pool slots it is occupying."""
+        backend = ThreadBackend(workers=2, persistent=True)
+
+        def nested():
+            return backend.run_tasks([lambda: 1, lambda: 2])
+
+        try:
+            assert backend.run_tasks([nested, nested]) == [[1, 2], [1, 2]]
+        finally:
+            backend.close()
+
+    def test_concurrent_process_fanouts_overlap(self):
+        """The fork lock guards only task publication: two threads can
+        fan out on separate ProcessBackends at the same time and both
+        complete correctly (the old design serialized them wholesale)."""
+        results = {}
+
+        def fan_out(key):
+            backend = ProcessBackend(workers=2)
+            results[key] = backend.run_tasks(
+                [lambda i=i, key=key: (key, i * i) for i in range(4)]
+            )
+
+        threads = [
+            threading.Thread(target=fan_out, args=(k,)) for k in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for key in ("a", "b"):
+            assert results[key] == [(key, i * i) for i in range(4)]
+
+    def test_serial_close_is_noop_and_inline(self):
+        backend = SerialBackend()
+        assert backend.run_tasks([lambda: 5]) == [5]
+        assert backend.last_pool_event == "inline"
+        backend.close()
+
+    def test_close_racing_dispatches_never_fails(self):
+        """close() from one thread while another dispatches must never
+        error: the dispatch either respawns the pool or its already
+        submitted futures are allowed to finish."""
+        backend = ThreadBackend(workers=4, persistent=True)
+        stop = threading.Event()
+        errors = []
+
+        def dispatcher():
+            try:
+                while not stop.is_set():
+                    assert backend.run_tasks([lambda: 1] * 4) == [1] * 4
+            except Exception as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+
+        thread = threading.Thread(target=dispatcher)
+        thread.start()
+        try:
+            for _ in range(20):
+                backend.close()
+                time.sleep(0.005)
+        finally:
+            stop.set()
+            thread.join()
+            backend.close()
+        assert not errors
+
+    def test_failed_pool_spawn_prunes_fork_registry(self, monkeypatch):
+        """A fork failure (e.g. ENOMEM) must not leak the published
+        task list for the life of the process."""
+        from repro.exec import backend as backend_mod
+
+        class BoomContext:
+            def Pool(self, processes):
+                raise OSError("fork failed")
+
+        monkeypatch.setattr(
+            backend_mod.mp, "get_context", lambda kind: BoomContext()
+        )
+        backend = ProcessBackend(workers=2)
+        with pytest.raises(OSError, match="fork failed"):
+            backend.run_tasks([lambda: 1, lambda: 2])
+        assert not backend_mod._FORK_REGISTRY
+
+    def test_pool_events_are_per_thread(self):
+        """Backends are shared across engines (optimizer, planner), so a
+        dispatch must read its own event, not a concurrent dispatch's."""
+        backend = ThreadBackend(workers=4, persistent=True)
+        barrier = threading.Barrier(2)
+        events = {}
+
+        def dispatch(key, n):
+            def task():
+                barrier.wait(timeout=5)
+                return n
+            assert backend.run_tasks([task, task]) == [n, n]
+            events[key] = backend.last_pool_event
+
+        try:
+            backend.run_tasks([lambda: 0, lambda: 0])  # pool: created
+            threads = [
+                threading.Thread(target=dispatch, args=(k, i))
+                for i, k in enumerate(("a", "b"))
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            # Both overlapping dispatches ran on the live pool and each
+            # thread sees "reused" — never a neighbor's event; the main
+            # thread still sees its own "created" from the warm-up.
+            assert events == {"a": "reused", "b": "reused"}
+            assert backend.last_pool_event == "created"
+        finally:
+            backend.close()
+
+    def test_fork_task_list_stays_published_for_pool_lifetime(self):
+        """The task registry entry must outlive the fork window: the
+        pool re-forks replacement workers mid-map (after a worker
+        crash), and a replacement inherits whatever is published at
+        *its* fork time — so the entry is held until the map finishes,
+        then cleaned up."""
+        from repro.exec import backend as backend_mod
+
+        backend = ProcessBackend(workers=2)
+        done = {}
+
+        def fan_out():
+            done["result"] = backend.run_tasks(
+                [lambda: time.sleep(0.4) or 1] * 2
+            )
+
+        thread = threading.Thread(target=fan_out)
+        thread.start()
+        time.sleep(0.2)
+        assert backend_mod._FORK_REGISTRY, (
+            "task list unpublished while the pool is still mapping"
+        )
+        thread.join()
+        assert not backend_mod._FORK_REGISTRY, "registry entry leaked"
+        assert done["result"] == [1, 1]
 
 
 class TestResolution:

@@ -1,0 +1,205 @@
+"""Hypothesis property tests for tile-local point partitioning.
+
+The partitioning guarantee of ``repro.exec.partition``: for random
+workloads — including points sitting **exactly on tile seams** and on
+interior pixel boundaries — executing with per-tile point partitioning
+produces **bit-identical** values and channel arrays to the full-scan
+path, for every engine, execution backend, worker count, aggregate
+kind, and ingestion mode (monolithic and streamed).  Multi-tile
+canvases are forced via a small device framebuffer limit so the
+partition stage really buckets points instead of no-opping.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AccurateRasterJoin,
+    Average,
+    BoundedRasterJoin,
+    Count,
+    EngineConfig,
+    GPUDevice,
+    Max,
+    Min,
+    PointDataset,
+    PolygonSet,
+    Sum,
+)
+from repro.types import ExecutionStats
+from tests.conftest import random_star_polygon
+
+#: One instance of each aggregate kind per example — bit-equality must
+#: hold for additive, algebraic, and order-statistic blends alike.
+AGGREGATE_KINDS = (
+    lambda: Count(),
+    lambda: Sum("val"),
+    lambda: Average("val"),
+    lambda: Min("val"),
+    lambda: Max("val"),
+)
+
+MAX_FBO = 48
+
+
+def _device():
+    # A tiny FBO limit forces multi-tile canvases at these resolutions.
+    return GPUDevice(max_resolution=MAX_FBO)
+
+
+def _engine(kind, resolution, backend, workers, partition, session=None):
+    cls = AccurateRasterJoin if kind == "accurate" else BoundedRasterJoin
+    return cls(
+        resolution=resolution, device=_device(), session=session,
+        config=EngineConfig(
+            backend=backend, workers=workers, partition_points=partition,
+        ),
+    )
+
+
+def _with_seam_points(points, polygons, kind, resolution, rng):
+    """Append points exactly on tile seams and pixel boundaries.
+
+    The canvas layout is derived exactly as the engine will derive it,
+    so the injected coordinates hit the seams of the *actual* tiling —
+    the one place where the global projection and a tile's own
+    transform could disagree, and therefore the case the conservative
+    partitioner must prove it covers.
+    """
+    probe = _engine(kind, resolution, "serial", 1, False)
+    prepared = probe._prepare(polygons, ExecutionStats())
+    seam_xs: list[float] = []
+    seam_ys: list[float] = []
+    for tile in prepared.tiles:
+        if tile.x_offset > 0:
+            seam_xs.append(tile.bbox.xmin)
+        if tile.y_offset > 0:
+            seam_ys.append(tile.bbox.ymin)
+    extent = prepared.canvas.extent
+    xs, ys = [], []
+    for sx in seam_xs[:3]:
+        for frac in (0.25, 0.75):
+            xs.append(sx)
+            ys.append(extent.ymin + frac * extent.height)
+    for sy in seam_ys[:3]:
+        for frac in (0.25, 0.75):
+            xs.append(extent.xmin + frac * extent.width)
+            ys.append(sy)
+    if seam_xs and seam_ys:  # the four-tile corner, the worst case
+        xs.append(seam_xs[0])
+        ys.append(seam_ys[0])
+    # Interior pixel boundaries: exact multiples of the pixel size.
+    pw, ph = prepared.canvas.pixel_width, prepared.canvas.pixel_height
+    for k in (7, 19):
+        xs.append(extent.xmin + k * pw)
+        ys.append(extent.ymin + k * ph)
+    if not xs:
+        return points
+    extra = PointDataset(
+        np.asarray(xs), np.asarray(ys),
+        {"val": rng.normal(0.0, 10.0, len(xs))},
+    )
+    return points.concat(extra)
+
+
+@st.composite
+def partition_workloads(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    n_points = draw(st.integers(50, 600))
+    n_polys = draw(st.integers(1, 3))
+    resolution = draw(st.sampled_from([96, 144]))
+    workers = draw(st.integers(2, 4))
+    backend = draw(st.sampled_from(["serial", "thread", "process"]))
+    streamed = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    points = PointDataset(
+        rng.uniform(0.0, 100.0, n_points),
+        rng.uniform(0.0, 100.0, n_points),
+        # Signed values stress float summation-order sensitivity.
+        {"val": rng.normal(0.0, 10.0, n_points)},
+    )
+    centers = [(30.0, 30.0), (70.0, 60.0), (40.0, 75.0)]
+    polygons = PolygonSet(
+        [
+            random_star_polygon(
+                rng, center=centers[k], radius_range=(4.0, 22.0),
+                vertices=int(rng.integers(4, 9)),
+            )
+            for k in range(n_polys)
+        ]
+    )
+    return points, polygons, resolution, workers, backend, streamed, rng
+
+
+def _run(engine, points, polygons, aggregate, streamed):
+    if not streamed:
+        return engine.execute(points, polygons, aggregate=aggregate)
+
+    def chunk_source():
+        step = max(1, len(points) // 3)
+        vals = points.column("val")
+        for start in range(0, len(points), step):
+            yield PointDataset(
+                points.xs[start:start + step],
+                points.ys[start:start + step],
+                {"val": vals[start:start + step]},
+            )
+
+    return engine.execute_stream(chunk_source, polygons, aggregate=aggregate)
+
+
+def _assert_bit_identical(reference, result, label):
+    assert np.array_equal(reference.values, result.values, equal_nan=True), label
+    assert reference.channels.keys() == result.channels.keys(), label
+    for name in reference.channels:
+        assert np.array_equal(
+            reference.channels[name], result.channels[name]
+        ), (label, name)
+
+
+@given(partition_workloads())
+@settings(max_examples=5, deadline=None)
+def test_partitioned_bit_identical_to_full_scan(workload):
+    points, polygons, resolution, workers, backend, streamed, rng = workload
+    for kind in ("accurate", "bounded"):
+        seamed = _with_seam_points(points, polygons, kind, resolution, rng)
+        for make_aggregate in AGGREGATE_KINDS:
+            reference = _run(
+                _engine(kind, resolution, "serial", 1, False),
+                seamed, polygons, make_aggregate(), streamed,
+            )
+            assert reference.stats.extra["tiles"] > 1
+            assert reference.stats.extra["partition"] == "off"
+            result = _run(
+                _engine(kind, resolution, backend, workers, True),
+                seamed, polygons, make_aggregate(), streamed,
+            )
+            assert result.stats.extra["partition"] == "on"
+            _assert_bit_identical(
+                reference, result,
+                (kind, backend, workers, streamed,
+                 type(make_aggregate()).__name__),
+            )
+
+
+@given(partition_workloads())
+@settings(max_examples=3, deadline=None)
+def test_partitioned_warm_session_bit_identical(workload):
+    """Partitioning composes with prepared-state reuse: warm partitioned
+    runs replay boundary masks and coverage yet stay bit-identical."""
+    from repro import QuerySession
+
+    points, polygons, resolution, workers, backend, streamed, rng = workload
+    seamed = _with_seam_points(points, polygons, "accurate", resolution, rng)
+    reference = _run(
+        _engine("accurate", resolution, "serial", 1, False),
+        seamed, polygons, Sum("val"), streamed,
+    )
+    session = QuerySession()
+    engine = _engine("accurate", resolution, backend, workers, True,
+                     session=session)
+    _run(engine, seamed, polygons, Sum("val"), streamed)
+    warm = _run(engine, seamed, polygons, Sum("val"), streamed)
+    assert warm.stats.prepared_hits == 1
+    _assert_bit_identical(reference, warm, (backend, workers, streamed))

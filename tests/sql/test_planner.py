@@ -115,3 +115,57 @@ class TestExecution:
         )
         rel = np.abs(result.values - exact) / exact
         assert rel.max() < 0.02
+
+
+class TestSharedBackend:
+    """Every engine a planner lowers shares one backend instance, so the
+    persistent worker pool survives across statements instead of being
+    respawned (and leaked) per query."""
+
+    QUERY = (
+        "SELECT COUNT(*) FROM taxi, hoods "
+        "WHERE taxi.loc INSIDE hoods.geometry GROUP BY hoods.id"
+    )
+
+    def _parallel_planner(self, uniform_points, three_regions):
+        from repro import EngineConfig, GPUDevice
+
+        p = QueryPlanner(
+            device=GPUDevice(max_resolution=48),
+            config=EngineConfig(backend="thread", workers=2),
+        )
+        p.register_points("taxi", uniform_points)
+        p.register_regions("hoods", three_regions)
+        return p
+
+    def test_lowered_engines_share_one_backend(
+        self, uniform_points, three_regions
+    ):
+        planner = self._parallel_planner(uniform_points, three_regions)
+        try:
+            one, *_ = planner.plan(self.QUERY)
+            two, *_ = planner.plan(self.QUERY)
+            assert one.backend is two.backend
+        finally:
+            planner.close()
+
+    def test_second_statement_reuses_the_pool(
+        self, uniform_points, three_regions
+    ):
+        planner = self._parallel_planner(uniform_points, three_regions)
+        try:
+            first = planner.execute(self.QUERY)
+            assert first.stats.extra["pool"] == "created"
+            second = planner.execute(self.QUERY)
+            assert second.stats.extra["pool"] == "reused"
+            assert np.array_equal(first.values, second.values)
+        finally:
+            planner.close()
+
+    def test_planner_context_manager_closes_pool(
+        self, uniform_points, three_regions
+    ):
+        with self._parallel_planner(uniform_points, three_regions) as planner:
+            planner.execute(self.QUERY)
+            assert planner.config.backend._pool is not None
+        assert planner.config.backend._pool is None
