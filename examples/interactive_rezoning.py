@@ -5,9 +5,11 @@ Policy makers rezone the city and place resources, inspecting aggregate
 coverage after every change:
 
 1. start from a zoning partition (Voronoi-merge regions);
-2. iteratively "redraw" zone boundaries — every iteration changes the
-   polygon set, so nothing can be precomputed, exactly the dynamic
-   setting that defeats data-cube approaches;
+2. iteratively "redraw" one zone boundary — **move one vertex, re-query**
+   — and re-aggregate incrementally: with a :class:`QuerySession` the
+   edited set delta-derives from the warm artifact, so only the edited
+   polygon re-triangulates and re-rasterizes (the per-iteration rebuild
+   count is printed; see ``docs/incremental_edits.md``);
 3. place service facilities and compute their coverage via a restricted
    Voronoi diagram, aggregating taxi demand per facility;
 4. flip back and forth between competing proposals (the undo/redo loop)
@@ -16,7 +18,8 @@ coverage after every change:
    boundary masks, and coverage instead of rebuilding them;
 5. save the day's prepared state to an :class:`ArtifactStore`, "restart"
    the planning tool, and answer the first query of the next session
-   disk-warm — no re-triangulation, bit-identical numbers.
+   disk-warm — no re-triangulation, bit-identical numbers; single-vertex
+   edits persist as small journal patches, not whole-artifact rewrites.
 
 Run:  python examples/interactive_rezoning.py
 """
@@ -31,6 +34,8 @@ from repro import (
     ArtifactStore,
     BoundedRasterJoin,
     Count,
+    Polygon,
+    PolygonSet,
     QuerySession,
     Sum,
 )
@@ -39,26 +44,61 @@ from repro.data.regions import NYC_REGION_EXTENT
 from repro.geometry.bbox import BBox
 
 
-def rezoning_session(taxi, rounds: int = 4) -> None:
-    """Each round = the planner commits a new zoning proposal."""
-    print("-- Rezoning session (fresh polygons every round) --")
-    engine = BoundedRasterJoin(epsilon=25.0)
-    for round_id in range(rounds):
-        zones = generate_voronoi_regions(
-            18, NYC_REGION_EXTENT, seed=100 + round_id
+def move_one_vertex(zones: PolygonSet, stroke: int) -> tuple[PolygonSet, int]:
+    """One rezoning stroke: nudge one vertex of one interior zone.
+
+    Interior zones keep the city extent (the *frame*) unchanged, which
+    is what lets the session reuse every other zone's prepared state.
+    """
+    box = zones.bbox
+    polys = list(zones)
+    interior = [
+        i for i, p in enumerate(polys)
+        if p.bbox.xmin > box.xmin and p.bbox.xmax < box.xmax
+        and p.bbox.ymin > box.ymin and p.bbox.ymax < box.ymax
+    ]
+    if not interior:
+        raise ValueError(
+            "zoning has no interior zone: every polygon touches the "
+            "extent, so a vertex edit would change the frame and "
+            "cold-rebuild instead of re-aggregating incrementally"
         )
+    pid = interior[stroke % len(interior)]
+    ring = polys[pid].exterior.copy()
+    center = ring.mean(axis=0)
+    vid = stroke % len(ring)
+    ring[vid] = ring[vid] + (center - ring[vid]) * 0.3
+    polys[pid] = Polygon(ring)
+    return PolygonSet(polys, names=zones.names), pid
+
+
+def rezoning_session(taxi, strokes: int = 4) -> None:
+    """The incremental edit loop: move one vertex, re-query, repeat."""
+    print("-- Rezoning session (one-vertex strokes, incremental) --")
+    session = QuerySession()
+    engine = BoundedRasterJoin(epsilon=25.0, session=session)
+    zones = generate_voronoi_regions(18, NYC_REGION_EXTENT, seed=100)
+    start = time.perf_counter()
+    demand = engine.execute(taxi, zones, aggregate=Sum("fare"))
+    elapsed = time.perf_counter() - start
+    print(
+        f"  initial zoning : total fares ${demand.values.sum():,.0f}  "
+        f"[{elapsed:.3f}s, cold build of {len(zones)} zones]"
+    )
+    for stroke in range(strokes):
+        zones, pid = move_one_vertex(zones, stroke)
         start = time.perf_counter()
         demand = engine.execute(taxi, zones, aggregate=Sum("fare"))
         elapsed = time.perf_counter() - start
+        rebuilt = demand.stats.extra.get("polygons_rebuilt", len(zones))
         values = demand.values
-        top = int(values.argmax())
-        spread = values.max() / max(values[values > 0].min(), 1.0)
         print(
-            f"  proposal {round_id + 1}: total fares ${values.sum():,.0f}, "
-            f"hottest zone #{top} (${values[top]:,.0f}), "
-            f"max/min spread {spread:.1f}x  [{elapsed:.2f}s incl. "
-            f"triangulation]"
+            f"  stroke {stroke + 1} (zone #{pid}): total fares "
+            f"${values.sum():,.0f}, hottest zone #{int(values.argmax())}  "
+            f"[{elapsed:.3f}s, prepared={demand.stats.extra['prepared']}, "
+            f"rebuilt {rebuilt}/{len(zones)} zones]"
         )
+    print(f"  => {session!r}")
 
 
 def facility_coverage(taxi, n_facilities: int = 12) -> None:
@@ -161,6 +201,20 @@ def warm_restart(taxi) -> None:
         identical = np.array_equal(before.values, after.values)
         print(f"  tomorrow : first query {state}          [{warm_s:.3f}s, "
               f"{cold_s / warm_s:.1f}x faster, bit-identical={identical}]")
+
+        # One morning stroke: the edit persists as a journal patch
+        # appended to the zoning's lineage, not a whole-pair rewrite.
+        edited, pid = move_one_vertex(zoning, 0)
+        start = time.perf_counter()
+        stroke = engine.execute(taxi, edited, aggregate=Sum("fare"))
+        edit_s = time.perf_counter() - start
+        print(
+            f"  stroke   : zone #{pid} edited            [{edit_s:.3f}s, "
+            f"prepared={stroke.stats.extra['prepared']}, rebuilt "
+            f"{stroke.stats.extra.get('polygons_rebuilt', '?')}/"
+            f"{len(edited)} zones, {tomorrow.store.patch_saves} journal "
+            f"patch(es) on disk]"
+        )
         print(f"  => {tomorrow!r}")
 
 

@@ -11,7 +11,10 @@ accelerated aggregation):
 
 * :class:`~repro.cache.prepared.PreparedPolygons` — the reusable artifact,
   keyed by a content fingerprint of the polygon set plus the engine's
-  render configuration;
+  render configuration, and composed of per-polygon
+  :class:`~repro.cache.prepared.PolygonUnit` pieces so a single-polygon
+  edit rebuilds one polygon's state instead of the whole set's (see
+  ``docs/incremental_edits.md``);
 * :class:`~repro.cache.session.QuerySession` — a tiered, byte-budgeted
   cache of prepared artifacts shared by every engine that accepts
   ``session=``, optionally backed by the persistent
@@ -22,11 +25,23 @@ See ``docs/query_sessions.md`` for the API contract and the cache
 invalidation rules, and ``docs/artifact_store.md`` for the disk tier.
 """
 
-from repro.cache.prepared import PreparedPolygons, polygon_fingerprint
-from repro.cache.session import QuerySession
+from repro.cache.prepared import (
+    PolygonUnit,
+    PreparedPolygons,
+    fingerprint_details,
+    per_polygon_fingerprints,
+    polygon_fingerprint,
+    single_polygon_fingerprint,
+)
+from repro.cache.session import QuerySession, Warmth
 
 __all__ = [
+    "PolygonUnit",
     "PreparedPolygons",
     "QuerySession",
+    "Warmth",
+    "fingerprint_details",
+    "per_polygon_fingerprints",
     "polygon_fingerprint",
+    "single_polygon_fingerprint",
 ]

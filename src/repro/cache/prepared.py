@@ -1,4 +1,4 @@
-"""The reusable per-polygon-set artifact behind a :class:`QuerySession`.
+"""The reusable prepared-state artifact behind a :class:`QuerySession`.
 
 A :class:`PreparedPolygons` bundles every piece of engine state that is a
 pure function of (polygon geometry, render configuration):
@@ -11,11 +11,26 @@ pure function of (polygon geometry, render configuration):
 * per-tile, per-polygon covered-pixel indices (the polygon-pass raster,
   the GeoBlocks-style cached aggregation footprint).
 
+Since PR 5 the artifact is **composed from per-polygon units**
+(:class:`PolygonUnit`): each polygon carries its own content
+fingerprint, triangulation, grid-cell list, per-tile outline pixels,
+and per-tile raw coverage pieces, and the set-level arrays the engines
+consume (the boundary mask, the boundary-excluded coverage lists, the
+CSR grid) are cheap deterministic *compositions* of those units.  That
+split is what makes single-polygon edits incremental: an edited set
+reuses every unchanged polygon's unit verbatim and re-rasterizes only
+the changed ones (see ``docs/incremental_edits.md``), while the
+composed views stay bit-identical to a from-scratch build by
+construction — composition replays the exact per-polygon loops the
+direct builders run, in the same polygon order.
+
 Artifacts are populated lazily: an engine fills in exactly the fields its
 algorithm needs, on first use, and later executions with the same polygon
 set and configuration skip the rebuild.  All fields are derived
 deterministically from the polygon content, so an artifact built by one
 engine instance is valid for any other instance with the same spec.
+Artifacts built *without* a session (``key is None``) skip the unit
+bookkeeping entirely — the throwaway path stays as cheap as before.
 """
 
 from __future__ import annotations
@@ -29,6 +44,12 @@ import numpy as np
 from repro.geometry.polygon import Polygon, PolygonSet
 from repro.geometry.triangulate import triangulate_polygon
 from repro.index.grid import GridIndex
+
+
+def _hash_rings(digest, poly: Polygon) -> None:
+    for ring in poly.rings:
+        digest.update(len(ring).to_bytes(8, "little"))
+        digest.update(np.ascontiguousarray(ring, dtype="<f8").tobytes())
 
 
 def polygon_fingerprint(polygons: PolygonSet | Sequence[Polygon]) -> str:
@@ -50,10 +71,93 @@ def polygon_fingerprint(polygons: PolygonSet | Sequence[Polygon]) -> str:
     polys = list(polygons)
     digest.update(len(polys).to_bytes(8, "little"))
     for poly in polys:
-        for ring in poly.rings:
-            digest.update(len(ring).to_bytes(8, "little"))
-            digest.update(np.ascontiguousarray(ring, dtype="<f8").tobytes())
+        _hash_rings(digest, poly)
     return digest.hexdigest()
+
+
+def single_polygon_fingerprint(poly: Polygon) -> str:
+    """Content hash of one polygon's geometry (order-free, set-free).
+
+    This is the identity of a :class:`PolygonUnit`: two polygons with the
+    same rings hash identically wherever they sit in whatever set, which
+    is what lets an edited set adopt the unchanged polygons' prepared
+    state from a sibling artifact.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    _hash_rings(digest, poly)
+    return digest.hexdigest()
+
+
+def per_polygon_fingerprints(
+    polygons: PolygonSet | Sequence[Polygon],
+) -> list[str]:
+    """Every polygon's :func:`single_polygon_fingerprint`, in order."""
+    return [single_polygon_fingerprint(poly) for poly in polygons]
+
+
+def fingerprint_details(
+    polygons: PolygonSet | Sequence[Polygon],
+) -> tuple[str, list[str]]:
+    """(set fingerprint, per-polygon fingerprints) in one pass.
+
+    The set fingerprint is byte-for-byte the one
+    :func:`polygon_fingerprint` produces — existing cache and store keys
+    stay addressable.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    polys = list(polygons)
+    digest.update(len(polys).to_bytes(8, "little"))
+    per_poly: list[str] = []
+    for poly in polys:
+        _hash_rings(digest, poly)
+        per_poly.append(single_polygon_fingerprint(poly))
+    return digest.hexdigest(), per_poly
+
+
+class PolygonUnit:
+    """Per-polygon prepared state: everything derived from one polygon.
+
+    Every field is a pure function of (this polygon's geometry, the
+    shared frame — canvas/tile layout and grid extent), never of the
+    other polygons, which is what makes units reusable across edits of
+    the rest of the set:
+
+    * ``triangles`` — this polygon's triangulation;
+    * ``cells`` — the flat grid-cell ids this polygon registers in
+      (under the entry's grid resolution/assignment/extent);
+    * ``boundary[tile_idx]`` — ``(ix, iy)`` outline pixels on that tile
+      (the polygon's contribution to the tile's boundary mask);
+    * ``coverage[tile_idx]`` — raw covered-pixel pieces ``(iy, ix)`` on
+      that tile, *before* boundary exclusion (exclusion depends on the
+      whole set's outlines, so it is applied at composition time).
+
+    A tile key being present means the tile was built for this unit —
+    possibly with empty arrays (the polygon does not touch the tile).
+    """
+
+    __slots__ = ("fingerprint", "bbox", "triangles", "cells",
+                 "boundary", "coverage")
+
+    def __init__(self, fingerprint: str, bbox: tuple) -> None:
+        self.fingerprint = fingerprint
+        #: (xmin, ymin, xmax, ymax) of the polygon, recorded so an edit
+        #: can tell which tiles the departing geometry touched.
+        self.bbox = bbox
+        self.triangles: list[np.ndarray] | None = None
+        self.cells: np.ndarray | None = None
+        self.boundary: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self.coverage: dict[int, list] = {}
+
+    def clone(self) -> "PolygonUnit":
+        """A unit sharing this one's (immutable) arrays but owning its
+        tile dicts, so a derived artifact can build further tiles — or
+        be budget-stripped — without mutating its sibling."""
+        other = PolygonUnit(self.fingerprint, self.bbox)
+        other.triangles = self.triangles
+        other.cells = self.cells
+        other.boundary = dict(self.boundary)
+        other.coverage = dict(self.coverage)
+        return other
 
 
 class PreparedPolygons:
@@ -62,7 +166,7 @@ class PreparedPolygons:
     ``key`` is ``(fingerprint, *engine_spec)`` when the artifact lives in a
     :class:`~repro.cache.session.QuerySession`, or ``None`` for the
     throwaway artifact an engine builds when it runs without a session
-    (same code path, nothing retained).
+    (same code path, nothing retained, no per-polygon units).
     """
 
     __slots__ = (
@@ -74,6 +178,13 @@ class PreparedPolygons:
         "boundary_masks",
         "coverage",
         "mbr_arrays",
+        "units",
+        "polygon_fps",
+        "source_bbox",
+        "delta_parent",
+        "delta_dirty",
+        "parent_map",
+        "version",
         "triangulation_s",
         "index_build_s",
         "uses",
@@ -85,27 +196,158 @@ class PreparedPolygons:
         self.tiles: list | None = None
         self.triangles: list[list[np.ndarray]] | None = None
         self.grid: GridIndex | None = None
-        #: tile index -> boolean boundary mask of that viewport
+        #: tile index -> boolean boundary mask of that viewport (composed)
         self.boundary_masks: dict[int, np.ndarray] = {}
         #: tile index -> [(polygon id, [per-piece (iy, ix) index arrays])]
+        #: — the boundary-excluded, engine-consumed composition
         self.coverage: dict[int, list] = {}
         #: polygon MBRs as (xmin, xmax, ymin, ymax) column arrays
         self.mbr_arrays: tuple[np.ndarray, ...] | None = None
+        #: per-polygon units (None for sessionless throwaway artifacts)
+        self.units: list[PolygonUnit] | None = None
+        self.polygon_fps: list[str] | None = None
+        #: (xmin, ymin, xmax, ymax) of the set at build time — the frame
+        #: guard: a delta reuse is only valid when the edited set spans
+        #: the same extent (same canvas, same grid extent).
+        self.source_bbox: tuple | None = None
+        #: provenance of a delta-derived artifact (for store journaling)
+        self.delta_parent: tuple | None = None
+        self.delta_dirty: list[int] | None = None
+        #: new pid -> parent pid (or -1 for rebuilt polygons)
+        self.parent_map: list[int] | None = None
+        #: bumped on every mutation; part of the content signature so
+        #: sessions re-measure nbytes only when something changed.
+        self.version = 0
         self.triangulation_s = 0.0
         self.index_build_s = 0.0
         self.uses = 0
 
     # ------------------------------------------------------------------
+    # Unit bookkeeping
+    # ------------------------------------------------------------------
+    def init_units(
+        self,
+        polygons: PolygonSet | Sequence[Polygon],
+        fingerprints: Sequence[str],
+    ) -> None:
+        """Attach fresh per-polygon units (a cold, session-owned build)."""
+        polys = list(polygons)
+        self.units = [
+            PolygonUnit(fp, _bbox_tuple(poly))
+            for fp, poly in zip(fingerprints, polys)
+        ]
+        self.polygon_fps = list(fingerprints)
+        box = polys[0].bbox
+        for poly in polys[1:]:
+            box = box.union(poly.bbox)
+        self.source_bbox = (box.xmin, box.ymin, box.xmax, box.ymax)
+        self.version += 1
+
+    @classmethod
+    def derive_from(
+        cls,
+        base: "PreparedPolygons",
+        key: tuple,
+        polygons: PolygonSet | Sequence[Polygon],
+        fingerprints: Sequence[str],
+    ) -> "PreparedPolygons":
+        """A new artifact for an *edited* set, reusing the base's units.
+
+        Unchanged polygons (matched by per-polygon fingerprint) adopt
+        clones of the base units — triangulation, grid cells, outline
+        pixels, and raw coverage all carry over.  Changed and added
+        polygons get empty units; the engines rebuild exactly those.
+        Composed views are carried only for tiles no edited polygon's
+        geometry (old or new) touches, and only when polygon ids are
+        positionally stable; everything else recomposes from units —
+        cheap gathers, no rasterization.
+        """
+        polys = list(polygons)
+        entry = cls(key)
+        entry.canvas = base.canvas
+        entry.tiles = base.tiles
+        entry.polygon_fps = list(fingerprints)
+        entry.source_bbox = base.source_bbox
+
+        # Match new polygons to base units by content fingerprint.
+        pool: dict[str, list[int]] = {}
+        for pid, fp in enumerate(base.polygon_fps or ()):
+            pool.setdefault(fp, []).append(pid)
+        units: list[PolygonUnit] = []
+        parent_map: list[int] = []
+        dirty: list[int] = []
+        for pid, (fp, poly) in enumerate(zip(fingerprints, polys)):
+            matches = pool.get(fp)
+            if matches:
+                src = matches.pop(0)
+                units.append(base.units[src].clone())
+                parent_map.append(src)
+            else:
+                units.append(PolygonUnit(fp, _bbox_tuple(poly)))
+                parent_map.append(-1)
+                dirty.append(pid)
+        entry.units = units
+        entry.parent_map = parent_map
+        entry.delta_dirty = dirty
+        entry.delta_parent = base.key
+
+        # Composed carry-over: only with stable ids (no insert/delete/
+        # reorder — composed coverage encodes pids positionally) and only
+        # for tiles untouched by any departing or arriving geometry.
+        stable = len(units) == len(base.units) and all(
+            src == pid or src < 0 for pid, src in enumerate(parent_map)
+        )
+        if stable and base.tiles is not None:
+            replaced = {src for src in parent_map if src >= 0}
+            changed_boxes = [
+                base.units[pid].bbox for pid in range(len(base.units))
+                if pid not in replaced
+            ] + [units[pid].bbox for pid in dirty]
+            empty = np.zeros(0, dtype=np.int64)
+            for idx, tile in enumerate(base.tiles):
+                if any(_boxes_intersect(b, tile.bbox) for b in changed_boxes):
+                    continue
+                mask = base.boundary_masks.get(idx)
+                if mask is not None:
+                    entry.boundary_masks[idx] = mask
+                    # The rebuilt polygons' geometry misses this tile
+                    # (that is what made it carriable), so their
+                    # per-tile state is the empty contribution a build
+                    # would produce — record it now, keeping the
+                    # all-units-per-tile invariant that persistence and
+                    # later compositions rely on.
+                    for pid in dirty:
+                        units[pid].boundary[idx] = (empty, empty)
+                cov = base.coverage.get(idx)
+                if cov is not None:
+                    entry.coverage[idx] = cov
+                    for pid in dirty:
+                        units[pid].coverage[idx] = []
+        entry.version += 1
+        return entry
+
+    # ------------------------------------------------------------------
     # Lazy builders (each runs at most once per artifact)
     # ------------------------------------------------------------------
     def ensure_triangles(self, polygons: PolygonSet, stats=None) -> list:
-        """Triangulate every polygon once; later calls are free."""
+        """Triangulate every polygon once; later calls are free.
+
+        With units attached, only polygons whose unit lacks a
+        triangulation are rebuilt — the incremental path after an edit.
+        """
         if self.triangles is None:
             start = time.perf_counter()
-            self.triangles = [triangulate_polygon(p) for p in polygons]
+            if self.units is not None:
+                for pid, unit in enumerate(self.units):
+                    if unit.triangles is None:
+                        unit.triangles = triangulate_polygon(polygons[pid])
+                self.triangles = [unit.triangles for unit in self.units]
+            else:
+                self.triangles = [triangulate_polygon(p) for p in polygons]
             self.triangulation_s = time.perf_counter() - start
             if stats is not None:
                 stats.triangulation_s += self.triangulation_s
+            self.version += 1
         return self.triangles
 
     def ensure_grid(
@@ -115,14 +357,39 @@ class PreparedPolygons:
         assignment: str,
         stats=None,
     ) -> GridIndex:
-        """Build the polygon grid index once; later calls are free."""
+        """Build the polygon grid index once; later calls are free.
+
+        With units attached, per-polygon cell lists are computed only
+        for polygons that lack them and the CSR arrays are *composed*
+        from the per-polygon lists — the same two-pass scatter the
+        direct constructor runs, so the index is bit-identical.
+        """
         if self.grid is None:
-            self.grid = GridIndex(
-                polygons, resolution=resolution, assignment=assignment
-            )
-            self.index_build_s = self.grid.build_seconds
+            if self.units is not None:
+                start = time.perf_counter()
+                extent = GridIndex.default_extent(polygons)
+                for pid, unit in enumerate(self.units):
+                    if unit.cells is None:
+                        unit.cells = GridIndex.cells_for_polygon(
+                            polygons[pid], extent, resolution, assignment
+                        )
+                self.grid = GridIndex.from_cells(
+                    polygons,
+                    [unit.cells for unit in self.units],
+                    resolution=resolution,
+                    assignment=assignment,
+                    extent=extent,
+                )
+                self.index_build_s = time.perf_counter() - start
+                self.grid.build_seconds = self.index_build_s
+            else:
+                self.grid = GridIndex(
+                    polygons, resolution=resolution, assignment=assignment
+                )
+                self.index_build_s = self.grid.build_seconds
             if stats is not None:
-                stats.index_build_s += self.grid.build_seconds
+                stats.index_build_s += self.index_build_s
+            self.version += 1
         return self.grid
 
     def ensure_mbr_arrays(self, polygons: PolygonSet) -> tuple[np.ndarray, ...]:
@@ -135,7 +402,116 @@ class PreparedPolygons:
                 np.asarray([b.ymin for b in boxes]),
                 np.asarray([b.ymax for b in boxes]),
             )
+            self.version += 1
         return self.mbr_arrays
+
+    # ------------------------------------------------------------------
+    # Per-tile composition (units path)
+    # ------------------------------------------------------------------
+    def missing_boundary_pids(self, tile_idx: int) -> list[int]:
+        """Polygon ids whose unit lacks outline pixels for this tile."""
+        return [
+            pid for pid, unit in enumerate(self.units)
+            if tile_idx not in unit.boundary
+        ]
+
+    def missing_coverage_pids(self, tile_idx: int) -> list[int]:
+        """Polygon ids whose unit lacks raw coverage for this tile."""
+        return [
+            pid for pid, unit in enumerate(self.units)
+            if tile_idx not in unit.coverage
+        ]
+
+    def compose_boundary(
+        self, tile_idx: int, tile, built: dict | None = None
+    ) -> np.ndarray:
+        """OR every polygon's outline pixels into one tile mask.
+
+        ``built`` supplies pixels for units not yet carrying this tile
+        (a tile task's freshly rasterized dirty polygons).  The result is
+        bit-identical to the direct whole-set render: the same pixels are
+        set, and OR is order-free.
+        """
+        mask = np.zeros((tile.height, tile.width), dtype=bool)
+        for pid, unit in enumerate(self.units):
+            pix = unit.boundary.get(tile_idx)
+            if pix is None and built is not None:
+                pix = built.get(pid)
+            if pix is None:
+                continue
+            ix, iy = pix
+            if len(ix):
+                mask[iy, ix] = True
+        return mask
+
+    def compose_coverage(
+        self,
+        tile_idx: int,
+        boundary: np.ndarray | None,
+        built: dict | None = None,
+    ) -> list:
+        """Assemble the engine-consumed coverage list from raw pieces.
+
+        With a ``boundary`` mask, pixels under any polygon's outline are
+        excluded (the accurate engine's rule — those points joined
+        exactly); without one the raw pieces pass through unchanged (the
+        bounded engine).  Exclusion filters each raw piece *in place of
+        the piece's own row-major order*, which reproduces the direct
+        builder's ``np.nonzero(mask & ~boundary)`` arrays exactly.
+        """
+        out: list = []
+        for pid, unit in enumerate(self.units):
+            pieces = unit.coverage.get(tile_idx)
+            if pieces is None and built is not None:
+                pieces = built.get(pid)
+            if not pieces:
+                continue
+            kept: list = []
+            for piece_iy, piece_ix in pieces:
+                if boundary is None:
+                    kept.append((piece_iy, piece_ix))
+                    continue
+                excluded = boundary[piece_iy, piece_ix]
+                if not excluded.any():
+                    kept.append((piece_iy, piece_ix))
+                else:
+                    keep = ~excluded
+                    if keep.any():
+                        kept.append((piece_iy[keep], piece_ix[keep]))
+            if kept:
+                out.append((pid, kept))
+        return out
+
+    def install_unit_boundary(self, tile_idx: int, built: dict) -> None:
+        """Adopt freshly built per-polygon outline pixels for one tile."""
+        for pid, pix in built.items():
+            self.units[pid].boundary[tile_idx] = pix
+        if built:
+            self.version += 1
+
+    def install_unit_coverage(self, tile_idx: int, built: dict) -> None:
+        """Adopt freshly built per-polygon raw coverage for one tile."""
+        for pid, pieces in built.items():
+            self.units[pid].coverage[tile_idx] = pieces
+        if built:
+            self.version += 1
+
+    def mark_composed(self, tile_idx: int, boundary=None, coverage=None) -> None:
+        """Install composed per-tile views (parent side of the merge)."""
+        if boundary is not None and tile_idx not in self.boundary_masks:
+            self.boundary_masks[tile_idx] = boundary
+            self.version += 1
+        if coverage is not None and tile_idx not in self.coverage:
+            self.coverage[tile_idx] = coverage
+            self.version += 1
+
+    @property
+    def rebuilt_polygons(self) -> int | None:
+        """How many polygons this artifact had to rebuild, or ``None``
+        when it was not produced by a delta derivation."""
+        if self.delta_dirty is None:
+            return None
+        return len(self.delta_dirty)
 
     # ------------------------------------------------------------------
     # Tiered demotion support
@@ -144,23 +520,34 @@ class PreparedPolygons:
     def has_derived(self) -> bool:
         """Whether the artifact carries re-derivable render state.
 
-        Boundary masks and coverage are pure functions of the fields that
-        remain after stripping them (tiles, triangles), so they are the
-        first tier a byte-budgeted session gives back.
+        Boundary masks and coverage (composed *and* per-unit) are pure
+        functions of the fields that remain after stripping them (tiles,
+        triangles), so they are the first tier a byte-budgeted session
+        gives back.
         """
-        return bool(self.boundary_masks) or bool(self.coverage)
+        if self.boundary_masks or self.coverage:
+            return True
+        if self.units is not None:
+            return any(u.boundary or u.coverage for u in self.units)
+        return False
 
     def strip_derived(self) -> int:
-        """Drop boundary masks and coverage, returning the bytes freed.
+        """Drop boundary and coverage state, returning the bytes freed.
 
-        The artifact becomes *partial*: triangles, grid, canvas, and MBRs
-        stay hot while the (much larger) per-pixel state is released.
+        The artifact becomes *partial*: triangles, grid cells, canvas,
+        and MBRs stay hot while the (much larger) per-pixel state — both
+        the composed views and the per-unit raw arrays — is released.
         Engines re-derive the dropped pieces lazily, tile by tile, and
         the re-derived arrays are bit-identical to the dropped ones.
         """
         before = self.nbytes
         self.boundary_masks = {}
         self.coverage = {}
+        if self.units is not None:
+            for unit in self.units:
+                unit.boundary = {}
+                unit.coverage = {}
+        self.version += 1
         return before - self.nbytes
 
     # ------------------------------------------------------------------
@@ -170,13 +557,13 @@ class PreparedPolygons:
     def content_signature(self) -> tuple:
         """O(1) proxy for "has the artifact changed since I last looked".
 
-        Within one cache key the contents are deterministic and fields
-        only ever appear (or vanish wholesale via :meth:`strip_derived`),
-        so which fields are present — plus the per-tile dict sizes — pins
-        the content: equal signatures imply equal ``nbytes``.  Sessions
-        use this to skip the (expensive) byte walk for unchanged entries.
+        ``version`` bumps on every mutation routed through the artifact's
+        methods; the structural fields guard the few legacy paths that
+        poke dicts directly.  Equal signatures imply equal ``nbytes``, so
+        sessions skip the (expensive) byte walk for unchanged entries.
         """
         return (
+            self.version,
             self.canvas is not None,
             self.tiles is not None,
             self.triangles is not None,
@@ -188,19 +575,53 @@ class PreparedPolygons:
 
     @property
     def nbytes(self) -> int:
-        """Approximate artifact footprint (for capacity decisions)."""
+        """Approximate artifact footprint (for capacity decisions).
+
+        Arrays shared between the per-unit raw state and the composed
+        views (pieces that survive exclusion untouched, and the whole
+        coverage of boundary-free engines) are counted once, by object
+        identity.
+        """
+        seen: set[int] = set()
         total = 0
+
+        def add(arr) -> None:
+            nonlocal total
+            if id(arr) not in seen:
+                seen.add(id(arr))
+                total += arr.nbytes
+
         if self.triangles is not None:
-            total += sum(t.nbytes for tris in self.triangles for t in tris)
+            for tris in self.triangles:
+                for t in tris:
+                    add(t)
         if self.grid is not None:
-            total += self.grid.memory_bytes
+            add(self.grid.cell_start)
+            add(self.grid.entries)
         for mask in self.boundary_masks.values():
-            total += mask.nbytes
+            add(mask)
         for entries in self.coverage.values():
             for _, pieces in entries:
-                total += sum(iy.nbytes + ix.nbytes for iy, ix in pieces)
+                for iy, ix in pieces:
+                    add(iy)
+                    add(ix)
         if self.mbr_arrays is not None:
-            total += sum(arr.nbytes for arr in self.mbr_arrays)
+            for arr in self.mbr_arrays:
+                add(arr)
+        if self.units is not None:
+            for unit in self.units:
+                if unit.triangles is not None:
+                    for t in unit.triangles:
+                        add(t)
+                if unit.cells is not None:
+                    add(unit.cells)
+                for ix, iy in unit.boundary.values():
+                    add(ix)
+                    add(iy)
+                for pieces in unit.coverage.values():
+                    for iy, ix in pieces:
+                        add(iy)
+                        add(ix)
         return total
 
     def __repr__(self) -> str:
@@ -217,5 +638,21 @@ class PreparedPolygons:
             parts.append(f"coverage x{len(self.coverage)}")
         if self.mbr_arrays is not None:
             parts.append("mbrs")
+        if self.units is not None:
+            parts.append(f"units x{len(self.units)}")
         body = ", ".join(parts) or "empty"
         return f"PreparedPolygons({body}, uses={self.uses})"
+
+
+def _bbox_tuple(poly: Polygon) -> tuple:
+    box = poly.bbox
+    return (box.xmin, box.ymin, box.xmax, box.ymax)
+
+
+def _boxes_intersect(box: tuple, bbox) -> bool:
+    """Whether a (xmin, ymin, xmax, ymax) tuple intersects a BBox."""
+    xmin, ymin, xmax, ymax = box
+    return not (
+        xmax < bbox.xmin or xmin > bbox.xmax
+        or ymax < bbox.ymin or ymin > bbox.ymax
+    )

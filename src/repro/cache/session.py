@@ -24,16 +24,27 @@ The session is *tiered* (see ``docs/artifact_store.md``):
 4. **Rebuild** — a miss everywhere builds from scratch, exactly the
    sessionless code path.
 
-Invalidation rules (see ``docs/query_sessions.md``):
+Invalidation rules (see ``docs/query_sessions.md`` and
+``docs/incremental_edits.md``):
 
 * entries are keyed by a *content fingerprint* of the polygon geometry
   plus the engine's render spec, so editing a polygon set (or passing a
   different one) can never hit a stale entry — it simply keys a new one;
+* an edited set whose frame (overall extent) matches a resident sibling
+  is **delta-derived** instead of cold-built: unchanged polygons adopt
+  the sibling's per-polygon units and only the changed/added polygons'
+  artifacts rebuild (``prepared_for`` returns ``"delta"``);
 * the session holds at most ``capacity`` artifacts (and at most
   ``byte_budget`` bytes, when set), demoting the least recently used
   beyond that;
 * :meth:`QuerySession.invalidate` drops in-memory entries eagerly when
   the caller wants memory back *now* (the store keeps its copies).
+
+The session also caches the **tile-point partition** of recent point
+sources (see :meth:`QuerySession.partition_lookup`): the partition
+depends only on the points and the canvas frame, so repeated queries —
+including every iteration of a rezoning edit loop — skip the per-query
+partition scan entirely.
 
 Results are bit-identical with and without a session, and with and
 without the store: engines run the same reduction code over the same
@@ -42,12 +53,70 @@ arrays wherever those arrays came from.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import hashlib
+from collections import Counter, OrderedDict
 from typing import Sequence
 
-from repro.cache.prepared import PreparedPolygons, polygon_fingerprint
+import numpy as np
+
+from repro.cache.prepared import (
+    PreparedPolygons,
+    per_polygon_fingerprints,
+    polygon_fingerprint,
+)
 from repro.errors import QueryError
 from repro.geometry.polygon import Polygon, PolygonSet
+
+
+def _point_columns(source) -> tuple:
+    """The column names a point source exposes (resident sets carry an
+    explicit list; host datasets are locations + attributes)."""
+    names = getattr(source, "column_names", None)
+    if names is None:
+        names = ("x", "y", *getattr(source, "attributes", {}))
+    return tuple(names)
+
+
+def _source_bytes(points) -> int:
+    """Bytes of a point source's columns (what a strong ref pins)."""
+    total = 0
+    for name in _point_columns(points):
+        try:
+            total += points.column(name).nbytes
+        except Exception:
+            continue
+    return total
+
+
+def _partition_bytes(per_tile) -> int:
+    """Approximate bytes of a partition's per-tile sub-chunk copies."""
+    total = 0
+    for chunks in per_tile:
+        for chunk in chunks:
+            total += _source_bytes(chunk)
+    return total
+
+
+class Warmth(str):
+    """A warmth grade (``"full"`` / ``"partial"``) with a warm fraction.
+
+    Compares equal to its plain-string grade, so existing callers keep
+    working, while cache-aware costing reads ``fraction`` — the share of
+    the query's polygons whose prepared state is already reusable.  An
+    exact artifact hit has fraction 1.0; a delta-derivable sibling has
+    the matched-polygon share, which is how a 1-of-200 edit plans like a
+    warm query instead of a cold one.
+    """
+
+    __slots__ = ("fraction",)
+
+    def __new__(cls, grade: str, fraction: float = 1.0) -> "Warmth":
+        self = super().__new__(cls, grade)
+        self.fraction = float(fraction)
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Warmth({str(self)!r}, fraction={self.fraction:.3f})"
 
 
 class QuerySession:
@@ -59,9 +128,15 @@ class QuerySession:
         Maximum number of in-memory artifacts (LRU beyond it).
     byte_budget:
         Optional cap on the summed ``nbytes`` of in-memory artifacts
-        (plain int or a ``"256M"``-style string).  Over budget, cold
-        entries are first stripped to partial artifacts and then demoted
-        out of memory entirely, LRU-first.  During a lookup the entry
+        (plain int or a ``"256M"``-style string).  Over budget, cached
+        tile-point partitions are reclaimed first, then cold entries
+        are stripped to partial artifacts and finally demoted out of
+        memory entirely, LRU-first.  Accounting is per entry and
+        therefore *conservative* for delta-derived siblings, which
+        share most of their arrays with their base: the summed figure
+        is an upper bound on real memory, so pressure may strip shared
+        state early — a performance effect only, since stripped pieces
+        re-derive bit-identically.  During a lookup the entry
         being handed out is protected; at the post-execution checkpoint
         nothing is — a budget smaller than one artifact demotes even the
         just-executed entry (it stays answerable through the store).
@@ -76,6 +151,7 @@ class QuerySession:
         capacity: int = 8,
         byte_budget: int | str | None = None,
         store=None,
+        partition_capacity: int = 4,
     ) -> None:
         if capacity < 1:
             raise QueryError(f"session capacity must be >= 1, got {capacity}")
@@ -84,6 +160,18 @@ class QuerySession:
         self.capacity = capacity
         self.byte_budget = parse_bytes(byte_budget)
         self.store = ArtifactStore.coerce(store)
+        #: How many tile-point partitions to retain (0 disables).  Each
+        #: cached partition holds per-tile copies of the point columns,
+        #: so the cap bounds that memory; entries are keyed by the point
+        #: source's identity and evicted LRU.
+        self.partition_capacity = partition_capacity
+        self._partitions: "OrderedDict[tuple, tuple]" = OrderedDict()
+        #: set fingerprint -> per-polygon fingerprints (content-keyed,
+        #: so it can never serve stale hashes).  One rezoning stroke
+        #: probes warmth per candidate engine and then executes, each
+        #: needing the same per-polygon hashes; this keeps that to one
+        #: hashing pass per distinct geometry.
+        self._fps_memo: "OrderedDict[str, list[str]]" = OrderedDict()
         self._entries: "OrderedDict[tuple, PreparedPolygons]" = OrderedDict()
         #: key -> artifact nbytes at the time it was last persisted.  An
         #: entry is dirty only while its in-memory content *exceeds* the
@@ -103,6 +191,13 @@ class QuerySession:
         self.hits = 0
         self.misses = 0
         self.store_hits = 0
+        #: Misses answered by delta derivation from a resident sibling
+        #: (an edited polygon set), and the total polygons those
+        #: derivations had to rebuild — ``polygons_rebuilt /
+        #: (delta_hits x set size)`` is the effective edit fraction.
+        self.delta_hits = 0
+        self.polygons_rebuilt = 0
+        self.partition_hits = 0
         self.demotions = 0
         self.partial_demotions = 0
 
@@ -122,9 +217,14 @@ class QuerySession:
 
         The second element is ``"memory"`` for an in-memory hit,
         ``"store"`` for a disk-tier hit (loaded and promoted back into
-        memory), or ``""`` (falsy) for a miss that created a fresh
-        artifact.
+        memory), ``"delta"`` for an artifact derived from a resident
+        sibling (only changed/added polygons will rebuild), or ``""``
+        (falsy) for a miss that created a fresh artifact.
         """
+        # The set fingerprint alone keys the lookup; per-polygon hashes
+        # are computed only after a miss is established — folding them
+        # into this pass (fingerprint_details) would double the hash
+        # work of every warm hit to save one pass on the rare misses.
         key = (polygon_fingerprint(polygons),) + tuple(spec)
         entry = self._entries.get(key)
         if entry is not None:
@@ -147,11 +247,83 @@ class QuerySession:
                 entry.uses += 1
                 self._maintain(exclude=key)
                 return entry, "store"
+        # Delta derivation: an edited set adopts a resident sibling's
+        # unchanged per-polygon units instead of cold-building all of
+        # them (see docs/incremental_edits.md).  The set fingerprint is
+        # already in the key; the per-polygon hashes are computed only
+        # on a miss (the new entry needs them anyway, to seed future
+        # derivations).
+        fingerprints = self._per_polygon_fps(key[0], polygons)
+        if fingerprints:
+            base, matched = self._find_delta_base(key, spec, fingerprints,
+                                                  polygons)
+            if base is not None:
+                entry = PreparedPolygons.derive_from(base, key, polygons,
+                                                     fingerprints)
+                self._entries[key] = entry
+                self.misses += 1
+                self.delta_hits += 1
+                self.polygons_rebuilt += len(entry.delta_dirty)
+                entry.uses += 1
+                self._maintain(exclude=key)
+                return entry, "delta"
         entry = PreparedPolygons(key)
+        if fingerprints:
+            entry.init_units(polygons, fingerprints)
+        # (An empty raw sequence — PolygonSet forbids it — gets the
+        # plain pre-unit shell.)
         self._entries[key] = entry
         self.misses += 1
         self._maintain(exclude=key)
         return entry, ""
+
+    def _find_delta_base(
+        self,
+        key: tuple,
+        spec: tuple,
+        fingerprints: list[str],
+        polygons: PolygonSet | Sequence[Polygon],
+    ) -> tuple[PreparedPolygons | None, int]:
+        """The best resident sibling to derive an edited set from.
+
+        A candidate must share the render spec and the *frame* — the
+        set's overall extent, which pins the canvas layout and the grid
+        extent every per-polygon artifact was computed under — and match
+        at least one polygon by content fingerprint.  Among candidates
+        the one reusing the most polygons wins (most recently used on
+        ties).  The probe never touches LRU order or hit counters.
+        """
+        if isinstance(polygons, PolygonSet):
+            box = polygons.bbox
+        else:
+            polys = list(polygons)
+            box = polys[0].bbox
+            for p in polys[1:]:
+                box = box.union(p.bbox)
+        bbox = (box.xmin, box.ymin, box.xmax, box.ymax)
+        want = Counter(fingerprints)
+        best: PreparedPolygons | None = None
+        best_matched = 0
+        for candidate_key in reversed(self._entries):
+            if candidate_key == key or candidate_key[1:] != tuple(spec):
+                continue
+            candidate = self._entries[candidate_key]
+            if candidate.units is None or candidate.polygon_fps is None:
+                continue
+            if candidate.source_bbox != bbox:
+                continue
+            # Multiset intersection — mirrors the pop-one-per-match
+            # pairing derive_from performs, so duplicate fingerprints
+            # (identical polygons) are never double-counted and the
+            # match count can never exceed the query's polygon count.
+            have = Counter(candidate.polygon_fps)
+            matched = sum(
+                min(count, have[fp]) for fp, count in want.items()
+                if fp in have
+            )
+            if matched > best_matched:
+                best, best_matched = candidate, matched
+        return best, best_matched
 
     def contains(
         self,
@@ -169,16 +341,26 @@ class QuerySession:
         self,
         polygons: PolygonSet | Sequence[Polygon],
         spec: tuple,
-    ) -> str | None:
-        """How warm (polygons, spec) is: ``"full"``, ``"partial"``, or
-        ``None`` — without touching LRU order, counters, or mtimes.
+    ) -> "Warmth | None":
+        """How warm (polygons, spec) is — without touching LRU order,
+        counters, or mtimes.
 
-        ``"full"`` means the polygon pass replays stored coverage;
-        ``"partial"`` means triangulation/grid are reusable but coverage
-        (and boundary masks) re-derive.  Cache-aware optimizer costing
-        discounts exactly what each grade actually skips.  Invalid disk
-        pairs grade ``None`` — costing then assumes (correctly) a cold
-        rebuild.
+        Returns a :class:`Warmth` — a string-compatible grade carrying a
+        warm *fraction*:
+
+        * ``"full"`` — the polygon pass replays stored coverage;
+        * ``"partial"`` — triangulation/grid are reusable but coverage
+          (and boundary masks) re-derive;
+        * ``None`` — cold: nothing is reusable anywhere.
+
+        The fraction is 1.0 for an exact artifact hit (in memory or on
+        disk).  When the exact key misses but a resident sibling could
+        seed a *delta derivation* (same spec, same frame, overlapping
+        polygons), the grade reflects the sibling's state and the
+        fraction is the share of this query's polygons the sibling
+        already holds — cache-aware costing scales the preparation and
+        polygon-pass terms by the share that actually rebuilds, so a
+        1-of-200 edit plans like a warm query, not a cold one.
 
         A *resident* entry's grade is authoritative even when the disk
         copy is richer: lookups serve the memory entry as-is (promoting
@@ -190,19 +372,160 @@ class QuerySession:
         key = (polygon_fingerprint(polygons),) + tuple(spec)
         entry = self._entries.get(key)
         if entry is not None:
-            if entry.coverage:
-                return "full"
-            if entry.triangles is not None or entry.grid is not None:
-                return "partial"
-            return None  # empty shell: execution rebuilds everything
+            grade = self._entry_grade(entry)
+            return Warmth(grade) if grade else None
         if self.store is not None:
             fields = self.store.describe(key)
             if fields is not None:
                 if "coverage" in fields:
-                    return "full"
+                    return Warmth("full")
                 if "triangles" in fields or "grid" in fields:
-                    return "partial"
+                    return Warmth("partial")
+        # Exact miss: grade the best delta sibling fractionally.  The
+        # per-polygon hashing runs only when a resident entry could
+        # actually seed a derivation, so a truly cold costing probe
+        # (the optimizer runs one per candidate engine) stays as cheap
+        # as the pre-unit dict-and-manifest check.
+        if not self._has_delta_candidates(key, spec):
+            return None
+        fingerprints = self._per_polygon_fps(key[0], polygons)
+        if not fingerprints:
+            return None
+        base, matched = self._find_delta_base(key, spec, fingerprints,
+                                              polygons)
+        if base is not None and matched:
+            grade = self._entry_grade(base)
+            if grade:
+                return Warmth(grade, matched / max(len(fingerprints), 1))
         return None
+
+    def _per_polygon_fps(self, set_fingerprint: str, polygons) -> list[str]:
+        """Per-polygon fingerprints, memoized by the *set* fingerprint.
+
+        The memo key is itself a content hash, so a hit is always the
+        hashes this exact geometry would produce; a stroke's warmth
+        probes and its execution share one hashing pass.
+        """
+        cached = self._fps_memo.get(set_fingerprint)
+        if cached is not None:
+            self._fps_memo.move_to_end(set_fingerprint)
+            return cached
+        fingerprints = per_polygon_fingerprints(polygons)
+        self._fps_memo[set_fingerprint] = fingerprints
+        while len(self._fps_memo) > 16:
+            self._fps_memo.popitem(last=False)
+        return fingerprints
+
+    def _has_delta_candidates(self, key: tuple, spec: tuple) -> bool:
+        """Whether any resident entry could seed a delta derivation for
+        this spec — an O(capacity) scan that gates the (much costlier)
+        per-polygon hashing."""
+        spec = tuple(spec)
+        return any(
+            candidate_key[1:] == spec and candidate_key != key
+            and self._entries[candidate_key].units is not None
+            for candidate_key in self._entries
+        )
+
+    @staticmethod
+    def _entry_grade(entry: PreparedPolygons) -> str | None:
+        """``"full"`` / ``"partial"`` / ``None`` for a resident entry."""
+        if entry.coverage or (
+            entry.units is not None
+            and any(u.coverage for u in entry.units)
+        ):
+            return "full"
+        if entry.triangles is not None or entry.grid is not None:
+            return "partial"
+        return None  # empty shell: execution rebuilds everything
+
+    # ------------------------------------------------------------------
+    # Tile-point partition cache
+    # ------------------------------------------------------------------
+    #: Bytes of cached partition state retained when the session has no
+    #: ``byte_budget`` (with one, the budget governs instead).  The
+    #: accounting covers everything a cached entry pins: the per-tile
+    #: sub-chunk copies *and* the strong reference to the source
+    #: dataset itself.  Bounds what a long-lived default session can
+    #: hold; a partition larger than the cap is simply not cached.
+    PARTITION_BYTE_CAP = 512 << 20
+
+    @staticmethod
+    def _partition_guard(points) -> str:
+        """Content fingerprint of a point source (every column's bytes).
+
+        The cache is *keyed* by the source's identity (an O(1) probe)
+        but *validated* by this hash, so mutating a dataset's arrays in
+        place between queries can never replay a stale partition — the
+        same never-stale contract the polygon fingerprints give the
+        prepared-state cache.  Hashing is a single pass over the column
+        buffers, roughly an order of magnitude cheaper than the
+        projection-and-bucketing scan a hit avoids.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(len(points).to_bytes(8, "little"))
+        for name in _point_columns(points):
+            arr = np.ascontiguousarray(points.column(name))
+            digest.update(str(name).encode("utf-8"))
+            digest.update(arr.dtype.str.encode("ascii"))
+            digest.update(memoryview(arr).cast("B"))
+        return digest.hexdigest()
+
+    def partition_lookup(self, points, token: tuple):
+        """A cached ``(per_tile, duplicates)`` partition, or ``None``.
+
+        ``token`` is the canvas/batching spec the partition was computed
+        under (extent, canvas size, tiling limit, columns, per-tile FBO
+        reservations, device); the partition depends on nothing else —
+        in particular not on the polygons, so an edit loop keeps
+        hitting.
+        """
+        key = (id(points),) + tuple(token)
+        cached = self._partitions.get(key)
+        if cached is None:
+            return None
+        held, guard, per_tile, duplicates, _ = cached
+        if held is not points or guard != self._partition_guard(points):
+            del self._partitions[key]
+            return None
+        self._partitions.move_to_end(key)
+        self.partition_hits += 1
+        return per_tile, duplicates
+
+    def partition_store(self, points, token: tuple, per_tile,
+                        duplicates: int) -> None:
+        """Retain a freshly computed partition (LRU-bounded).
+
+        The entry keeps a strong reference to ``points`` — both to keep
+        the identity key unambiguous and because the per-tile sub-chunks
+        alias or copy its columns anyway.  The sub-chunk bytes are
+        measured here so the byte budget — or, without one, the default
+        :attr:`PARTITION_BYTE_CAP` — can see and reclaim them.
+        """
+        if self.partition_capacity < 1:
+            return
+        nbytes = _partition_bytes(per_tile) + _source_bytes(points)
+        cap = (
+            self.byte_budget if self.byte_budget is not None
+            else self.PARTITION_BYTE_CAP
+        )
+        if nbytes > cap:
+            return  # caching it would immediately thrash the cap
+        key = (id(points),) + tuple(token)
+        self._partitions[key] = (
+            points, self._partition_guard(points), per_tile, duplicates,
+            nbytes,
+        )
+        self._partitions.move_to_end(key)
+        while len(self._partitions) > self.partition_capacity or (
+            len(self._partitions) > 1 and self.partition_nbytes > cap
+        ):
+            self._partitions.popitem(last=False)
+
+    @property
+    def partition_nbytes(self) -> int:
+        """Bytes held by cached per-tile partition sub-chunks."""
+        return sum(entry[4] for entry in self._partitions.values())
 
     # ------------------------------------------------------------------
     # Tier maintenance
@@ -234,7 +557,7 @@ class QuerySession:
             key: self._entry_nbytes(key, entry)
             for key, entry in self._entries.items()
         }
-        self._flush_dirty(sizes)
+        self._flush_dirty(sizes, exclude)
         self._enforce_capacity(exclude, sizes)
         self._enforce_byte_budget(exclude, sizes)
 
@@ -284,7 +607,18 @@ class QuerySession:
         from repro.store import ArtifactTooLargeError
 
         try:
-            self.store.save(key, entry)
+            if (
+                entry.delta_parent is not None
+                and key not in self._persisted
+            ):
+                # First persistence of a delta-derived artifact: journal
+                # a per-polygon patch against the parent's stored state
+                # instead of rewriting the whole pair (the store falls
+                # back to a full save when the parent isn't patchable or
+                # compaction rules say the journal is long enough).
+                self.store.save_patch(key, entry)
+            else:
+                self.store.save(key, entry)
         except ArtifactTooLargeError:
             self._unstorable[key] = nbytes
             return False
@@ -301,11 +635,18 @@ class QuerySession:
         self._unstorable.pop(key, None)  # it fits after all (it shrank)
         return True
 
-    def _flush_dirty(self, sizes: dict) -> int:
+    def _flush_dirty(self, sizes: dict, exclude: tuple | None = None) -> int:
         if self.store is None:
             return 0
         saved = 0
         for key, entry in list(self._entries.items()):
+            if key == exclude:
+                # The entry being handed out of a lookup: it is about to
+                # be (re)built by the caller's execution, so persisting
+                # now would write a state the very next checkpoint
+                # supersedes.  Delta-derived entries are born with
+                # carried bytes, which made this skip matter.
+                continue
             if not self._is_dirty(key, sizes[key]):
                 continue  # empty (never executed) or already durable
             if self._try_save(key, entry, sizes[key]):
@@ -347,6 +688,14 @@ class QuerySession:
         if self.byte_budget is None:
             return
         total = sum(sizes[key] for key in self._entries)
+        # Tier 0: cached tile-point partitions are pure re-derivable
+        # acceleration state — under pressure they go first, LRU-first,
+        # so the budget really bounds the session's whole footprint.
+        while (
+            self._partitions
+            and total + self.partition_nbytes > self.byte_budget
+        ):
+            self._partitions.popitem(last=False)
         if total <= self.byte_budget:
             return
         # Tier 1: strip re-derivable state (coverage, boundary masks)
@@ -400,6 +749,7 @@ class QuerySession:
             for key in list(self._entries):
                 self._forget(key)
             self._entries.clear()
+            self._partitions.clear()
             return removed
         fingerprint = polygon_fingerprint(polygons)
         doomed = [key for key in self._entries if key[0] == fingerprint]
@@ -425,6 +775,11 @@ class QuerySession:
             f"{self.hits} hits, {self.misses} misses, "
             f"~{self.nbytes / 1e6:.1f} MB"
         )
+        if self.delta_hits:
+            body += (
+                f", {self.delta_hits} delta hits "
+                f"({self.polygons_rebuilt} polygons rebuilt)"
+            )
         if self.byte_budget is not None:
             body += f" of {self.byte_budget / 1e6:.1f} MB budget"
         if self.store is not None:

@@ -193,15 +193,35 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         # bit-identical either way (see repro.exec.partition).
         partitioned = self._partition_tile_chunks(
             prepared, source, aggregate, columns, self.fbo_dtype, stats,
+            points_hint=points_hint,
         )
+        units_mode = retain and prepared.units is not None
 
         def run_tile(tile_idx: int, tile: Viewport) -> TilePartial:
             tile_stats = ExecutionStats(engine=self.name, batches=0, passes=0)
             partial_acc = self._new_accumulators(polygons, aggregate)
             boundary = prepared.boundary_masks.get(tile_idx)
             built_boundary = None
+            built_unit_boundary = None
             if boundary is None:
-                boundary = self._render_boundary(tile, polygons, tile_stats)
+                if units_mode:
+                    # Per-polygon build: rasterize outlines only for
+                    # polygons whose unit lacks this tile (after an edit,
+                    # just the changed ones) and OR every polygon's
+                    # pixels into the tile mask — bit-identical to the
+                    # direct whole-set render.
+                    start = time.perf_counter()
+                    built_unit_boundary = {
+                        pid: self._polygon_outline(tile, polygons[pid])
+                        for pid in prepared.missing_boundary_pids(tile_idx)
+                    }
+                    boundary = prepared.compose_boundary(
+                        tile_idx, tile, built_unit_boundary
+                    )
+                    tile_stats.processing_s += time.perf_counter() - start
+                    tile_stats.extra["boundary_pixels"] = int(boundary.sum())
+                else:
+                    boundary = self._render_boundary(tile, polygons, tile_stats)
                 built_boundary = boundary
             else:
                 tile_stats.extra["boundary_pixels"] = int(boundary.sum())
@@ -213,15 +233,17 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                 self._route_points(tile, boundary, fbo, chunk, polygons,
                                    prepared.grid, columns, aggregate, filters,
                                    partial_acc, tile_stats)
-            built_coverage = self._polygon_pass(
+            built_coverage, built_unit_coverage = self._polygon_pass(
                 tile_idx, tile, prepared, boundary, fbo, polygons, aggregate,
-                partial_acc, tile_stats,
+                partial_acc, tile_stats, units_mode,
             )
             tile_stats.passes = 1
             return TilePartial(
                 tile_idx, partial_acc, tile_stats, saw_points=saw_points,
                 boundary_mask=built_boundary if retain else None,
                 coverage=built_coverage if retain else None,
+                unit_boundary=built_unit_boundary if retain else None,
+                unit_coverage=built_unit_coverage if retain else None,
             )
 
         partials = self._dispatch_tiles(tiles, run_tile, parallelism, stats)
@@ -233,6 +255,24 @@ class AccurateRasterJoin(SpatialAggregationEngine):
     # ------------------------------------------------------------------
     # Per-tile stages
     # ------------------------------------------------------------------
+
+    @staticmethod
+    def _polygon_outline(
+        tile: Viewport, polygon
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One polygon's ``(ix, iy)`` outline pixels on this tile.
+
+        The per-polygon slice of :meth:`_render_boundary`: the direct
+        mask sets exactly the union of these arrays over all polygons,
+        so composing them reproduces it bit for bit.  Polygons whose
+        box misses the tile contribute empty arrays (same gate the
+        direct loop applies).
+        """
+        if not polygon.bbox.intersects(tile.bbox):
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        ix, iy = outline_pixels(tile, polygon.rings)
+        return np.asarray(ix), np.asarray(iy)
 
     def _render_boundary(
         self,
@@ -335,16 +375,22 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         aggregate: Aggregate,
         accumulators: dict[str, np.ndarray],
         stats: ExecutionStats,
-    ) -> list | None:
+        units_mode: bool = False,
+    ) -> tuple[list | None, dict | None]:
         """Polygon pass skipping boundary fragments (handled exactly).
 
         The covered-pixel indices of every polygon are a pure function of
         the tile, the triangulation, and the boundary mask, so they are
         computed once per artifact and replayed on later executions; the
         per-query work is only the channel gather + reduction.  Returns
-        freshly built coverage for the caller to install into the
-        artifact (tile tasks never mutate shared prepared state — under
-        the process backend the mutation would be lost in the fork).
+        ``(composed coverage, per-polygon raw pieces)`` freshly built for
+        the caller to install into the artifact (tile tasks never mutate
+        shared prepared state — under the process backend the mutation
+        would be lost in the fork).  Under ``units_mode`` only polygons
+        whose unit lacks this tile are rasterized (after an edit, just
+        the changed ones); composition applies the boundary exclusion to
+        every polygon's raw pieces, which is bit-identical to the fused
+        direct build.
         """
         start = time.perf_counter()
         channels = {ch: fbo.channel(ch) for ch in aggregate.channels}
@@ -363,13 +409,25 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                         np.asarray(aggregate.reduce_pixels(window[keep])),
                     )
             stats.processing_s += time.perf_counter() - start
-            return None
+            return None, None
         built = None
+        built_units = None
         coverage = prepared.coverage.get(tile_idx)
         if coverage is None:
-            coverage = built = self._build_coverage(
-                tile, polygons, prepared.triangles, boundary
-            )
+            if units_mode:
+                built_units = {
+                    pid: self._unit_coverage(
+                        tile, polygons[pid], prepared.triangles[pid]
+                    )
+                    for pid in prepared.missing_coverage_pids(tile_idx)
+                }
+                coverage = built = prepared.compose_coverage(
+                    tile_idx, boundary, built_units
+                )
+            else:
+                coverage = built = self._build_coverage(
+                    tile, polygons, prepared.triangles, boundary
+                )
         for pid, pieces in coverage:
             for piece_iy, piece_ix in pieces:
                 for ch, channel in channels.items():
@@ -380,7 +438,31 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                         ),
                     )
         stats.processing_s += time.perf_counter() - start
-        return built
+        return built, built_units
+
+    @staticmethod
+    def _unit_coverage(
+        tile: Viewport,
+        polygon,
+        triangles: Sequence[np.ndarray],
+    ) -> list:
+        """One polygon's raw coverage pieces on this tile.
+
+        The pre-exclusion slice of :meth:`_coverage_pieces`: one
+        ``(iy, ix)`` piece per rasterized triangle, in traversal order,
+        *without* the boundary mask applied (exclusion depends on the
+        whole set's outlines and runs at composition time, so an edit to
+        another polygon never invalidates these arrays).
+        """
+        pieces: list = []
+        if polygon.bbox.intersects(tile.bbox):
+            for tri in triangles:
+                x0, y0, mask = triangle_coverage_mask(tile, tri)
+                if mask.size == 0 or not mask.any():
+                    continue
+                ky, kx = np.nonzero(mask)
+                pieces.append((ky + y0, kx + x0))
+        return pieces
 
     @staticmethod
     def _coverage_pieces(

@@ -237,7 +237,9 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         # repro.exec.partition); tiles otherwise re-iterate the source.
         partitioned = self._partition_tile_chunks(
             prepared, source, aggregate, columns, np.float32, stats,
+            points_hint=points_hint,
         )
+        units_mode = retain and prepared.units is not None
 
         def run_tile(tile_idx: int, tile: Viewport) -> TilePartial:
             tile_stats = ExecutionStats(engine=self.name, batches=0, passes=0)
@@ -249,14 +251,15 @@ class BoundedRasterJoin(SpatialAggregationEngine):
                 saw_points = True
                 self._rasterize_chunk(tile, fbo, chunk, columns, aggregate,
                                       filters, tile_stats)
-            built_coverage = self._polygon_pass(
+            built_coverage, built_unit_coverage = self._polygon_pass(
                 tile_idx, tile, prepared, fbo, polygons, aggregate,
-                partial_acc, tile_stats,
+                partial_acc, tile_stats, units_mode,
             )
             tile_stats.passes = 1
             return TilePartial(
                 tile_idx, partial_acc, tile_stats, saw_points=saw_points,
                 coverage=built_coverage if retain else None,
+                unit_coverage=built_unit_coverage if retain else None,
                 payload=(tile, fbo) if want_fbos else None,
             )
 
@@ -318,15 +321,21 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         aggregate: Aggregate,
         accumulators: dict[str, np.ndarray],
         stats: ExecutionStats,
-    ) -> list | None:
+        units_mode: bool = False,
+    ) -> tuple[list | None, dict | None]:
         """Reduce each polygon's covered pixels into its result slot.
 
         Coverage (which pixels each polygon owns on this tile) depends only
         on the prepared geometry, so it is rasterized once per artifact and
         replayed afterwards; per query only the gather + reduction runs.
-        Freshly built coverage is returned for the caller to install into
-        the artifact (tile tasks never mutate shared prepared state —
-        under the process backend the mutation would be lost in the fork).
+        Freshly built coverage — composed plus the per-polygon raw pieces
+        — is returned for the caller to install into the artifact (tile
+        tasks never mutate shared prepared state — under the process
+        backend the mutation would be lost in the fork).  Under
+        ``units_mode`` only polygons whose unit lacks this tile are
+        rasterized; with no boundary mask to exclude, composition simply
+        concatenates the per-polygon pieces in polygon order, exactly the
+        order the direct build emits.
         """
         start = time.perf_counter()
         channels = {ch: fbo.channel(ch) for ch in aggregate.channels}
@@ -346,13 +355,25 @@ class BoundedRasterJoin(SpatialAggregationEngine):
                         ),
                     )
             stats.processing_s += time.perf_counter() - start
-            return None
+            return None, None
         built = None
+        built_units = None
         coverage = prepared.coverage.get(tile_idx)
         if coverage is None:
-            coverage = built = self._build_coverage(
-                tile, polygons, prepared.triangles
-            )
+            if units_mode:
+                built_units = {
+                    pid: self._unit_coverage(
+                        tile, polygons[pid], prepared.triangles[pid]
+                    )
+                    for pid in prepared.missing_coverage_pids(tile_idx)
+                }
+                coverage = built = prepared.compose_coverage(
+                    tile_idx, None, built_units
+                )
+            else:
+                coverage = built = self._build_coverage(
+                    tile, polygons, prepared.triangles
+                )
         for pid, pieces in coverage:
             for piece_iy, piece_ix in pieces:
                 for ch, channel in channels.items():
@@ -363,7 +384,35 @@ class BoundedRasterJoin(SpatialAggregationEngine):
                         ),
                     )
         stats.processing_s += time.perf_counter() - start
-        return built
+        return built, built_units
+
+    def _unit_coverage(
+        self,
+        tile: Viewport,
+        polygon,
+        triangles: Sequence[np.ndarray],
+    ) -> list:
+        """One polygon's coverage pieces on this tile.
+
+        The per-polygon slice of :meth:`_coverage_pieces`, already in
+        the engine-consumed ``(iy, ix)`` form — the bounded join has no
+        boundary exclusion, so raw and composed pieces are the same
+        arrays.
+        """
+        pieces: list = []
+        if polygon.bbox.intersects(tile.bbox):
+            if self.use_scanline:
+                ix, iy = scanline_polygon_pixels(tile, polygon.rings)
+                if len(ix):
+                    pieces.append((iy, ix))
+            else:
+                for tri in triangles:
+                    x0, y0, mask = triangle_coverage_mask(tile, tri)
+                    if mask.size == 0 or not mask.any():
+                        continue
+                    ky, kx = np.nonzero(mask)
+                    pieces.append((ky + y0, kx + x0))
+        return pieces
 
     def _coverage_pieces(
         self,

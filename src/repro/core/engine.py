@@ -196,9 +196,18 @@ class SpatialAggregationEngine(ABC):
             stats.prepared_misses += 1
             stats.prepared_store_hits += 1
             stats.extra["prepared"] = "store-hit"
+        elif source == "delta":
+            # An edited polygon set derived from a warm sibling: only the
+            # changed/added polygons' artifacts rebuild this execution.
+            stats.prepared_misses += 1
+            stats.prepared_delta_hits += 1
+            stats.extra["prepared"] = "delta"
+            stats.extra["polygons_rebuilt"] = prepared.rebuilt_polygons
         else:
             stats.prepared_misses += 1
             stats.extra["prepared"] = "miss"
+            if prepared.units is not None:
+                stats.extra["polygons_rebuilt"] = len(prepared.units)
         return prepared
 
     def _checkpoint_session(self) -> None:
@@ -291,6 +300,7 @@ class SpatialAggregationEngine(ABC):
         columns: tuple[str, ...],
         fbo_dtype,
         stats: ExecutionStats,
+        points_hint: PointDataset | ResidentPointSet | None = None,
     ) -> tuple[list[list], bool] | None:
         """Partition the chunk source into per-tile sub-chunk lists.
 
@@ -300,6 +310,14 @@ class SpatialAggregationEngine(ABC):
         sub-chunks (see :mod:`repro.exec.partition` for the
         bit-equality argument).  Tile tasks then scan only their own
         points instead of re-projecting the full input T times.
+
+        With a session attached and a monolithic input
+        (``points_hint``), the finished partition is cached in the
+        session keyed by the point source and the canvas spec — a
+        repeated query over the same points skips the scan entirely and
+        reports ``extra["partition"] = "cached"``.  The partition
+        depends only on the points and the canvas frame, never on the
+        polygons, so a rezoning edit loop keeps hitting the cache.
 
         Returns ``(per_tile_chunks, saw_any_chunk)``, or ``None`` when
         partitioning is off or pointless (single-tile canvas) — the
@@ -313,6 +331,29 @@ class SpatialAggregationEngine(ABC):
         fbo_bytes = [
             self._tile_fbo_bytes(tile, aggregate, fbo_dtype) for tile in tiles
         ]
+        token = None
+        if self.session is not None and points_hint is not None:
+            canvas = prepared.canvas
+            ext = canvas.extent
+            # The device enters by *value* (its batch-planning inputs),
+            # not identity: an id() could be reused after GC and would
+            # validate a partition aligned to another device's batch
+            # boundaries.
+            device_token = None if self.device is None else (
+                self.device.capacity_bytes, self.device.max_resolution,
+            )
+            token = (
+                (ext.xmin, ext.ymin, ext.xmax, ext.ymax),
+                canvas.width, canvas.height, self.max_resolution,
+                columns, tuple(fbo_bytes), device_token,
+            )
+            cached = self.session.partition_lookup(points_hint, token)
+            if cached is not None:
+                per_tile, duplicates = cached
+                stats.extra["partition"] = "cached"
+                stats.extra["partition_duplicates"] = duplicates
+                stats.partition_s += time.perf_counter() - start
+                return per_tile, True
         per_tile: list[list] = [[] for _ in tiles]
         saw_chunk = False
         duplicates = 0
@@ -325,6 +366,10 @@ class SpatialAggregationEngine(ABC):
             duplicates += dupes
             for idx, subs in enumerate(pieces):
                 per_tile[idx].extend(subs)
+        if token is not None and saw_chunk:
+            self.session.partition_store(
+                points_hint, token, per_tile, duplicates
+            )
         stats.extra["partition"] = "on"
         stats.extra["partition_duplicates"] = duplicates
         stats.partition_s += time.perf_counter() - start
@@ -392,16 +437,19 @@ class SpatialAggregationEngine(ABC):
                 stats.extra["boundary_pixels"] = (
                     stats.extra.get("boundary_pixels", 0) + pixels
                 )
-            if (
-                partial.boundary_mask is not None
-                and partial.tile_idx not in prepared.boundary_masks
-            ):
-                prepared.boundary_masks[partial.tile_idx] = partial.boundary_mask
-            if (
-                partial.coverage is not None
-                and partial.tile_idx not in prepared.coverage
-            ):
-                prepared.coverage[partial.tile_idx] = partial.coverage
+            if partial.unit_boundary is not None:
+                prepared.install_unit_boundary(
+                    partial.tile_idx, partial.unit_boundary
+                )
+            if partial.unit_coverage is not None:
+                prepared.install_unit_coverage(
+                    partial.tile_idx, partial.unit_coverage
+                )
+            prepared.mark_composed(
+                partial.tile_idx,
+                boundary=partial.boundary_mask,
+                coverage=partial.coverage,
+            )
         return saw_points
 
     @staticmethod

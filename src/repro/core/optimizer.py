@@ -47,6 +47,14 @@ class CostModel:
     * ``"partial"`` — triangulation/grid are reusable but coverage must
       re-rasterize, so only the preparation term is dropped;
     * ``False``/``None`` — cold: every term is paid.
+
+    Warmth is **fractional**: a :class:`~repro.cache.session.Warmth`
+    grade carries the share of the query's polygons whose prepared
+    state is already reusable (1.0 for an exact artifact hit, the
+    matched share for a delta-derivable edited set), and the discounted
+    terms scale by the share that actually rebuilds — so a 1-of-200
+    edit is costed like a warm query, not a cold one.  Plain strings
+    and booleans keep meaning fraction 1.0.
     """
 
     per_point_render: float
@@ -57,10 +65,14 @@ class CostModel:
     per_vertex_grid: float = 0.0
 
     @staticmethod
-    def _grades(warm) -> tuple[bool, bool]:
-        """(preparation reusable, coverage replayable) for a warm grade."""
+    def _grades(warm) -> tuple[float, float]:
+        """(preparation-reusable, coverage-replayable) warm fractions."""
         full = warm is True or warm == "full"
-        return full or warm == "partial", full
+        partial = warm == "partial"
+        if not (full or partial):
+            return 0.0, 0.0
+        fraction = float(getattr(warm, "fraction", 1.0))
+        return fraction, fraction if full else 0.0
 
     def _point_pass_seconds(
         self, num_points: int, tiles: int, waves: int, partitioned: bool
@@ -98,10 +110,13 @@ class CostModel:
         waves = math.ceil(tiles / concurrency)
         prepared, replayable = self._grades(warm)
         seconds = self._point_pass_seconds(num_points, tiles, waves, partitioned)
-        if not prepared:
-            seconds += self.per_vertex_triangulate * num_vertices
-        if not replayable:
-            seconds += self.per_pixel_polygon_pass * covered_pixels / concurrency
+        seconds += (
+            self.per_vertex_triangulate * num_vertices * (1.0 - prepared)
+        )
+        seconds += (
+            self.per_pixel_polygon_pass * covered_pixels / concurrency
+            * (1.0 - replayable)
+        )
         return seconds
 
     def accurate_seconds(
@@ -128,12 +143,14 @@ class CostModel:
             self._point_pass_seconds(num_points, tiles, waves, partitioned)
             + self.per_boundary_point * boundary_points / concurrency
         )
-        if not prepared:
-            seconds += (
-                self.per_vertex_triangulate + self.per_vertex_grid
-            ) * num_vertices
-        if not replayable:
-            seconds += self.per_pixel_polygon_pass * covered_pixels / concurrency
+        seconds += (
+            (self.per_vertex_triangulate + self.per_vertex_grid)
+            * num_vertices * (1.0 - prepared)
+        )
+        seconds += (
+            self.per_pixel_polygon_pass * covered_pixels / concurrency
+            * (1.0 - replayable)
+        )
         return seconds
 
 
@@ -238,6 +255,12 @@ class RasterJoinOptimizer:
 
     def _warmth(self, engine, polygons: PolygonSet) -> "str | None":
         """The warmth grade of the engine's artifact, or ``None`` (cold).
+
+        The grade is a :class:`~repro.cache.session.Warmth` carrying the
+        warm *fraction*: 1.0 for an exact artifact, the matched-polygon
+        share when the session could delta-derive from a sibling — the
+        costing then discounts only the share that is actually reusable,
+        so a single-polygon edit of a warm set plans warm.
 
         Probes the *candidate engine's* session — the shared optimizer
         session when one was given (or derived from an explicit

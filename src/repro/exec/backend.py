@@ -86,7 +86,11 @@ class TilePartial:
     pieces back to the parent (required under the process backend, where
     workers mutate copy-on-write clones of the artifact), and ``payload``
     is engine-specific (the bounded engine's per-tile FBO for §5 result
-    intervals).
+    intervals).  ``unit_boundary`` and ``unit_coverage`` carry the
+    *per-polygon* slices of the same builds (polygon id -> outline
+    pixels / raw coverage pieces) so the parent can install them into
+    the artifact's :class:`~repro.cache.prepared.PolygonUnit` list —
+    the state that makes single-polygon edits incremental.
     """
 
     tile_idx: int
@@ -95,6 +99,8 @@ class TilePartial:
     saw_points: bool = False
     boundary_mask: np.ndarray | None = None
     coverage: list | None = None
+    unit_boundary: dict | None = None
+    unit_coverage: dict | None = None
     payload: object = None
 
 

@@ -49,13 +49,7 @@ class GridIndex:
             raise GeometryError(f"grid resolution must be >= 1, got {resolution}")
         polys = list(polygons)
         if extent is None:
-            extent = polys[0].bbox
-            for p in polys[1:]:
-                extent = extent.union(p.bbox)
-            # Pad so boundary points on the max edges still map to a cell.
-            pad = 1e-9 + 1e-9 * max(abs(extent.xmax), abs(extent.ymax))
-            extent = BBox(extent.xmin, extent.ymin,
-                          extent.xmax + pad, extent.ymax + pad)
+            extent = self.default_extent(polys)
         self.extent = extent
         self.resolution = resolution
         self.assignment = assignment
@@ -65,23 +59,116 @@ class GridIndex:
 
         start = time.perf_counter()
         cells_per_poly = [self._cells_of(p) for p in polys]
-        # Two-pass CSR build, like the GPU implementation: first pass counts
-        # entries per cell, second pass scatters polygon ids.
-        counts = np.zeros(resolution * resolution + 1, dtype=np.int64)
-        for cells in cells_per_poly:
-            np.add.at(counts, cells + 1, 1)
-        self.cell_start = np.cumsum(counts)
-        self.entries = np.zeros(int(self.cell_start[-1]), dtype=np.int64)
+        self._scatter_csr(cells_per_poly)
+        self.build_seconds = time.perf_counter() - start
+
+    def _scatter_csr(self, cells_per_poly: list[np.ndarray]) -> None:
+        """Two-pass CSR build, like the GPU implementation: one
+        histogram pass counts entries per cell (a single ``bincount``
+        over the concatenated cell lists), one pass scatters polygon
+        ids in ascending pid order — so each cell's candidate list is
+        deterministic whatever the lists came from (a direct build or
+        composed per-polygon caches)."""
+        resolution = self.resolution
+        num_cells = resolution * resolution
+        all_cells = (
+            np.concatenate(cells_per_poly) if cells_per_poly
+            else np.zeros(0, dtype=np.int64)
+        )
+        counts = np.bincount(all_cells, minlength=num_cells)
+        self.cell_start = np.concatenate(
+            [[0], np.cumsum(counts, dtype=np.int64)]
+        )
+        self.entries = np.zeros(len(all_cells), dtype=np.int64)
         cursor = self.cell_start[:-1].copy()
         for pid, cells in enumerate(cells_per_poly):
             pos = cursor[cells]
             self.entries[pos] = pid
             cursor[cells] += 1
-        self.build_seconds = time.perf_counter() - start
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
+    @staticmethod
+    def default_extent(polygons: PolygonSet | Sequence[Polygon]) -> BBox:
+        """The extent the constructor derives when none is given.
+
+        Exposed so per-polygon cell lists (incremental edits) are
+        computed against exactly the extent a from-scratch build would
+        use: the union of all polygon boxes, padded so boundary points
+        on the max edges still map to a cell.
+        """
+        polys = list(polygons)
+        extent = polys[0].bbox
+        for p in polys[1:]:
+            extent = extent.union(p.bbox)
+        pad = 1e-9 + 1e-9 * max(abs(extent.xmax), abs(extent.ymax))
+        return BBox(extent.xmin, extent.ymin,
+                    extent.xmax + pad, extent.ymax + pad)
+
+    @classmethod
+    def cells_for_polygon(
+        cls,
+        polygon: Polygon,
+        extent: BBox,
+        resolution: int,
+        assignment: str,
+    ) -> np.ndarray:
+        """One polygon's flat cell ids under a fixed frame.
+
+        A pure function of (polygon geometry, extent, resolution,
+        assignment) — the grid-index contribution a
+        :class:`~repro.cache.prepared.PolygonUnit` carries, identical to
+        what a full build would compute for that polygon.
+        """
+        if assignment not in ("mbr", "exact"):
+            raise GeometryError(f"unknown assignment mode {assignment!r}")
+        if resolution < 1:
+            raise GeometryError(
+                f"grid resolution must be >= 1, got {resolution}"
+            )
+        probe = cls.__new__(cls)
+        probe.extent = extent
+        probe.resolution = resolution
+        probe.assignment = assignment
+        probe.cell_w = extent.width / resolution
+        probe.cell_h = extent.height / resolution
+        return probe._cells_of(polygon)
+
+    @classmethod
+    def from_cells(
+        cls,
+        polygons: PolygonSet | Sequence[Polygon],
+        cells_per_poly: list[np.ndarray],
+        resolution: int,
+        assignment: str,
+        extent: BBox,
+    ) -> "GridIndex":
+        """Compose an index from precomputed per-polygon cell lists.
+
+        Runs the same two-pass CSR scatter as the constructor over the
+        given lists, so composing cached per-polygon cells — with only
+        edited polygons' lists recomputed — yields bit-identical
+        ``cell_start``/``entries`` arrays to a from-scratch build.
+        """
+        if assignment not in ("mbr", "exact"):
+            raise GeometryError(f"unknown assignment mode {assignment!r}")
+        if resolution < 1:
+            raise GeometryError(
+                f"grid resolution must be >= 1, got {resolution}"
+            )
+        self = cls.__new__(cls)
+        self.extent = extent
+        self.resolution = resolution
+        self.assignment = assignment
+        self.polygons = list(polygons)
+        self.cell_w = extent.width / resolution
+        self.cell_h = extent.height / resolution
+        start = time.perf_counter()
+        self._scatter_csr(cells_per_poly)
+        self.build_seconds = time.perf_counter() - start
+        return self
+
     @classmethod
     def from_arrays(
         cls,

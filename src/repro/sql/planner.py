@@ -86,6 +86,17 @@ class QueryPlanner:
         self._points[name] = dataset
 
     def register_regions(self, name: str, polygons: PolygonSet) -> None:
+        """Register (or replace) a region table.
+
+        Re-registering a name with an *edited* polygon set is the SQL
+        face of the incremental path: the planner keeps one shared
+        :class:`QuerySession`, so the next statement over that table
+        delta-derives from the previous zoning's prepared artifacts —
+        only the changed polygons rebuild
+        (``stats.extra["polygons_rebuilt"]``), and with a store attached
+        the edit persists as a journal patch, not a full rewrite.  See
+        ``docs/incremental_edits.md``.
+        """
         if name in self._points:
             raise SqlError(f"{name!r} is already a point table")
         self._regions[name] = polygons

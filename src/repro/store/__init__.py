@@ -9,8 +9,15 @@ corruption-tolerant loads, and an LRU-by-recency disk budget.  Attach
 one to a session (or set ``$REPRO_STORE_DIR``) and a restarted server
 answers its first repeated query without re-triangulating anything.
 
+Format version 2 persists artifacts per polygon, which enables **patch
+journaling**: a single-polygon edit is appended to the lineage's
+``.journal`` as a small checksummed record (plus a tiny ``.ref``
+manifest) instead of rewriting the whole pair, and replaying the chain
+after a restart reproduces the edited artifact bit-identically.
+
 See ``docs/artifact_store.md`` for the format, the eviction tiers, and
-the environment knobs.
+the environment knobs, and ``docs/incremental_edits.md`` for the patch
+journal.
 """
 
 from repro.store.format import (

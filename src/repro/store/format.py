@@ -5,11 +5,24 @@ two files so the cheap part (the manifest) can be read without touching
 the bulk arrays:
 
 * ``<key_id>.npz`` — every array field of the artifact, flattened into
-  named NumPy arrays (triangles, grid CSR, boundary masks, coverage
-  indices, MBR columns, canvas/tile geometry);
+  named NumPy arrays;
 * ``<key_id>.json`` — the manifest: format version, the full cache key
   (fingerprint + render spec), which fields are present, structural
   metadata, and a checksum over the ``.npz`` bytes.
+
+Format version 2 stores artifacts **per polygon**: each polygon's
+triangulation, grid-cell list, per-tile outline pixels, and per-tile raw
+coverage pieces are written as that polygon's slice of concatenated
+arrays, and the set-level views the engines consume (CSR grid, boundary
+masks, boundary-excluded coverage) are *recomposed* on load — the same
+deterministic composition a live session performs, so a loaded artifact
+is bit-identical to the one saved.  The per-polygon layout is what makes
+**patch records** possible: an edited set persists as a small journal
+record carrying only the changed polygons' arrays plus a mapping onto
+its parent (see :func:`encode_patch` / :func:`apply_patch` and
+``docs/incremental_edits.md``), instead of rewriting the whole pair.
+Artifacts without per-polygon units (built session-less and saved by
+hand) still round-trip through the legacy composed layout.
 
 ``key_id`` is a content hash of ``(FORMAT_VERSION, COORD_DTYPE,
 fingerprint, spec)``: bumping the format version or changing the
@@ -18,7 +31,7 @@ keying new names, so no migration code is ever needed — stale files age
 out through the disk budget.
 
 Everything here is pure (bytes in, objects out); durability, atomicity,
-and eviction live in :mod:`repro.store.store`.
+journal framing, and eviction live in :mod:`repro.store.store`.
 """
 
 from __future__ import annotations
@@ -30,7 +43,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.cache.prepared import PreparedPolygons
+from repro.cache.prepared import PolygonUnit, PreparedPolygons
 from repro.errors import QueryError
 from repro.geometry.bbox import BBox
 from repro.graphics.viewport import Canvas, Viewport
@@ -39,7 +52,7 @@ from repro.index.grid import GridIndex
 #: Bump on any incompatible change to the array layout or manifest shape.
 #: The version participates in the key hash, so old artifacts are never
 #: even opened by a newer reader — they just stop being addressable.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 #: Canonical coordinate dtype: little-endian float64.  Part of the key so
 #: artifacts written on any platform address the same bytes.
@@ -49,7 +62,7 @@ COORD_DTYPE = "<f8"
 INDEX_DTYPE = "<i8"
 
 #: Narrow on-disk index dtype, used whenever the values fit.  Pixel and
-#: CSR indices are int64 in memory but virtually never exceed 2^31, so
+#: cell indices are int64 in memory but virtually never exceed 2^31, so
 #: storing them as int32 halves the dominant arrays; loads widen them
 #: back, making the round trip value-exact either way.
 NARROW_INDEX_DTYPE = "<i4"
@@ -113,29 +126,16 @@ def checksum(data: bytes) -> str:
     return hashlib.blake2b(data, digest_size=16).hexdigest()
 
 
-# ----------------------------------------------------------------------
-# Encode
-# ----------------------------------------------------------------------
-def encode(prepared: PreparedPolygons, key: Sequence) -> tuple[dict, dict]:
-    """Flatten an artifact into (named arrays, manifest) for persistence.
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ArtifactFormatError(message)
 
-    Only populated fields are written; the manifest records which, so a
-    partial artifact (triangles + grid, no coverage) round-trips as
-    exactly that partial artifact.
-    """
-    fingerprint, *spec = key
-    arrays: dict[str, np.ndarray] = {}
-    fields: list[str] = []
-    manifest: dict = {
-        "version": FORMAT_VERSION,
-        "dtype": COORD_DTYPE,
-        "fingerprint": fingerprint,
-        "spec": canonical_spec(spec),
-        "created": time.time(),
-        "nbytes": int(prepared.nbytes),
-        "fields": fields,
-    }
 
+# ----------------------------------------------------------------------
+# Shared field helpers (canvas / tiles / MBRs — identical in both layouts)
+# ----------------------------------------------------------------------
+def _encode_frame(prepared: PreparedPolygons, arrays: dict,
+                  manifest: dict, fields: list[str]) -> None:
     if prepared.canvas is not None:
         fields.append("canvas")
         ext = prepared.canvas.extent
@@ -162,6 +162,271 @@ def encode(prepared: PreparedPolygons, key: Sequence) -> tuple[dict, dict]:
             ],
             dtype=INDEX_DTYPE,
         ).reshape(len(prepared.tiles), 4)
+    if prepared.mbr_arrays is not None:
+        fields.append("mbr_arrays")
+        for name, arr in zip(
+            ("mbr_xmin", "mbr_xmax", "mbr_ymin", "mbr_ymax"),
+            prepared.mbr_arrays,
+        ):
+            arrays[name] = np.asarray(arr, dtype=COORD_DTYPE)
+
+
+def _decode_canvas(arrays, manifest: dict) -> Canvas:
+    ext = np.asarray(arrays["canvas_extent"], dtype=np.float64)
+    _require(ext.shape == (4,), "bad canvas extent")
+    meta = manifest["canvas"]
+    return Canvas(
+        BBox(float(ext[0]), float(ext[1]), float(ext[2]), float(ext[3])),
+        int(meta["width"]), int(meta["height"]),
+    )
+
+
+def _decode_tiles(arrays) -> list[Viewport]:
+    boxes = np.asarray(arrays["tiles_bbox"], dtype=np.float64)
+    shapes = np.asarray(arrays["tiles_shape"], dtype=np.int64)
+    _require(
+        boxes.ndim == 2 and boxes.shape == (len(shapes), 4),
+        "bad tile tables",
+    )
+    return [
+        Viewport(
+            BBox(*(float(v) for v in box)),
+            int(w), int(h), x_offset=int(xo), y_offset=int(yo),
+        )
+        for box, (w, h, xo, yo) in zip(boxes, shapes)
+    ]
+
+
+def _decode_mbrs(arrays) -> tuple[np.ndarray, ...]:
+    return tuple(
+        np.asarray(arrays[name], dtype=np.float64)
+        for name in ("mbr_xmin", "mbr_xmax", "mbr_ymin", "mbr_ymax")
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-polygon unit (de)serialization primitives
+# ----------------------------------------------------------------------
+def _encode_unit_triangles(units: Sequence[PolygonUnit], arrays: dict,
+                           prefix: str = "") -> None:
+    flat = [
+        np.asarray(tri, dtype=COORD_DTYPE)
+        for unit in units
+        for tri in unit.triangles
+    ]
+    arrays[f"{prefix}tri_data"] = (
+        np.stack(flat) if flat else np.zeros((0, 3, 2), dtype=COORD_DTYPE)
+    )
+    arrays[f"{prefix}tri_counts"] = _compact_indices(
+        np.asarray([len(unit.triangles) for unit in units])
+    )
+
+
+def _decode_unit_triangles(units: Sequence[PolygonUnit], arrays,
+                           prefix: str = "") -> None:
+    data = np.asarray(arrays[f"{prefix}tri_data"], dtype=np.float64)
+    counts = np.asarray(arrays[f"{prefix}tri_counts"], dtype=np.int64)
+    _require(
+        data.ndim == 3 and data.shape[1:] == (3, 2)
+        and len(counts) == len(units)
+        and int(counts.sum()) == len(data),
+        "triangle table does not add up",
+    )
+    cursor = 0
+    for unit, count in zip(units, counts):
+        unit.triangles = [data[cursor + k] for k in range(int(count))]
+        cursor += int(count)
+
+
+def _encode_unit_cells(units: Sequence[PolygonUnit], arrays: dict,
+                       prefix: str = "") -> None:
+    cells = [np.asarray(unit.cells) for unit in units]
+    arrays[f"{prefix}cells_data"] = _compact_indices(
+        np.concatenate(cells) if cells else np.zeros(0, dtype=np.int64)
+    )
+    arrays[f"{prefix}cells_counts"] = _compact_indices(
+        np.asarray([len(c) for c in cells])
+    )
+
+
+def _decode_unit_cells(units: Sequence[PolygonUnit], arrays,
+                       prefix: str = "") -> None:
+    data = np.asarray(arrays[f"{prefix}cells_data"], dtype=np.int64)
+    counts = np.asarray(arrays[f"{prefix}cells_counts"], dtype=np.int64)
+    _require(
+        len(counts) == len(units) and int(counts.sum()) == len(data),
+        "grid cell table does not add up",
+    )
+    cursor = 0
+    for unit, count in zip(units, counts):
+        unit.cells = data[cursor:cursor + int(count)]
+        cursor += int(count)
+
+
+def _encode_unit_boundary(units: Sequence[PolygonUnit], tile_idx: int,
+                          arrays: dict, prefix: str = "") -> None:
+    ixs = [np.asarray(unit.boundary[tile_idx][0]) for unit in units]
+    iys = [np.asarray(unit.boundary[tile_idx][1]) for unit in units]
+    arrays[f"{prefix}ub_{tile_idx}_ix"] = _compact_indices(
+        np.concatenate(ixs) if ixs else np.zeros(0, dtype=np.int64)
+    )
+    arrays[f"{prefix}ub_{tile_idx}_iy"] = _compact_indices(
+        np.concatenate(iys) if iys else np.zeros(0, dtype=np.int64)
+    )
+    arrays[f"{prefix}ub_{tile_idx}_counts"] = _compact_indices(
+        np.asarray([len(ix) for ix in ixs])
+    )
+
+
+def _decode_unit_boundary(units: Sequence[PolygonUnit], tile_idx: int,
+                          arrays, prefix: str = "") -> None:
+    ix = np.asarray(arrays[f"{prefix}ub_{tile_idx}_ix"], dtype=np.int64)
+    iy = np.asarray(arrays[f"{prefix}ub_{tile_idx}_iy"], dtype=np.int64)
+    counts = np.asarray(
+        arrays[f"{prefix}ub_{tile_idx}_counts"], dtype=np.int64
+    )
+    _require(
+        len(counts) == len(units)
+        and int(counts.sum()) == len(ix) == len(iy),
+        "boundary pixel table does not add up",
+    )
+    cursor = 0
+    for unit, count in zip(units, counts):
+        unit.boundary[tile_idx] = (
+            ix[cursor:cursor + int(count)],
+            iy[cursor:cursor + int(count)],
+        )
+        cursor += int(count)
+
+
+def _encode_unit_coverage(units: Sequence[PolygonUnit], tile_idx: int,
+                          arrays: dict, prefix: str = "") -> None:
+    pids, lens, iys, ixs = [], [], [], []
+    for pid, unit in enumerate(units):
+        for piece_iy, piece_ix in unit.coverage[tile_idx]:
+            pids.append(pid)
+            lens.append(len(piece_iy))
+            iys.append(piece_iy)
+            ixs.append(piece_ix)
+    arrays[f"{prefix}uc_{tile_idx}_pid"] = _compact_indices(np.asarray(pids))
+    arrays[f"{prefix}uc_{tile_idx}_len"] = _compact_indices(np.asarray(lens))
+    arrays[f"{prefix}uc_{tile_idx}_iy"] = _compact_indices(
+        np.concatenate(iys) if iys else np.zeros(0, dtype=np.int64)
+    )
+    arrays[f"{prefix}uc_{tile_idx}_ix"] = _compact_indices(
+        np.concatenate(ixs) if ixs else np.zeros(0, dtype=np.int64)
+    )
+
+
+def _decode_unit_coverage(units: Sequence[PolygonUnit], tile_idx: int,
+                          arrays, prefix: str = "") -> None:
+    pids = np.asarray(arrays[f"{prefix}uc_{tile_idx}_pid"], dtype=np.int64)
+    lens = np.asarray(arrays[f"{prefix}uc_{tile_idx}_len"], dtype=np.int64)
+    iy = np.asarray(arrays[f"{prefix}uc_{tile_idx}_iy"], dtype=np.int64)
+    ix = np.asarray(arrays[f"{prefix}uc_{tile_idx}_ix"], dtype=np.int64)
+    _require(
+        len(pids) == len(lens) and int(lens.sum()) == len(iy) == len(ix),
+        "coverage table does not add up",
+    )
+    for unit in units:
+        unit.coverage[tile_idx] = []
+    cursor = 0
+    for pid, length in zip(pids, lens):
+        _require(0 <= int(pid) < len(units), "coverage pid out of range")
+        units[int(pid)].coverage[tile_idx].append(
+            (iy[cursor:cursor + int(length)], ix[cursor:cursor + int(length)])
+        )
+        cursor += int(length)
+
+
+def _units_tiles(units: Sequence[PolygonUnit], kind: str) -> list[int]:
+    """Tile indices every unit carries (the composable tiles)."""
+    sets = [
+        set(getattr(unit, kind)) for unit in units
+    ]
+    if not sets:
+        return []
+    common = set.intersection(*sets)
+    return sorted(int(t) for t in common)
+
+
+# ----------------------------------------------------------------------
+# Encode
+# ----------------------------------------------------------------------
+def encode(prepared: PreparedPolygons, key: Sequence) -> tuple[dict, dict]:
+    """Flatten an artifact into (named arrays, manifest) for persistence.
+
+    Only populated fields are written; the manifest records which, so a
+    partial artifact (triangles + grid, no coverage) round-trips as
+    exactly that partial artifact.  Artifacts carrying per-polygon units
+    are written in the per-polygon layout; legacy (session-less) ones in
+    the composed layout.
+    """
+    fingerprint, *spec = key
+    arrays: dict[str, np.ndarray] = {}
+    fields: list[str] = []
+    manifest: dict = {
+        "version": FORMAT_VERSION,
+        "dtype": COORD_DTYPE,
+        "fingerprint": fingerprint,
+        "spec": canonical_spec(spec),
+        "created": time.time(),
+        "nbytes": int(prepared.nbytes),
+        "fields": fields,
+    }
+    _encode_frame(prepared, arrays, manifest, fields)
+    if prepared.units is not None:
+        _encode_units(prepared, arrays, manifest, fields)
+    else:
+        _encode_composed(prepared, arrays, manifest, fields)
+    return arrays, manifest
+
+
+def _encode_units(prepared: PreparedPolygons, arrays: dict,
+                  manifest: dict, fields: list[str]) -> None:
+    units = prepared.units
+    manifest["units"] = {
+        "polygon_fps": list(prepared.polygon_fps or ()),
+        "bboxes": [list(unit.bbox) for unit in units],
+        "source_bbox": (
+            list(prepared.source_bbox)
+            if prepared.source_bbox is not None else None
+        ),
+    }
+    if all(unit.triangles is not None for unit in units):
+        fields.append("triangles")
+        _encode_unit_triangles(units, arrays)
+    if prepared.grid is not None and all(
+        unit.cells is not None for unit in units
+    ):
+        fields.append("grid")
+        grid = prepared.grid
+        ext = grid.extent
+        _encode_unit_cells(units, arrays)
+        arrays["grid_extent"] = np.asarray(
+            [ext.xmin, ext.ymin, ext.xmax, ext.ymax], dtype=COORD_DTYPE
+        )
+        manifest["grid"] = {
+            "resolution": int(grid.resolution),
+            "assignment": grid.assignment,
+        }
+    boundary_tiles = _units_tiles(units, "boundary")
+    if boundary_tiles:
+        fields.append("boundary_masks")
+        manifest["boundary_tiles"] = boundary_tiles
+        for idx in boundary_tiles:
+            _encode_unit_boundary(units, idx, arrays)
+    coverage_tiles = _units_tiles(units, "coverage")
+    if coverage_tiles:
+        fields.append("coverage")
+        manifest["coverage_tiles"] = coverage_tiles
+        for idx in coverage_tiles:
+            _encode_unit_coverage(units, idx, arrays)
+
+
+def _encode_composed(prepared: PreparedPolygons, arrays: dict,
+                     manifest: dict, fields: list[str]) -> None:
+    """Legacy layout for artifacts without per-polygon units."""
     if prepared.triangles is not None:
         fields.append("triangles")
         flat = [
@@ -217,24 +482,11 @@ def encode(prepared: PreparedPolygons, key: Sequence) -> tuple[dict, dict]:
             arrays[f"cov_{idx}_ix"] = _compact_indices(
                 np.concatenate(ixs) if ixs else np.zeros(0, dtype=np.int64)
             )
-    if prepared.mbr_arrays is not None:
-        fields.append("mbr_arrays")
-        for name, arr in zip(
-            ("mbr_xmin", "mbr_xmax", "mbr_ymin", "mbr_ymax"),
-            prepared.mbr_arrays,
-        ):
-            arrays[name] = np.asarray(arr, dtype=COORD_DTYPE)
-    return arrays, manifest
 
 
 # ----------------------------------------------------------------------
 # Decode
 # ----------------------------------------------------------------------
-def _require(condition: bool, message: str) -> None:
-    if not condition:
-        raise ArtifactFormatError(message)
-
-
 def validate_manifest(manifest: dict, key: Sequence) -> None:
     """Reject manifests from another format version or a different key."""
     _require(isinstance(manifest, dict), "manifest is not an object")
@@ -251,6 +503,116 @@ def validate_manifest(manifest: dict, key: Sequence) -> None:
     )
 
 
+def decode_units_state(
+    arrays, manifest: dict
+) -> tuple[list[PolygonUnit], dict]:
+    """Rebuild the per-polygon units and frame metadata — polygon-free.
+
+    This is the journal-replayable half of a load: everything here is
+    pure array data, so patch records can be applied to the result
+    without the (intermediate) polygon sets in hand.  The final
+    :func:`compose_from_units` step needs the live polygons only for the
+    grid index's object references.
+    """
+    meta_units = manifest.get("units")
+    _require(isinstance(meta_units, dict), "manifest lacks unit metadata")
+    fps = list(meta_units.get("polygon_fps", ()))
+    bboxes = meta_units.get("bboxes", ())
+    _require(len(fps) == len(bboxes), "unit fingerprint/bbox mismatch")
+    units = [
+        PolygonUnit(fp, tuple(float(v) for v in bbox))
+        for fp, bbox in zip(fps, bboxes)
+    ]
+    fields = set(manifest.get("fields", ()))
+    meta: dict = {
+        "fields": list(manifest.get("fields", ())),
+        "polygon_fps": fps,
+        "source_bbox": (
+            tuple(float(v) for v in meta_units["source_bbox"])
+            if meta_units.get("source_bbox") is not None else None
+        ),
+        "canvas": None,
+        "tiles": None,
+        "grid": None,
+        "mbr_arrays": None,
+    }
+    if "canvas" in fields:
+        meta["canvas"] = _decode_canvas(arrays, manifest)
+    if "tiles" in fields:
+        meta["tiles"] = _decode_tiles(arrays)
+    if "mbr_arrays" in fields:
+        meta["mbr_arrays"] = _decode_mbrs(arrays)
+    if "triangles" in fields:
+        _decode_unit_triangles(units, arrays)
+    if "grid" in fields:
+        grid_meta = manifest["grid"]
+        ext = np.asarray(arrays["grid_extent"], dtype=np.float64)
+        _require(ext.shape == (4,), "bad grid extent")
+        _decode_unit_cells(units, arrays)
+        meta["grid"] = {
+            "resolution": int(grid_meta["resolution"]),
+            "assignment": grid_meta["assignment"],
+            "extent": BBox(
+                float(ext[0]), float(ext[1]), float(ext[2]), float(ext[3])
+            ),
+        }
+    if "boundary_masks" in fields:
+        for idx in manifest.get("boundary_tiles", ()):
+            _decode_unit_boundary(units, int(idx), arrays)
+    if "coverage" in fields:
+        for idx in manifest.get("coverage_tiles", ()):
+            _decode_unit_coverage(units, int(idx), arrays)
+    return units, meta
+
+
+def compose_from_units(
+    units: list[PolygonUnit], meta: dict, polygons, key: Sequence
+) -> PreparedPolygons:
+    """Assemble the engine-consumed artifact from per-polygon units.
+
+    Runs the same composition the live session performs after a build —
+    OR the outline pixels into boundary masks, exclude them from the raw
+    coverage, scatter the grid CSR — so the result is bit-identical to
+    the artifact that was saved.
+    """
+    prepared = PreparedPolygons(tuple(key))
+    prepared.units = units
+    prepared.polygon_fps = meta["polygon_fps"]
+    prepared.source_bbox = meta["source_bbox"]
+    prepared.canvas = meta["canvas"]
+    prepared.tiles = meta["tiles"]
+    prepared.mbr_arrays = meta["mbr_arrays"]
+    if all(unit.triangles is not None for unit in units):
+        prepared.triangles = [unit.triangles for unit in units]
+    grid_meta = meta["grid"]
+    if grid_meta is not None and all(
+        unit.cells is not None for unit in units
+    ):
+        prepared.grid = GridIndex.from_cells(
+            polygons,
+            [unit.cells for unit in units],
+            resolution=grid_meta["resolution"],
+            assignment=grid_meta["assignment"],
+            extent=grid_meta["extent"],
+        )
+        prepared.grid.build_seconds = 0.0  # nothing was rebuilt
+    boundary_tiles = _units_tiles(units, "boundary")
+    if boundary_tiles:
+        _require(prepared.tiles is not None,
+                 "boundary pixels without tile layout")
+        for idx in boundary_tiles:
+            _require(0 <= idx < len(prepared.tiles),
+                     "boundary tile out of range")
+            prepared.boundary_masks[idx] = prepared.compose_boundary(
+                idx, prepared.tiles[idx]
+            )
+    for idx in _units_tiles(units, "coverage"):
+        prepared.coverage[idx] = prepared.compose_coverage(
+            idx, prepared.boundary_masks.get(idx)
+        )
+    return prepared
+
+
 def decode(arrays, manifest: dict, polygons, key: Sequence) -> PreparedPolygons:
     """Rebuild a :class:`PreparedPolygons` from persisted arrays.
 
@@ -259,31 +621,22 @@ def decode(arrays, manifest: dict, polygons, key: Sequence) -> PreparedPolygons:
     (the fingerprint in the key guarantees the caller's geometry is the
     geometry the artifact was built from).
     """
+    if manifest.get("units") is not None:
+        units, meta = decode_units_state(arrays, manifest)
+        return compose_from_units(units, meta, polygons, key)
+    return _decode_composed(arrays, manifest, polygons, key)
+
+
+def _decode_composed(arrays, manifest: dict, polygons,
+                     key: Sequence) -> PreparedPolygons:
+    """Legacy layout: set-level arrays stored directly."""
     prepared = PreparedPolygons(tuple(key))
     fields = set(manifest.get("fields", ()))
 
     if "canvas" in fields:
-        ext = np.asarray(arrays["canvas_extent"], dtype=np.float64)
-        _require(ext.shape == (4,), "bad canvas extent")
-        meta = manifest["canvas"]
-        prepared.canvas = Canvas(
-            BBox(float(ext[0]), float(ext[1]), float(ext[2]), float(ext[3])),
-            int(meta["width"]), int(meta["height"]),
-        )
+        prepared.canvas = _decode_canvas(arrays, manifest)
     if "tiles" in fields:
-        boxes = np.asarray(arrays["tiles_bbox"], dtype=np.float64)
-        shapes = np.asarray(arrays["tiles_shape"], dtype=np.int64)
-        _require(
-            boxes.ndim == 2 and boxes.shape == (len(shapes), 4),
-            "bad tile tables",
-        )
-        prepared.tiles = [
-            Viewport(
-                BBox(*(float(v) for v in box)),
-                int(w), int(h), x_offset=int(xo), y_offset=int(yo),
-            )
-            for box, (w, h, xo, yo) in zip(boxes, shapes)
-        ]
+        prepared.tiles = _decode_tiles(arrays)
     if "triangles" in fields:
         data = np.asarray(arrays["tri_data"], dtype=np.float64)
         counts = np.asarray(arrays["tri_counts"], dtype=np.int64)
@@ -360,8 +713,169 @@ def decode(arrays, manifest: dict, polygons, key: Sequence) -> PreparedPolygons:
                     entries_list.append((int(pid), [piece]))
             prepared.coverage[int(idx)] = entries_list
     if "mbr_arrays" in fields:
-        prepared.mbr_arrays = tuple(
-            np.asarray(arrays[name], dtype=np.float64)
-            for name in ("mbr_xmin", "mbr_xmax", "mbr_ymin", "mbr_ymax")
-        )
+        prepared.mbr_arrays = _decode_mbrs(arrays)
     return prepared
+
+
+# ----------------------------------------------------------------------
+# Patch records (per-polygon edits, journaled by the store)
+# ----------------------------------------------------------------------
+def encode_patch(prepared: PreparedPolygons, key: Sequence) -> tuple[dict, dict]:
+    """Flatten a delta-derived artifact into (arrays, header).
+
+    The arrays carry **only the rebuilt polygons'** unit state; the
+    header records how every polygon of the new set maps onto the parent
+    artifact (``parent_map``), so replay clones the unchanged units from
+    the parent and decodes just the dirty ones.  Raises
+    :class:`ArtifactFormatError` when the artifact has no delta
+    provenance.
+    """
+    _require(
+        prepared.units is not None and prepared.delta_parent is not None
+        and prepared.parent_map is not None,
+        "artifact has no delta provenance to patch from",
+    )
+    fingerprint, *spec = key
+    dirty = list(prepared.delta_dirty or ())
+    dirty_units = [prepared.units[pid] for pid in dirty]
+    header: dict = {
+        "version": FORMAT_VERSION,
+        "dtype": COORD_DTYPE,
+        "type": "patch",
+        "fingerprint": fingerprint,
+        "spec": canonical_spec(spec),
+        "parent_fingerprint": prepared.delta_parent[0],
+        "parent_map": list(prepared.parent_map),
+        "dirty": dirty,
+        "polygon_fps": list(prepared.polygon_fps or ()),
+        "bboxes": [list(prepared.units[pid].bbox) for pid in dirty],
+        "source_bbox": (
+            list(prepared.source_bbox)
+            if prepared.source_bbox is not None else None
+        ),
+        "created": time.time(),
+        "nbytes": int(prepared.nbytes),
+        "fields": _effective_fields(prepared),
+    }
+    arrays: dict[str, np.ndarray] = {}
+    if dirty_units and all(u.triangles is not None for u in dirty_units):
+        header["has_triangles"] = True
+        _encode_unit_triangles(dirty_units, arrays, prefix="d_")
+    if (
+        prepared.grid is not None
+        and dirty_units
+        and all(u.cells is not None for u in dirty_units)
+    ):
+        ext = prepared.grid.extent
+        header["grid"] = {
+            "resolution": int(prepared.grid.resolution),
+            "assignment": prepared.grid.assignment,
+            "extent": [ext.xmin, ext.ymin, ext.xmax, ext.ymax],
+        }
+        _encode_unit_cells(dirty_units, arrays, prefix="d_")
+    boundary_tiles = (
+        _units_tiles(dirty_units, "boundary") if dirty_units
+        else _units_tiles(prepared.units, "boundary")
+    )
+    header["boundary_tiles"] = boundary_tiles
+    for idx in boundary_tiles if dirty_units else []:
+        _encode_unit_boundary(dirty_units, idx, arrays, prefix="d_")
+    coverage_tiles = (
+        _units_tiles(dirty_units, "coverage") if dirty_units
+        else _units_tiles(prepared.units, "coverage")
+    )
+    header["coverage_tiles"] = coverage_tiles
+    for idx in coverage_tiles if dirty_units else []:
+        _encode_unit_coverage(dirty_units, idx, arrays, prefix="d_")
+    return arrays, header
+
+
+def _effective_fields(prepared: PreparedPolygons) -> list[str]:
+    """The composed-equivalent field list of a unit-carrying artifact."""
+    fields: list[str] = []
+    if prepared.canvas is not None:
+        fields.append("canvas")
+    if prepared.tiles is not None:
+        fields.append("tiles")
+    if prepared.mbr_arrays is not None:
+        fields.append("mbr_arrays")
+    units = prepared.units or []
+    if units and all(u.triangles is not None for u in units):
+        fields.append("triangles")
+    if prepared.grid is not None and units and all(
+        u.cells is not None for u in units
+    ):
+        fields.append("grid")
+    if _units_tiles(units, "boundary"):
+        fields.append("boundary_masks")
+    if _units_tiles(units, "coverage"):
+        fields.append("coverage")
+    return fields
+
+
+def apply_patch(
+    parent_units: list[PolygonUnit],
+    parent_meta: dict,
+    header: dict,
+    arrays,
+) -> tuple[list[PolygonUnit], dict]:
+    """Apply one journal record to a (units, meta) state.
+
+    Clones the unchanged units per ``parent_map`` and decodes the dirty
+    ones from the record's arrays.  Pure array work — no polygon
+    objects, so a whole chain replays before the final composition.
+    """
+    parent_map = header.get("parent_map", ())
+    dirty = list(header.get("dirty", ()))
+    fps = list(header.get("polygon_fps", ()))
+    _require(len(parent_map) == len(fps), "patch header tables disagree")
+    if header.get("source_bbox") is not None and (
+        parent_meta.get("source_bbox") is not None
+    ):
+        _require(
+            tuple(float(v) for v in header["source_bbox"])
+            == tuple(parent_meta["source_bbox"]),
+            "patch frame does not match the parent artifact",
+        )
+    dirty_bboxes = header.get("bboxes", ())
+    _require(len(dirty_bboxes) == len(dirty), "patch bbox table disagrees")
+    dirty_units = [
+        PolygonUnit(fps[pid], tuple(float(v) for v in bbox))
+        for pid, bbox in zip(dirty, dirty_bboxes)
+    ]
+    if header.get("has_triangles"):
+        _decode_unit_triangles(dirty_units, arrays, prefix="d_")
+    grid_meta = header.get("grid")
+    meta = dict(parent_meta)
+    meta["polygon_fps"] = fps
+    if grid_meta is not None:
+        _decode_unit_cells(dirty_units, arrays, prefix="d_")
+        ext = grid_meta["extent"]
+        meta["grid"] = {
+            "resolution": int(grid_meta["resolution"]),
+            "assignment": grid_meta["assignment"],
+            "extent": BBox(
+                float(ext[0]), float(ext[1]), float(ext[2]), float(ext[3])
+            ),
+        }
+    for idx in header.get("boundary_tiles", ()) if dirty_units else []:
+        _decode_unit_boundary(dirty_units, int(idx), arrays, prefix="d_")
+    for idx in header.get("coverage_tiles", ()) if dirty_units else []:
+        _decode_unit_coverage(dirty_units, int(idx), arrays, prefix="d_")
+    units: list[PolygonUnit] = []
+    cursor = 0
+    for pid, src in enumerate(parent_map):
+        if src >= 0:
+            _require(src < len(parent_units), "patch parent id out of range")
+            units.append(parent_units[src].clone())
+        else:
+            _require(cursor < len(dirty_units), "patch dirty table short")
+            units.append(dirty_units[cursor])
+            cursor += 1
+    _require(cursor == len(dirty_units), "patch dirty table long")
+    # MBR columns are a cheap pure function of the live polygons; a
+    # patched state drops them rather than splicing (ensure_mbr_arrays
+    # rebuilds bit-identically on first use).
+    meta["mbr_arrays"] = None
+    meta["fields"] = [f for f in header.get("fields", ()) if f != "mbr_arrays"]
+    return units, meta

@@ -54,6 +54,12 @@ class ExecutionStats:
     prepared_hits: int = 0
     prepared_misses: int = 0
     prepared_store_hits: int = 0
+    #: Memory misses answered by *delta derivation* from a sibling
+    #: artifact (an edited polygon set adopting the unchanged polygons'
+    #: prepared state); like store hits, every delta hit is also counted
+    #: as a ``prepared_miss``.  ``extra["polygons_rebuilt"]`` reports how
+    #: many polygons the derivation actually had to rebuild.
+    prepared_delta_hits: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -89,6 +95,7 @@ class ExecutionStats:
         self.prepared_hits += other.prepared_hits
         self.prepared_misses += other.prepared_misses
         self.prepared_store_hits += other.prepared_store_hits
+        self.prepared_delta_hits += other.prepared_delta_hits
 
 
 @dataclass

@@ -1,0 +1,359 @@
+"""Unit tests for per-polygon artifacts: delta derivation, rebuild
+accounting, the partition cache, and fractional warmth."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccurateRasterJoin,
+    BoundedRasterJoin,
+    GPUDevice,
+    EngineConfig,
+    Polygon,
+    PolygonSet,
+    QuerySession,
+    Sum,
+)
+from repro.cache import Warmth, fingerprint_details, polygon_fingerprint
+from repro.cache.prepared import PreparedPolygons
+
+
+def edited_regions(regions: PolygonSet, shrink: float = 0.25) -> PolygonSet:
+    """Move one vertex of the (frame-interior) third polygon inward."""
+    polys = list(regions)
+    ring = polys[2].exterior.copy()
+    center = ring.mean(axis=0)
+    ring[0] = ring[0] + (center - ring[0]) * shrink
+    polys[2] = Polygon(ring, holes=polys[2].holes)
+    out = PolygonSet(polys)
+    assert out.bbox.xmin == regions.bbox.xmin  # frame unchanged
+    return out
+
+
+def stretched_regions(regions: PolygonSet) -> PolygonSet:
+    """An edit that *changes the frame* (moves the extent corner)."""
+    polys = list(regions)
+    ring = polys[0].exterior.copy()
+    corner = np.argmin(ring[:, 0] + ring[:, 1])
+    ring[corner] = ring[corner] - 5.0
+    polys[0] = Polygon(ring)
+    return PolygonSet(polys)
+
+
+class TestDeltaDerivation:
+    def test_single_edit_rebuilds_one_polygon(self, uniform_points,
+                                              three_regions):
+        session = QuerySession(store=False)
+        engine = AccurateRasterJoin(
+            resolution=128, grid_resolution=64, session=session
+        )
+        engine.execute(uniform_points, three_regions, aggregate=Sum("fare"))
+        after = edited_regions(three_regions)
+        result = engine.execute(uniform_points, after, aggregate=Sum("fare"))
+        assert result.stats.extra["prepared"] == "delta"
+        assert result.stats.prepared_delta_hits == 1
+        assert result.stats.extra["polygons_rebuilt"] == 1
+        assert session.delta_hits == 1
+        assert session.polygons_rebuilt == 1
+        # Unchanged polygons' units are shared arrays, not copies.
+        base_key = (
+            polygon_fingerprint(three_regions),
+        ) + tuple(engine.prepared_spec())
+        new_key = (polygon_fingerprint(after),) + tuple(engine.prepared_spec())
+        base_units = session._entries[base_key].units
+        new_units = session._entries[new_key].units
+        assert new_units[0].triangles is base_units[0].triangles
+        assert new_units[2].triangles is not base_units[2].triangles
+
+    def test_only_dirty_triangulation_runs(self, uniform_points,
+                                           three_regions):
+        session = QuerySession(store=False)
+        engine = AccurateRasterJoin(
+            resolution=128, grid_resolution=64, session=session
+        )
+        cold = engine.execute(uniform_points, three_regions,
+                              aggregate=Sum("fare"))
+        after = edited_regions(three_regions)
+        inc = engine.execute(uniform_points, after, aggregate=Sum("fare"))
+        # Cold triangulated 3 polygons; the edit only the changed one —
+        # the timed preparation shrinks accordingly (structure, not
+        # wall-clock: the counters come from the lazy builders).
+        new_key = (polygon_fingerprint(after),) + tuple(engine.prepared_spec())
+        entry = session._entries[new_key]
+        assert entry.delta_dirty == [2]
+        assert entry.parent_map == [0, 1, -1]
+        assert inc.stats.triangulation_s <= cold.stats.triangulation_s
+
+    def test_frame_change_falls_back_to_cold(self, uniform_points,
+                                             three_regions):
+        session = QuerySession(store=False)
+        engine = BoundedRasterJoin(resolution=128, session=session)
+        engine.execute(uniform_points, three_regions, aggregate=Sum("fare"))
+        moved = stretched_regions(three_regions)
+        result = engine.execute(uniform_points, moved, aggregate=Sum("fare"))
+        # The extent changed, so every per-polygon artifact is invalid
+        # under the new canvas: no delta, a plain (correct) cold build.
+        assert result.stats.extra["prepared"] == "miss"
+        assert session.delta_hits == 0
+
+    def test_added_and_removed_polygons(self, uniform_points, three_regions):
+        session = QuerySession(store=False)
+        engine = BoundedRasterJoin(resolution=128, session=session)
+        engine.execute(uniform_points, three_regions, aggregate=Sum("fare"))
+        extra = Polygon([(45.0, 15.0), (60.0, 18.0), (52.0, 30.0)])
+        grown = PolygonSet(list(three_regions) + [extra])
+        res = engine.execute(uniform_points, grown, aggregate=Sum("fare"))
+        assert res.stats.extra["prepared"] == "delta"
+        assert res.stats.extra["polygons_rebuilt"] == 1
+        assert np.array_equal(
+            res.values,
+            BoundedRasterJoin(resolution=128).execute(
+                uniform_points, grown, aggregate=Sum("fare")
+            ).values,
+        )
+        shrunk = PolygonSet(list(three_regions)[:2] + [extra])
+        res2 = engine.execute(uniform_points, shrunk, aggregate=Sum("fare"))
+        assert res2.stats.extra["prepared"] == "delta"
+        assert res2.stats.extra["polygons_rebuilt"] == 0  # all reused
+        assert np.array_equal(
+            res2.values,
+            BoundedRasterJoin(resolution=128).execute(
+                uniform_points, shrunk, aggregate=Sum("fare")
+            ).values,
+        )
+
+    def test_unaffected_tiles_keep_composed_views(self, uniform_points,
+                                                  three_regions):
+        """On a multi-tile canvas, tiles the edited polygon never touches
+        carry their composed boundary/coverage over unchanged."""
+        session = QuerySession(store=False)
+        engine = AccurateRasterJoin(
+            resolution=128, grid_resolution=64, session=session,
+            device=GPUDevice(max_resolution=48),
+        )
+        engine.execute(uniform_points, three_regions, aggregate=Sum("fare"))
+        base_key = (
+            polygon_fingerprint(three_regions),
+        ) + tuple(engine.prepared_spec())
+        base = session._entries[base_key]
+        assert len(base.tiles) > 1
+        after = edited_regions(three_regions)
+        fingerprints = fingerprint_details(after)[1]
+        new_key = (polygon_fingerprint(after),) + tuple(engine.prepared_spec())
+        derived = PreparedPolygons.derive_from(
+            base, new_key, after, fingerprints
+        )
+        carried = set(derived.coverage)
+        assert carried  # some tiles are untouched by the edit
+        edited_box = after[2].bbox
+        for idx in carried:
+            assert not base.tiles[idx].bbox.intersects(edited_box)
+            assert derived.coverage[idx] is base.coverage[idx]
+
+    def test_delta_result_matches_cold_on_multitile(self, uniform_points,
+                                                    three_regions):
+        session = QuerySession(store=False)
+        engine = AccurateRasterJoin(
+            resolution=128, grid_resolution=64, session=session,
+            device=GPUDevice(max_resolution=48),
+        )
+        engine.execute(uniform_points, three_regions, aggregate=Sum("fare"))
+        after = edited_regions(three_regions)
+        inc = engine.execute(uniform_points, after, aggregate=Sum("fare"))
+        assert inc.stats.extra["prepared"] == "delta"
+        cold = AccurateRasterJoin(
+            resolution=128, grid_resolution=64,
+            device=GPUDevice(max_resolution=48),
+        ).execute(uniform_points, after, aggregate=Sum("fare"))
+        assert np.array_equal(inc.values, cold.values)
+
+
+class TestPartitionCache:
+    """Satellite: the tile-point partition is cached per (point source,
+    canvas spec) so repeated queries skip the partition scan."""
+
+    def _engine(self, session):
+        return BoundedRasterJoin(
+            resolution=128, session=session,
+            device=GPUDevice(max_resolution=48),
+            config=EngineConfig(partition_points=True),
+        )
+
+    def test_repeat_query_reports_cached(self, uniform_points, three_regions):
+        session = QuerySession(store=False)
+        engine = self._engine(session)
+        first = engine.execute(uniform_points, three_regions,
+                               aggregate=Sum("fare"))
+        assert first.stats.extra["partition"] == "on"
+        second = engine.execute(uniform_points, three_regions,
+                                aggregate=Sum("fare"))
+        assert second.stats.extra["partition"] == "cached"
+        assert session.partition_hits == 1
+        assert np.array_equal(first.values, second.values)
+
+    def test_cache_survives_polygon_edits(self, uniform_points,
+                                          three_regions):
+        """The partition depends on the canvas, not the polygons: the
+        edit loop keeps hitting it (frame-preserving edits only)."""
+        session = QuerySession(store=False)
+        engine = self._engine(session)
+        engine.execute(uniform_points, three_regions, aggregate=Sum("fare"))
+        after = edited_regions(three_regions)
+        edited_run = engine.execute(uniform_points, after,
+                                    aggregate=Sum("fare"))
+        assert edited_run.stats.extra["partition"] == "cached"
+        cold = BoundedRasterJoin(
+            resolution=128, device=GPUDevice(max_resolution=48),
+        ).execute(uniform_points, after, aggregate=Sum("fare"))
+        assert np.array_equal(edited_run.values, cold.values)
+
+    def test_different_points_do_not_hit(self, uniform_points,
+                                         three_regions, rng):
+        from repro import PointDataset
+
+        session = QuerySession(store=False)
+        engine = self._engine(session)
+        engine.execute(uniform_points, three_regions, aggregate=Sum("fare"))
+        other = PointDataset(
+            rng.uniform(0, 100, 500), rng.uniform(0, 100, 500),
+            {"fare": rng.uniform(1, 30, 500)},
+        )
+        res = engine.execute(other, three_regions, aggregate=Sum("fare"))
+        assert res.stats.extra["partition"] == "on"
+        assert session.partition_hits == 0
+
+    def test_in_place_mutation_is_caught(self, uniform_points,
+                                         three_regions):
+        session = QuerySession(store=False)
+        engine = self._engine(session)
+        first = engine.execute(uniform_points, three_regions,
+                               aggregate=Sum("fare"))
+        # Interior mutation: length and corner values are unchanged —
+        # only a full content fingerprint can catch this.
+        uniform_points.xs[len(uniform_points) // 2] += 500.0
+        res = engine.execute(uniform_points, three_regions,
+                             aggregate=Sum("fare"))
+        assert res.stats.extra["partition"] == "on"  # guard rejected it
+        cold = BoundedRasterJoin(
+            resolution=128, device=GPUDevice(max_resolution=48),
+        ).execute(uniform_points, three_regions, aggregate=Sum("fare"))
+        assert np.array_equal(res.values, cold.values)
+
+    def test_capacity_zero_disables(self, uniform_points, three_regions):
+        session = QuerySession(store=False, partition_capacity=0)
+        engine = self._engine(session)
+        engine.execute(uniform_points, three_regions, aggregate=Sum("fare"))
+        res = engine.execute(uniform_points, three_regions,
+                             aggregate=Sum("fare"))
+        assert res.stats.extra["partition"] == "on"
+        assert len(session._partitions) == 0
+
+
+class TestFractionalWarmth:
+    def test_exact_hit_has_fraction_one(self, uniform_points, three_regions):
+        session = QuerySession(store=False)
+        engine = AccurateRasterJoin(
+            resolution=128, grid_resolution=64, session=session
+        )
+        engine.execute(uniform_points, three_regions, aggregate=Sum("fare"))
+        warm = session.warmth(three_regions, engine.prepared_spec())
+        assert warm == "full"
+        assert isinstance(warm, Warmth)
+        assert warm.fraction == 1.0
+
+    def test_edited_set_grades_fractionally(self, uniform_points,
+                                            three_regions):
+        session = QuerySession(store=False)
+        engine = AccurateRasterJoin(
+            resolution=128, grid_resolution=64, session=session
+        )
+        engine.execute(uniform_points, three_regions, aggregate=Sum("fare"))
+        after = edited_regions(three_regions)
+        warm = session.warmth(after, engine.prepared_spec())
+        assert warm == "full"
+        assert warm.fraction == pytest.approx(2.0 / 3.0)
+
+    def test_duplicate_fingerprints_never_overcount(self, uniform_points):
+        """Multiset matching: three identical polygons in the sibling
+        must not grade a two-polygon query above fraction 1.0 (a
+        candidate-side count once produced fractions > 1, flipping cost
+        terms negative)."""
+        square = Polygon([(10.0, 10.0), (40.0, 10.0), (40.0, 40.0),
+                          (10.0, 40.0)])
+        triple = PolygonSet([square, square, square])
+        session = QuerySession(store=False)
+        engine = BoundedRasterJoin(resolution=128, session=session)
+        engine.execute(uniform_points, triple, aggregate=Sum("fare"))
+        other = Polygon([(10.0, 10.0), (40.0, 12.0), (20.0, 40.0)])
+        pair = PolygonSet([square, other])
+        warm = session.warmth(pair, engine.prepared_spec())
+        assert warm is not None
+        assert 0.0 < warm.fraction <= 1.0
+        assert warm.fraction == pytest.approx(0.5)
+        result = engine.execute(uniform_points, pair, aggregate=Sum("fare"))
+        assert result.stats.extra["prepared"] == "delta"
+        assert result.stats.extra["polygons_rebuilt"] == 1
+        assert np.array_equal(
+            result.values,
+            BoundedRasterJoin(resolution=128).execute(
+                uniform_points, pair, aggregate=Sum("fare")
+            ).values,
+        )
+
+    def test_cold_set_grades_none(self, uniform_points, three_regions):
+        session = QuerySession(store=False)
+        engine = AccurateRasterJoin(
+            resolution=128, grid_resolution=64, session=session
+        )
+        engine.execute(uniform_points, three_regions, aggregate=Sum("fare"))
+        moved = stretched_regions(three_regions)  # frame changed: no delta
+        assert session.warmth(moved, engine.prepared_spec()) is None
+
+    def test_optimizer_plans_edits_warm(self, uniform_points, three_regions):
+        """A 1-of-N edit must cost (nearly) like a warm query: the
+        optimizer's estimate discounts the matched share."""
+        from repro.core.optimizer import RasterJoinOptimizer
+
+        session = QuerySession(store=False)
+        optimizer = RasterJoinOptimizer(session=session)
+        engine = AccurateRasterJoin(resolution=1024, session=session)
+        engine.execute(uniform_points, three_regions, aggregate=Sum("fare"))
+        after = edited_regions(three_regions)
+        est_edit = optimizer.estimate(uniform_points, after, epsilon=0.05)
+        assert est_edit["accurate_warm"] == "full"
+        assert est_edit["accurate_warm"].fraction == pytest.approx(2 / 3)
+        est_warm = optimizer.estimate(uniform_points, three_regions,
+                                      epsilon=0.05)
+        est_cold = optimizer.estimate(
+            uniform_points,
+            PolygonSet([stretched_regions(three_regions)[0]]),
+            epsilon=0.05,
+        )
+        assert est_warm["accurate"] <= est_edit["accurate"]
+
+
+class TestPlannerEditLoop:
+    def test_reregistered_regions_hit_the_delta_path(self, uniform_points,
+                                                     three_regions):
+        """The SQL face of incremental edits: replacing a region table
+        re-plans statements onto delta-derived prepared state."""
+        from repro.sql.planner import QueryPlanner
+
+        planner = QueryPlanner()
+        planner.register_points("taxi", uniform_points)
+        planner.register_regions("zones", three_regions)
+        stmt = (
+            "SELECT SUM(taxi.fare) FROM taxi, zones "
+            "WHERE taxi.loc INSIDE zones.geometry GROUP BY zones.id"
+        )
+        planner.execute(stmt)
+        after = edited_regions(three_regions)
+        planner.register_regions("zones", after)
+        result = planner.execute(stmt)
+        assert result.stats.extra["prepared"] == "delta"
+        assert result.stats.extra["polygons_rebuilt"] == 1
+        reference = AccurateRasterJoin().execute(
+            uniform_points, after, aggregate=Sum("fare")
+        )
+        assert np.array_equal(result.values, reference.values)
+        planner.close()
