@@ -183,6 +183,7 @@ class PreparedPolygons:
         "source_bbox",
         "delta_parent",
         "delta_dirty",
+        "grid_splice",
         "parent_map",
         "version",
         "triangulation_s",
@@ -213,6 +214,10 @@ class PreparedPolygons:
         #: provenance of a delta-derived artifact (for store journaling)
         self.delta_parent: tuple | None = None
         self.delta_dirty: list[int] | None = None
+        #: transient CSR-splice source for a delta-derived artifact:
+        #: ``(base grid, {dirty pid: old cell list})``.  Consumed (and
+        #: cleared) by :meth:`ensure_grid`, never persisted or counted.
+        self.grid_splice: tuple | None = None
         #: new pid -> parent pid (or -1 for rebuilt polygons)
         self.parent_map: list[int] | None = None
         #: bumped on every mutation; part of the content signature so
@@ -297,6 +302,18 @@ class PreparedPolygons:
         stable = len(units) == len(base.units) and all(
             src == pid or src < 0 for pid, src in enumerate(parent_map)
         )
+        # CSR-splice source: with stable ids and a warm base grid, the
+        # derived grid can be spliced from the base's CSR arrays — the
+        # dirty pids' old cell lists are the entries to remove.  Falls
+        # back to the full compose whenever any old list is missing.
+        if (
+            stable and dirty and base.grid is not None
+            and all(base.units[pid].cells is not None for pid in dirty)
+        ):
+            entry.grid_splice = (
+                base.grid,
+                {pid: base.units[pid].cells for pid in dirty},
+            )
         if stable and base.tiles is not None:
             replaced = {src for src in parent_map if src >= 0}
             changed_boxes = [
@@ -373,13 +390,32 @@ class PreparedPolygons:
                         unit.cells = GridIndex.cells_for_polygon(
                             polygons[pid], extent, resolution, assignment
                         )
-                self.grid = GridIndex.from_cells(
-                    polygons,
-                    [unit.cells for unit in self.units],
-                    resolution=resolution,
-                    assignment=assignment,
-                    extent=extent,
-                )
+                base = self._splice_base(resolution, assignment, extent)
+                if base is not None:
+                    # Delta edit over a warm sibling grid: splice the
+                    # dirty polygons' cell slices in place of the full
+                    # two-pass compose — bit-identical CSR arrays (see
+                    # GridIndex.splice), O(touched slices) instead of
+                    # O(total entries).
+                    base_grid, old_cells = base
+                    self.grid = base_grid.splice(
+                        polygons,
+                        {
+                            pid: (old, self.units[pid].cells)
+                            for pid, old in old_cells.items()
+                        },
+                    )
+                    if stats is not None:
+                        stats.extra["grid_spliced"] = len(old_cells)
+                else:
+                    self.grid = GridIndex.from_cells(
+                        polygons,
+                        [unit.cells for unit in self.units],
+                        resolution=resolution,
+                        assignment=assignment,
+                        extent=extent,
+                    )
+                self.grid_splice = None
                 self.index_build_s = time.perf_counter() - start
                 self.grid.build_seconds = self.index_build_s
             else:
@@ -391,6 +427,25 @@ class PreparedPolygons:
                 stats.index_build_s += self.index_build_s
             self.version += 1
         return self.grid
+
+    def _splice_base(self, resolution: int, assignment: str, extent):
+        """The validated CSR-splice source for :meth:`ensure_grid`.
+
+        ``None`` unless the recorded base grid was built under exactly
+        the requested frame (resolution, assignment mode, extent) — the
+        spliced result must be bit-identical to a full compose, so any
+        mismatch falls back to composing from per-polygon cell lists.
+        """
+        if self.grid_splice is None:
+            return None
+        base_grid, old_cells = self.grid_splice
+        if (
+            base_grid.resolution != resolution
+            or base_grid.assignment != assignment
+            or base_grid.extent != extent
+        ):
+            return None
+        return base_grid, old_cells
 
     def ensure_mbr_arrays(self, polygons: PolygonSet) -> tuple[np.ndarray, ...]:
         """Columnar polygon MBRs for vectorized filter steps."""

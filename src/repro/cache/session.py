@@ -33,7 +33,11 @@ Invalidation rules (see ``docs/query_sessions.md`` and
 * an edited set whose frame (overall extent) matches a resident sibling
   is **delta-derived** instead of cold-built: unchanged polygons adopt
   the sibling's per-polygon units and only the changed/added polygons'
-  artifacts rebuild (``prepared_for`` returns ``"delta"``);
+  artifacts rebuild (``prepared_for`` returns ``"delta"``) — through
+  the batched raster builders (``docs/rasterization.md``) when those
+  are enabled, and with the sibling's CSR grid *spliced* in place of a
+  full recompose when polygon ids are stable
+  (:meth:`repro.index.grid.GridIndex.splice`);
 * the session holds at most ``capacity`` artifacts (and at most
   ``byte_budget`` bytes, when set), demoting the least recently used
   beyond that;

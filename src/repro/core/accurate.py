@@ -46,7 +46,7 @@ from repro.exec.backend import TilePartial
 from repro.exec.config import EngineConfig
 from repro.geometry.polygon import PolygonSet
 from repro.graphics.fbo import FrameBuffer
-from repro.graphics.raster_line import outline_pixels
+from repro.graphics.raster_line import outline_pixels, outline_pixels_many
 from repro.graphics.raster_triangle import triangle_coverage_mask
 from repro.graphics.viewport import Canvas, Viewport
 from repro.types import AggregationResult, ExecutionStats
@@ -108,6 +108,9 @@ class AccurateRasterJoin(SpatialAggregationEngine):
             prepared.tiles = list(prepared.canvas.tiles(self.max_resolution))
         prepared.ensure_triangles(polygons, stats)
         prepared.ensure_grid(polygons, self.grid_resolution, "mbr", stats)
+        # Columnar MBRs feed the batched builders' vectorized per-tile
+        # bin pass; built in the parent so tile tasks only read them.
+        prepared.ensure_mbr_arrays(polygons)
         stats.extra["canvas"] = (prepared.canvas.width, prepared.canvas.height)
         return prepared
 
@@ -211,10 +214,10 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                     # pixels into the tile mask — bit-identical to the
                     # direct whole-set render.
                     start = time.perf_counter()
-                    built_unit_boundary = {
-                        pid: self._polygon_outline(tile, polygons[pid])
-                        for pid in prepared.missing_boundary_pids(tile_idx)
-                    }
+                    built_unit_boundary = self._build_unit_boundaries(
+                        tile, prepared, polygons,
+                        prepared.missing_boundary_pids(tile_idx),
+                    )
                     boundary = prepared.compose_boundary(
                         tile_idx, tile, built_unit_boundary
                     )
@@ -274,6 +277,37 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         ix, iy = outline_pixels(tile, polygon.rings)
         return np.asarray(ix), np.asarray(iy)
 
+    def _build_unit_boundaries(
+        self,
+        tile: Viewport,
+        prepared: PreparedPolygons,
+        polygons: PolygonSet,
+        pids: Sequence[int],
+    ) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Per-polygon outline pixels for the requested pids.
+
+        Batched mode runs one vectorized edge pass over every requested
+        polygon that survives the tile bin gate
+        (:func:`~repro.graphics.raster_line.outline_pixels_many`); the
+        fallback loops :meth:`_polygon_outline` per pid.  Both return
+        identical pixel arrays for every requested pid — gated-out
+        polygons contribute empty arrays either way.
+        """
+        if not self._batch_raster:
+            return {
+                pid: self._polygon_outline(tile, polygons[pid])
+                for pid in pids
+            }
+        hit = self._tile_pid_mask(tile, prepared, polygons)
+        empty = np.zeros(0, dtype=np.int64)
+        built: dict[int, tuple[np.ndarray, np.ndarray]] = {
+            pid: (empty, empty) for pid in pids
+        }
+        built.update(outline_pixels_many(
+            tile, {pid: polygons[pid].rings for pid in pids if hit[pid]}
+        ))
+        return built
+
     def _render_boundary(
         self,
         tile: Viewport,
@@ -283,11 +317,23 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         """Conservative outline mask of every polygon on this tile."""
         start = time.perf_counter()
         boundary = np.zeros((tile.height, tile.width), dtype=bool)
-        for polygon in polygons:
-            if not polygon.bbox.intersects(tile.bbox):
-                continue
-            ix, iy = outline_pixels(tile, polygon.rings)
-            boundary[iy, ix] = True
+        if self._batch_raster:
+            # One vectorized pass over every intersecting polygon's
+            # edges; OR-ing the per-polygon pixel sets is order-free, so
+            # the mask matches the per-polygon loop bit for bit.
+            rings = {
+                pid: polygon.rings for pid, polygon in enumerate(polygons)
+                if polygon.bbox.intersects(tile.bbox)
+            }
+            for ix, iy in outline_pixels_many(tile, rings).values():
+                if len(ix):
+                    boundary[iy, ix] = True
+        else:
+            for polygon in polygons:
+                if not polygon.bbox.intersects(tile.bbox):
+                    continue
+                ix, iy = outline_pixels(tile, polygon.rings)
+                boundary[iy, ix] = True
         stats.processing_s += time.perf_counter() - start
         stats.extra["boundary_pixels"] = (
             stats.extra.get("boundary_pixels", 0) + int(boundary.sum())
@@ -395,34 +441,65 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         start = time.perf_counter()
         channels = {ch: fbo.channel(ch) for ch in aggregate.channels}
         if self.session is None:
-            # No cache to warm: reduce each piece's window directly.  The
-            # boolean gather visits pixels in the same row-major order as
-            # the replayed index arrays, so both paths are bit-identical.
-            for pid, x0, y0, keep in self._coverage_pieces(
-                tile, polygons, prepared.triangles, boundary
-            ):
-                for ch, channel in channels.items():
-                    window = channel[y0:y0 + keep.shape[0],
-                                     x0:x0 + keep.shape[1]]
-                    accumulators[ch][pid] = aggregate.combine(
-                        np.asarray(accumulators[ch][pid]),
-                        np.asarray(aggregate.reduce_pixels(window[keep])),
-                    )
-            stats.processing_s += time.perf_counter() - start
+            if self._batch_raster:
+                # One batched raster pass over the whole set; exclusion
+                # filters each piece's row-major pixels exactly like
+                # ``np.nonzero(mask & ~bwin)``, and the index gather
+                # reads the same values in the same order as the scalar
+                # reducer's ``window[keep]`` — bit-identical results.
+                for pid, pieces in self._coverage_batched(
+                    tile, prepared, polygons, prepared.triangles, boundary
+                ):
+                    for piece_iy, piece_ix in pieces:
+                        for ch, channel in channels.items():
+                            accumulators[ch][pid] = aggregate.combine(
+                                np.asarray(accumulators[ch][pid]),
+                                np.asarray(aggregate.reduce_pixels(
+                                    channel[piece_iy, piece_ix]
+                                )),
+                            )
+            else:
+                # No cache to warm: reduce each piece's window directly.
+                # The boolean gather visits pixels in the same row-major
+                # order as the replayed index arrays, so both paths are
+                # bit-identical.
+                for pid, x0, y0, keep in self._coverage_pieces(
+                    tile, polygons, prepared.triangles, boundary
+                ):
+                    for ch, channel in channels.items():
+                        window = channel[y0:y0 + keep.shape[0],
+                                         x0:x0 + keep.shape[1]]
+                        accumulators[ch][pid] = aggregate.combine(
+                            np.asarray(accumulators[ch][pid]),
+                            np.asarray(aggregate.reduce_pixels(window[keep])),
+                        )
+            elapsed = time.perf_counter() - start
+            stats.processing_s += elapsed
+            stats.polygon_pass_s += elapsed
             return None, None
         built = None
         built_units = None
         coverage = prepared.coverage.get(tile_idx)
         if coverage is None:
             if units_mode:
-                built_units = {
-                    pid: self._unit_coverage(
-                        tile, polygons[pid], prepared.triangles[pid]
+                if self._batch_raster:
+                    built_units = self._batched_unit_coverage(
+                        tile, prepared, polygons, prepared.triangles,
+                        prepared.missing_coverage_pids(tile_idx),
                     )
-                    for pid in prepared.missing_coverage_pids(tile_idx)
-                }
+                else:
+                    built_units = {
+                        pid: self._unit_coverage(
+                            tile, polygons[pid], prepared.triangles[pid]
+                        )
+                        for pid in prepared.missing_coverage_pids(tile_idx)
+                    }
                 coverage = built = prepared.compose_coverage(
                     tile_idx, boundary, built_units
+                )
+            elif self._batch_raster:
+                coverage = built = self._coverage_batched(
+                    tile, prepared, polygons, prepared.triangles, boundary
                 )
             else:
                 coverage = built = self._build_coverage(
@@ -437,7 +514,9 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                             aggregate.reduce_pixels(channel[piece_iy, piece_ix])
                         ),
                     )
-        stats.processing_s += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        stats.processing_s += elapsed
+        stats.polygon_pass_s += elapsed
         return built, built_units
 
     @staticmethod
@@ -463,6 +542,41 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                 ky, kx = np.nonzero(mask)
                 pieces.append((ky + y0, kx + x0))
         return pieces
+
+    def _coverage_batched(
+        self,
+        tile: Viewport,
+        prepared: PreparedPolygons,
+        polygons: PolygonSet,
+        triangles: Sequence[Sequence[np.ndarray]],
+        boundary: np.ndarray,
+    ) -> list:
+        """Boundary-excluded coverage via one batched raster pass.
+
+        The batched equivalent of :meth:`_build_coverage`: raw pieces
+        come out of the whole-set rasterizer grouped per polygon, then
+        the boundary exclusion filters each piece in its own row-major
+        order — reproducing the direct builder's
+        ``np.nonzero(mask & ~bwin)`` arrays exactly, in the same
+        (polygon, triangle) traversal order.
+        """
+        raw = self._batched_unit_coverage(
+            tile, prepared, polygons, triangles, range(len(polygons))
+        )
+        coverage: list = []
+        for pid in range(len(polygons)):
+            kept: list = []
+            for piece_iy, piece_ix in raw[pid]:
+                excluded = boundary[piece_iy, piece_ix]
+                if not excluded.any():
+                    kept.append((piece_iy, piece_ix))
+                else:
+                    keep = ~excluded
+                    if keep.any():
+                        kept.append((piece_iy[keep], piece_ix[keep]))
+            if kept:
+                coverage.append((pid, kept))
+        return coverage
 
     @staticmethod
     def _coverage_pieces(

@@ -132,6 +132,9 @@ class BoundedRasterJoin(SpatialAggregationEngine):
             prepared.canvas = self._make_canvas(polygons)
             prepared.tiles = list(prepared.canvas.tiles(self.max_resolution))
         prepared.ensure_triangles(polygons, stats)
+        # Columnar MBRs feed the batched builders' vectorized per-tile
+        # bin pass; built in the parent so tile tasks only read them.
+        prepared.ensure_mbr_arrays(polygons)
         stats.extra["canvas"] = (prepared.canvas.width, prepared.canvas.height)
         stats.extra["pixel_diagonal"] = prepared.canvas.pixel_diagonal
         return prepared
@@ -339,37 +342,75 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         """
         start = time.perf_counter()
         channels = {ch: fbo.channel(ch) for ch in aggregate.channels}
+        batched = self._batch_raster and not self.use_scanline
         if self.session is None:
-            # No cache to warm: gather each piece directly.  The boolean
-            # window gather visits pixels in the same row-major order as
-            # the replayed index arrays, so both paths are bit-identical.
-            for pid, piece in self._coverage_pieces(tile, polygons,
-                                                    prepared.triangles):
-                for ch, channel in channels.items():
-                    accumulators[ch][pid] = aggregate.combine(
-                        np.asarray(accumulators[ch][pid]),
-                        np.asarray(
-                            aggregate.reduce_pixels(
-                                self._gather_piece(channel, piece)
+            if batched:
+                # One batched raster pass; the fragments arrive grouped
+                # per polygon in triangulation order and the index
+                # gather reads the same values in the same row-major
+                # order as the scalar window gather — bit-identical.
+                raw = self._batched_unit_coverage(
+                    tile, prepared, polygons, prepared.triangles,
+                    range(len(polygons)),
+                )
+                for pid in range(len(polygons)):
+                    for piece_iy, piece_ix in raw[pid]:
+                        for ch, channel in channels.items():
+                            accumulators[ch][pid] = aggregate.combine(
+                                np.asarray(accumulators[ch][pid]),
+                                np.asarray(aggregate.reduce_pixels(
+                                    channel[piece_iy, piece_ix]
+                                )),
                             )
-                        ),
-                    )
-            stats.processing_s += time.perf_counter() - start
+            else:
+                # No cache to warm: gather each piece directly.  The
+                # boolean window gather visits pixels in the same
+                # row-major order as the replayed index arrays, so both
+                # paths are bit-identical.
+                for pid, piece in self._coverage_pieces(tile, polygons,
+                                                        prepared.triangles):
+                    for ch, channel in channels.items():
+                        accumulators[ch][pid] = aggregate.combine(
+                            np.asarray(accumulators[ch][pid]),
+                            np.asarray(
+                                aggregate.reduce_pixels(
+                                    self._gather_piece(channel, piece)
+                                )
+                            ),
+                        )
+            elapsed = time.perf_counter() - start
+            stats.processing_s += elapsed
+            stats.polygon_pass_s += elapsed
             return None, None
         built = None
         built_units = None
         coverage = prepared.coverage.get(tile_idx)
         if coverage is None:
             if units_mode:
-                built_units = {
-                    pid: self._unit_coverage(
-                        tile, polygons[pid], prepared.triangles[pid]
+                if batched:
+                    built_units = self._batched_unit_coverage(
+                        tile, prepared, polygons, prepared.triangles,
+                        prepared.missing_coverage_pids(tile_idx),
                     )
-                    for pid in prepared.missing_coverage_pids(tile_idx)
-                }
+                else:
+                    built_units = {
+                        pid: self._unit_coverage(
+                            tile, polygons[pid], prepared.triangles[pid]
+                        )
+                        for pid in prepared.missing_coverage_pids(tile_idx)
+                    }
                 coverage = built = prepared.compose_coverage(
                     tile_idx, None, built_units
                 )
+            elif batched:
+                raw = self._batched_unit_coverage(
+                    tile, prepared, polygons, prepared.triangles,
+                    range(len(polygons)),
+                )
+                coverage = built = [
+                    (pid, raw[pid])
+                    for pid in range(len(polygons)) if raw[pid]
+                ]
             else:
                 coverage = built = self._build_coverage(
                     tile, polygons, prepared.triangles
@@ -383,7 +424,9 @@ class BoundedRasterJoin(SpatialAggregationEngine):
                             aggregate.reduce_pixels(channel[piece_iy, piece_ix])
                         ),
                     )
-        stats.processing_s += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        stats.processing_s += elapsed
+        stats.polygon_pass_s += elapsed
         return built, built_units
 
     def _unit_coverage(

@@ -69,6 +69,10 @@ class SpatialAggregationEngine(ABC):
         # fails at construction (like the other env-driven flags), not
         # deep inside a query's tile fan-out.
         self._partition_points = self.config.partition_enabled()
+        # Whether raster builders run through the batched whole-set layer
+        # (repro.graphics.raster_batch) or the per-triangle loops; both
+        # produce bit-identical prepared state.
+        self._batch_raster = self.config.batch_raster_enabled()
         if session is None:
             # An explicit store location on the config opts the engine
             # into cross-session persistence even without a caller-owned
@@ -209,6 +213,58 @@ class SpatialAggregationEngine(ABC):
             if prepared.units is not None:
                 stats.extra["polygons_rebuilt"] = len(prepared.units)
         return prepared
+
+    @staticmethod
+    def _tile_pid_mask(
+        tile, prepared: PreparedPolygons, polygons: PolygonSet
+    ) -> np.ndarray:
+        """Vectorized bin pass: which polygons' boxes touch this tile.
+
+        One boolean per polygon over the prepared columnar MBRs —
+        the same inclusive ``bbox.intersects`` gate the per-polygon
+        loops apply, evaluated for the whole set at once.  Falls back
+        to building local columnar arrays when the artifact does not
+        carry them (never mutating shared prepared state inside a tile
+        task).
+        """
+        from repro.graphics.raster_batch import bin_polygons_to_tile
+
+        mbrs = prepared.mbr_arrays
+        if mbrs is None:
+            boxes = [p.bbox for p in polygons]
+            mbrs = (
+                np.asarray([b.xmin for b in boxes]),
+                np.asarray([b.xmax for b in boxes]),
+                np.asarray([b.ymin for b in boxes]),
+                np.asarray([b.ymax for b in boxes]),
+            )
+        return bin_polygons_to_tile(tile, mbrs)
+
+    def _batched_unit_coverage(
+        self,
+        tile,
+        prepared: PreparedPolygons,
+        polygons: PolygonSet,
+        triangles,
+        pids,
+    ) -> dict[int, list]:
+        """Raw per-polygon coverage pieces via one batched raster pass.
+
+        The batched replacement for looping ``_unit_coverage`` per pid:
+        requested polygons that pass the tile bin gate contribute their
+        triangles to one flat soup, and the fragments scatter back by
+        the triangle → polygon id map into per-pid piece lists that are
+        byte-identical to the per-triangle builders' output.  Gated-out
+        pids map to empty lists, exactly as the scalar gate produces.
+        """
+        from repro.graphics.raster_batch import coverage_pieces_by_polygon
+
+        hit = self._tile_pid_mask(tile, prepared, polygons)
+        out: dict[int, list] = {pid: [] for pid in pids}
+        out.update(coverage_pieces_by_polygon(
+            tile, {pid: triangles[pid] for pid in pids if hit[pid]}
+        ))
+        return out
 
     def _checkpoint_session(self) -> None:
         """Make the session durable after an execution.

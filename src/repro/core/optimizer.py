@@ -174,8 +174,15 @@ def _calibrate(device: GPUDevice | None, probe_points: int = 20_000) -> CostMode
 
     canvas_pixels = 512 * 512
     covered = canvas_pixels * 0.36  # 9 boxes of 20x20 over 100x100
-    per_point = max(res_b.stats.processing_s * 0.5 / probe_points, 1e-12)
-    per_pixel = max(res_b.stats.processing_s * 0.5 / covered, 1e-12)
+    # Split bounded processing into point render vs. polygon pass using
+    # the measured ``polygon_pass_s`` share; the 50/50 guess remains only
+    # as a fallback for degenerate timings (e.g. a mocked clock).
+    polygon_s = res_b.stats.polygon_pass_s
+    if not (0.0 < polygon_s < res_b.stats.processing_s):
+        polygon_s = res_b.stats.processing_s * 0.5
+    point_s = res_b.stats.processing_s - polygon_s
+    per_point = max(point_s / probe_points, 1e-12)
+    per_pixel = max(polygon_s / covered, 1e-12)
     boundary_pts = max(res_a.stats.boundary_points, 1)
     pip_tests = max(res_a.stats.pip_tests, 1)
     pip_time = max(res_a.stats.processing_s - res_b.stats.processing_s, 1e-9)

@@ -29,6 +29,13 @@ from repro.exec.backend import (
 #: single-tile canvases, so there is no correctness reason to opt out.
 PARTITION_ENV_VAR = "REPRO_PARTITION_POINTS"
 
+#: Environment hook for the batched rasterization layer; consulted when
+#: ``EngineConfig.batch_raster`` is ``None``.  Defaults to on — the
+#: batched builders are bit-identical to the per-triangle loops (see
+#: ``docs/rasterization.md``), so the flag exists only for the
+#: scalar-vs-batched ablation and the equivalence test suites.
+BATCH_RASTER_ENV_VAR = "REPRO_BATCH_RASTER"
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -54,8 +61,11 @@ class EngineConfig:
     ``$REPRO_PARTITION_POINTS``, defaulting to on); ``persistent_pool``
     controls whether the backend keeps a long-lived worker pool across
     queries (``None`` consults ``$REPRO_PERSISTENT_POOL``, defaulting
-    to on).  Results never depend on either — like the backend choice
-    they are purely performance decisions (see
+    to on); ``batch_raster`` selects the batched whole-set raster
+    builders over the per-triangle loops (``None`` consults
+    ``$REPRO_BATCH_RASTER``, defaulting to on — see
+    ``docs/rasterization.md``).  Results never depend on any of them —
+    like the backend choice they are purely performance decisions (see
     ``docs/parallel_execution.md``).
     """
 
@@ -65,6 +75,7 @@ class EngineConfig:
     store_budget: int | str | None = None
     partition_points: bool | None = None
     persistent_pool: bool | None = None
+    batch_raster: bool | None = None
 
     def make_backend(self) -> ExecutionBackend:
         """The backend instance this configuration describes."""
@@ -92,6 +103,19 @@ class EngineConfig:
         if self.partition_points is not None:
             return self.partition_points
         return flag_from_env(PARTITION_ENV_VAR, True)
+
+    def batch_raster_enabled(self) -> bool:
+        """Whether engines build raster state through the batched layer.
+
+        The batched builders (:mod:`repro.graphics.raster_batch`,
+        :func:`repro.graphics.raster_line.outline_pixels_many`) produce
+        bit-identical boundaries and coverage to the per-triangle loops,
+        so like every other knob here this is purely a performance
+        decision; off exists for ablation and equivalence testing.
+        """
+        if self.batch_raster is not None:
+            return self.batch_raster
+        return flag_from_env(BATCH_RASTER_ENV_VAR, True)
 
     def make_store(self):
         """The artifact store this configuration describes (or ``None``).

@@ -1,0 +1,369 @@
+"""Batched triangle rasterization over whole-set flat arrays.
+
+The paper's performance rests on the GPU consuming *all* triangles of all
+polygons as one stream.  This module is the software equivalent: instead
+of looping :func:`~repro.graphics.raster_triangle.triangle_coverage_mask`
+per triangle, the whole polygon set's triangles are concatenated into
+flat ``(N, 3)`` snapped-vertex arrays, edge functions are set up for all
+N triangles in a handful of vectorized passes, and coverage is evaluated
+over flat candidate-fragment arrays — CuRast-style binning by triangle
+id — with the results scattered back per triangle and per polygon.
+
+Bit-identity with the scalar path is the contract, not an aspiration:
+
+* vertices snap through the same :func:`snap_to_subpixels` (elementwise
+  ``np.rint``), so the sub-pixel lattice is identical;
+* clockwise triangles are normalized by swapping vertices 0 and 2 —
+  exactly the ``fx[::-1]`` reversal the scalar path performs — so every
+  directed edge, and therefore every fill-rule bias, matches;
+* edge functions are the same int64 expressions with the same
+  ``E + bias >= 0`` tie-break;
+* candidate fragments are enumerated row-major within each triangle's
+  clipped bounding box, which is precisely the order
+  ``np.nonzero(mask)`` reports, so per-triangle fragment arrays are
+  byte-for-byte the scalar ``covered_pixels`` output.
+
+A triangle → polygon id map rides along with the flat arrays, so
+per-polygon :class:`~repro.cache.prepared.PolygonUnit` slices (outline
+pixels, raw coverage pieces) come out of one batched pass grouped
+exactly as the per-polygon builders would produce them — an incremental
+edit still rebuilds exactly one polygon's slice.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.graphics.raster_triangle import (
+    _HALF,
+    SUBPIXEL_SCALE,
+    snap_to_subpixels,
+)
+from repro.graphics.viewport import Viewport
+
+#: Upper bound on candidate fragments materialized per vectorized pass.
+#: Chunks split on triangle boundaries, so the grouping of fragments by
+#: triangle id — and therefore bit-identity — never depends on it.
+DEFAULT_FRAGMENT_BUDGET = 1 << 21
+
+
+class TriangleSoup:
+    """Concatenated triangle geometry for a set of polygons.
+
+    ``verts`` is the flat ``(N, 3, 2)`` world-coordinate array of every
+    triangle of every requested polygon, in ascending polygon id order
+    with each polygon's triangulation order preserved; ``tri_pid[t]`` is
+    the owning polygon id of triangle ``t`` — the scatter key that maps
+    batch results back onto per-polygon units.
+    """
+
+    __slots__ = ("verts", "tri_pid", "pids")
+
+    def __init__(self, verts: np.ndarray, tri_pid: np.ndarray,
+                 pids: list[int]) -> None:
+        self.verts = verts
+        self.tri_pid = tri_pid
+        self.pids = pids
+
+    @property
+    def num_triangles(self) -> int:
+        return len(self.verts)
+
+
+def flatten_triangles(
+    triangles_by_pid: Mapping[int, Sequence[np.ndarray]],
+) -> TriangleSoup:
+    """Concatenate per-polygon triangle lists into one flat soup."""
+    pids = sorted(triangles_by_pid)
+    tris: list[np.ndarray] = []
+    owner: list[np.ndarray] = []
+    for pid in pids:
+        polygon_tris = triangles_by_pid[pid]
+        if len(polygon_tris):
+            tris.extend(polygon_tris)
+            owner.append(np.full(len(polygon_tris), pid, dtype=np.int64))
+    if not tris:
+        return TriangleSoup(
+            np.zeros((0, 3, 2), dtype=np.float64),
+            np.zeros(0, dtype=np.int64),
+            pids,
+        )
+    verts = np.stack([np.asarray(t, dtype=np.float64) for t in tris])
+    return TriangleSoup(verts, np.concatenate(owner), pids)
+
+
+class BatchSetup:
+    """Vectorized per-triangle rasterization setup (the "vertex stage").
+
+    All arrays are length N (or ``(N, 3)`` per-edge).  ``fx``/``fy`` are
+    the snapped sub-pixel vertex coordinates *after* CCW normalization;
+    ``x0``/``y0``/``w``/``h`` the clipped pixel bounding boxes (``w``
+    and ``h`` are zero for degenerate or fully clipped triangles); and
+    ``dx``/``dy``/``bias`` the three directed edges' deltas and
+    fill-rule biases, matching the scalar
+    :func:`~repro.graphics.raster_triangle._fill_rule_bias` exactly.
+    """
+
+    __slots__ = ("fx", "fy", "x0", "y0", "w", "h", "dx", "dy", "bias")
+
+    def __init__(self, fx, fy, x0, y0, w, h, dx, dy, bias) -> None:
+        self.fx = fx
+        self.fy = fy
+        self.x0 = x0
+        self.y0 = y0
+        self.w = w
+        self.h = h
+        self.dx = dx
+        self.dy = dy
+        self.bias = bias
+
+
+def setup_triangles(viewport: Viewport, verts: np.ndarray) -> BatchSetup:
+    """Snap, orient, clip, and edge-set-up N triangles in one pass."""
+    verts = np.asarray(verts, dtype=np.float64).reshape(-1, 3, 2)
+    sx, sy = viewport.to_screen(verts[:, :, 0], verts[:, :, 1])
+    fx, fy = snap_to_subpixels(sx, sy)
+
+    area2 = (
+        (fx[:, 1] - fx[:, 0]) * (fy[:, 2] - fy[:, 0])
+        - (fy[:, 1] - fy[:, 0]) * (fx[:, 2] - fx[:, 0])
+    )
+    cw = area2 < 0
+    if cw.any():
+        # The scalar path reverses the vertex array; swapping vertices 0
+        # and 2 is the same permutation, so the directed edges (and their
+        # fill-rule biases) come out identical.
+        fx[cw] = fx[cw][:, ::-1]
+        fy[cw] = fy[cw][:, ::-1]
+
+    x0 = np.maximum(0, (fx.min(axis=1) - _HALF) // SUBPIXEL_SCALE)
+    y0 = np.maximum(0, (fy.min(axis=1) - _HALF) // SUBPIXEL_SCALE)
+    x1 = np.minimum(viewport.width - 1, fx.max(axis=1) // SUBPIXEL_SCALE)
+    y1 = np.minimum(viewport.height - 1, fy.max(axis=1) // SUBPIXEL_SCALE)
+    live = (area2 != 0) & (x1 >= x0) & (y1 >= y0)
+    w = np.where(live, x1 - x0 + 1, 0)
+    h = np.where(live, y1 - y0 + 1, 0)
+
+    dx = np.roll(fx, -1, axis=1) - fx
+    dy = np.roll(fy, -1, axis=1) - fy
+    bias = np.where((dy < 0) | ((dy == 0) & (dx > 0)),
+                    np.int64(0), np.int64(-1))
+    return BatchSetup(fx, fy, x0, y0, w, h, dx, dy, bias)
+
+
+class BatchFragments:
+    """Flat covered-fragment arrays for N triangles.
+
+    ``tri``/``ix``/``iy`` list every covered pixel, grouped by triangle
+    in input order and row-major within each triangle — the order
+    ``covered_pixels`` emits.  ``counts[t]`` is triangle ``t``'s
+    fragment count, so ``np.split`` recovers per-triangle views without
+    copying.
+    """
+
+    __slots__ = ("tri", "ix", "iy", "counts")
+
+    def __init__(self, tri, ix, iy, counts) -> None:
+        self.tri = tri
+        self.ix = ix
+        self.iy = iy
+        self.counts = counts
+
+
+def rasterize_triangles(
+    viewport: Viewport,
+    verts: np.ndarray,
+    budget: int = DEFAULT_FRAGMENT_BUDGET,
+) -> BatchFragments:
+    """Rasterize N triangles with one vectorized scanline pass.
+
+    Each biased edge function ``E(px, py) + bias`` is linear in ``px``,
+    so on a fixed pixel row the half-plane test ``E + bias >= 0``
+    constrains the covered columns to a half-line (or to everything /
+    nothing when the edge is vertical in ``x``), and the row's covered
+    set is the *intersection interval* ``[lo, hi]`` of the three.  The
+    interval endpoints come from exact int64 floor/ceil division of the
+    same edge-function values the dense per-pixel test evaluates, so the
+    emitted fragments are bit-identical to ``covered_pixels`` —
+    triangle-major, row-major within a triangle, ascending column within
+    a row — while the work drops from O(sum of bbox areas) to
+    O(rows + covered pixels).
+
+    ``budget`` caps the fragments emitted per gather block (blocks split
+    on row boundaries); it bounds peak memory and cannot change the
+    output.
+    """
+    setup = setup_triangles(viewport, verts)
+    n = len(setup.x0)
+    empty = np.zeros(0, dtype=np.int64)
+    if n == 0:
+        return BatchFragments(empty, empty, empty, np.zeros(0, dtype=np.int64))
+
+    # One entry per pixel row of every live triangle's clipped bbox.
+    heights = setup.h
+    num_rows = int(heights.sum())
+    if num_rows == 0:
+        return BatchFragments(empty, empty, empty, np.zeros(n, dtype=np.int64))
+    row_tri = np.repeat(np.arange(n, dtype=np.int64), heights)
+    row_offsets = np.concatenate([[0], np.cumsum(heights)[:-1]])
+    row_ly = (
+        np.arange(num_rows, dtype=np.int64) - np.repeat(row_offsets, heights)
+    )
+
+    # E + bias at the bbox-origin pixel center, and its per-pixel steps.
+    ccx0 = setup.x0 * SUBPIXEL_SCALE + _HALF
+    ccy0 = setup.y0 * SUBPIXEL_SCALE + _HALF
+    lo = np.zeros(num_rows, dtype=np.int64)
+    hi = np.repeat(setup.w, heights) - 1
+    for e in range(3):
+        e0b = (
+            setup.dx[:, e] * (ccy0 - setup.fy[:, e])
+            - setup.dy[:, e] * (ccx0 - setup.fx[:, e])
+            + setup.bias[:, e]
+        )
+        # Value of E + bias at column 0 of each row; stepping one pixel
+        # right subtracts dy * SUBPIXEL_SCALE.
+        a = e0b[row_tri] + (setup.dx[:, e] * SUBPIXEL_SCALE)[row_tri] * row_ly
+        b = (setup.dy[:, e] * SUBPIXEL_SCALE)[row_tri]
+        pos = b > 0
+        neg = b < 0
+        # b > 0: a - b*lx >= 0  <=>  lx <= floor(a / b).
+        hi = np.where(pos, np.minimum(hi, a // np.where(pos, b, 1)), hi)
+        # b < 0: lx >= ceil(a / b) = -floor(a / -b).
+        lo = np.where(neg, np.maximum(lo, -(a // np.where(neg, -b, 1))), lo)
+        # b == 0: the whole row passes or fails on the sign of a.
+        hi = np.where(~pos & ~neg & (a < 0), np.int64(-1), hi)
+    seg = np.maximum(hi - lo + 1, 0)
+    counts = np.bincount(
+        row_tri, weights=seg, minlength=n
+    ).astype(np.int64)
+
+    keep = seg > 0
+    if not keep.any():
+        return BatchFragments(empty, empty, empty, counts)
+    seg_k = seg[keep]
+    py_k = np.repeat(setup.y0, heights)[keep] + row_ly[keep]
+    px_start_k = setup.x0[row_tri[keep]] + lo[keep]
+    tri_k = row_tri[keep]
+
+    # Emit fragments in budget-bounded blocks of whole rows.
+    cum = np.concatenate([[0], np.cumsum(seg_k)])
+    out_tri: list[np.ndarray] = []
+    out_ix: list[np.ndarray] = []
+    out_iy: list[np.ndarray] = []
+    start = 0
+    num_kept = len(seg_k)
+    while start < num_kept:
+        end = int(np.searchsorted(cum, cum[start] + budget, side="right")) - 1
+        end = min(max(end, start + 1), num_kept)
+        block = np.arange(int(cum[end] - cum[start]), dtype=np.int64)
+        offs = np.repeat(cum[start:end] - cum[start], seg_k[start:end])
+        out_tri.append(np.repeat(tri_k[start:end], seg_k[start:end]))
+        out_ix.append(
+            block - offs + np.repeat(px_start_k[start:end], seg_k[start:end])
+        )
+        out_iy.append(np.repeat(py_k[start:end], seg_k[start:end]))
+        start = end
+    tri = np.concatenate(out_tri)
+    ix = np.concatenate(out_ix)
+    iy = np.concatenate(out_iy)
+    return BatchFragments(tri, ix, iy, counts)
+
+
+def coverage_pieces_by_polygon(
+    viewport: Viewport,
+    triangles_by_pid: Mapping[int, Sequence[np.ndarray]],
+    budget: int = DEFAULT_FRAGMENT_BUDGET,
+) -> dict[int, list[tuple[np.ndarray, np.ndarray]]]:
+    """Raw per-polygon coverage pieces from one batched pass.
+
+    Returns ``pid -> [(iy, ix), ...]`` with one piece per non-empty
+    triangle, in triangulation order — byte-identical to looping
+    ``triangle_coverage_mask`` + ``np.nonzero`` per triangle (the
+    ``_unit_coverage`` builders).  Every requested pid gets an entry;
+    polygons covering no pixels map to an empty list.  Callers apply
+    their own viewport gates (e.g. the polygon-bbox/tile intersection
+    test) by choosing which pids to request.
+    """
+    soup = flatten_triangles(triangles_by_pid)
+    out: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {
+        pid: [] for pid in soup.pids
+    }
+    if soup.num_triangles == 0:
+        return out
+    frags = rasterize_triangles(viewport, soup.verts, budget)
+    # Plain slicing instead of np.split: same views, far less per-piece
+    # wrapper overhead when the soup holds tens of thousands of
+    # triangles.
+    bounds = np.concatenate([[0], np.cumsum(frags.counts)])
+    iy = frags.iy
+    ix = frags.ix
+    tri_pid = soup.tri_pid
+    for t in range(soup.num_triangles):
+        lo = bounds[t]
+        hi = bounds[t + 1]
+        if hi > lo:
+            out[int(tri_pid[t])].append((iy[lo:hi], ix[lo:hi]))
+    return out
+
+
+def accumulate_triangle_sums_batch(
+    viewport: Viewport,
+    channel: np.ndarray,
+    tris: Sequence[np.ndarray],
+    budget: int = DEFAULT_FRAGMENT_BUDGET,
+) -> np.ndarray:
+    """Batched counterpart of :func:`accumulate_triangle_sums`.
+
+    Coverage comes from the batched rasterizer, but each triangle's
+    reduction deliberately rebuilds the scalar path's ``(window, mask)``
+    pair and reduces with ``np.sum(window, where=mask, dtype=float64)``.
+    Summing gathered fragment values instead would walk the same pixels
+    in the same order yet is *not* guaranteed bit-equal: NumPy's
+    pairwise summation splits its tree by array layout, and a strided
+    2-D ``where=`` reduction and a contiguous 1-D gather may associate
+    partial sums differently.  Rebuilding the exact scalar reduction
+    keeps the result bit-for-bit identical.
+    """
+    if not len(tris):
+        return np.zeros(0, dtype=np.float64)
+    verts = np.stack([np.asarray(t, dtype=np.float64) for t in tris])
+    setup = setup_triangles(viewport, verts)
+    frags = rasterize_triangles(viewport, verts, budget)
+    splits = np.cumsum(frags.counts)[:-1]
+    per_tri_iy = np.split(frags.iy, splits)
+    per_tri_ix = np.split(frags.ix, splits)
+    out = np.zeros(len(tris), dtype=np.float64)
+    for t in range(len(tris)):
+        if not frags.counts[t]:
+            continue
+        x0 = int(setup.x0[t])
+        y0 = int(setup.y0[t])
+        w = int(setup.w[t])
+        h = int(setup.h[t])
+        mask = np.zeros((h, w), dtype=bool)
+        mask[per_tri_iy[t] - y0, per_tri_ix[t] - x0] = True
+        window = channel[y0:y0 + h, x0:x0 + w]
+        out[t] = float(np.sum(window, where=mask, dtype=np.float64))
+    return out
+
+
+def bin_polygons_to_tile(
+    tile: Viewport, mbr_arrays: tuple[np.ndarray, ...]
+) -> np.ndarray:
+    """Vectorized polygon → tile bin pass over columnar MBRs.
+
+    One boolean per polygon: does its bounding box intersect the tile's
+    world window?  This replicates the scalar builders' per-polygon
+    ``polygon.bbox.intersects(tile.bbox)`` gate (inclusive edges) in a
+    single vectorized comparison, so batched builds select exactly the
+    polygons the per-polygon loops would have rasterized.
+    """
+    xmin, xmax, ymin, ymax = mbr_arrays
+    box = tile.bbox
+    return (
+        (xmax >= box.xmin) & (xmin <= box.xmax)
+        & (ymax >= box.ymin) & (ymin <= box.ymax)
+    )

@@ -10,7 +10,7 @@ corner-touch cases, using an Amanatides–Woo style DDA.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -83,6 +83,132 @@ def supercover_line(
     return flat // height, flat % height
 
 
+def _ragged_crossings(
+    a: np.ndarray, d: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-edge lattice-crossing parameters along one axis, flattened.
+
+    For every edge with start ``a``, delta ``d`` (end ``b = a + d``),
+    returns ``(edge_id, t)`` for each integer lattice line ``k`` in
+    ``[ceil(min(a, b)), floor(max(a, b))]`` with ``t = (k - a) / d``
+    clamped to the segment — exactly the values the scalar
+    :func:`supercover_line` loop produces, computed for all edges at
+    once via a ragged ``arange``.
+    """
+    moving = d != 0.0
+    lo = np.ceil(np.minimum(a, b))
+    hi = np.floor(np.maximum(a, b))
+    counts = np.where(moving, np.maximum(hi - lo + 1, 0), 0).astype(np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+    eid = np.repeat(np.arange(len(a), dtype=np.int64), counts)
+    offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    k = lo[eid] + (np.arange(total, dtype=np.int64) - np.repeat(offsets, counts))
+    t = (k - a[eid]) / d[eid]
+    keep = (t >= 0.0) & (t <= 1.0)
+    return eid[keep], t[keep]
+
+
+def _edges_touched_pixels(
+    ax: np.ndarray, ay: np.ndarray, bx: np.ndarray, by: np.ndarray,
+    owner: np.ndarray, width: int, height: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Supercover pixels of many segments in one vectorized pass.
+
+    ``owner[e]`` tags edge ``e`` (e.g. with its polygon id); returns
+    ``(owner_of_pixel, flat_code)`` candidate arrays — in-bounds but not
+    deduplicated — where ``flat_code = ix * height + iy``, the same
+    flattening the scalar path uniques over.  All arithmetic (crossing
+    parameters, the ±eps corner probes, interval midpoints) is the exact
+    IEEE float64 expression sequence of :func:`supercover_line`, applied
+    elementwise, so the candidate *set* per edge is identical.
+    """
+    dx = bx - ax
+    dy = by - ay
+    eps = 1e-9 * np.maximum.reduce(
+        [np.ones_like(ax), np.abs(ax), np.abs(ay), np.abs(bx), np.abs(by)]
+    )
+
+    xe, xt = _ragged_crossings(ax, dx, bx)
+    ye, yt = _ragged_crossings(ay, dy, by)
+    ends = np.arange(len(ax), dtype=np.int64)
+    eid = np.concatenate([ends, ends, xe, ye])
+    ts = np.concatenate([
+        np.zeros(len(ax)), np.ones(len(ax)), xt, yt,
+    ])
+
+    # Crossing-point probes: the four pixels incident to each crossing.
+    x = ax[eid] + ts * dx[eid]
+    y = ay[eid] + ts * dy[eid]
+    e = eps[eid]
+    fx0 = np.floor(x - e)
+    fx1 = np.floor(x + e)
+    fy0 = np.floor(y - e)
+    fy1 = np.floor(y + e)
+    # Most probe points straddle at most one lattice line, so of the
+    # four corner combinations usually only one or two are distinct;
+    # dropping the duplicates up front (it changes nothing after the
+    # final unique) halves the dedup sort's input.
+    dx_differs = fx1 != fx0
+    dy_differs = fy1 != fy0
+    both = dx_differs & dy_differs
+    cand_e = np.concatenate(
+        [eid, eid[dy_differs], eid[dx_differs], eid[both]]
+    )
+    cand_x = np.concatenate(
+        [fx0, fx0[dy_differs], fx1[dx_differs], fx1[both]]
+    )
+    cand_y = np.concatenate(
+        [fy0, fy1[dy_differs], fy0[dx_differs], fy1[both]]
+    )
+
+    # Interval midpoints: sort parameters per edge; every consecutive
+    # pair with positive spacing contributes its midpoint pixel.  The
+    # sorted parameter multiset matches the scalar per-edge sort, and
+    # zero-length intervals are skipped either way.
+    order = np.lexsort((ts, eid))
+    ts_s = ts[order]
+    eid_s = eid[order]
+    pair = (eid_s[:-1] == eid_s[1:]) & (ts_s[1:] - ts_s[:-1] > 0.0)
+    if pair.any():
+        me = eid_s[:-1][pair]
+        tm = 0.5 * (ts_s[:-1][pair] + ts_s[1:][pair])
+        cand_e = np.concatenate([cand_e, me])
+        cand_x = np.concatenate([cand_x, np.floor(ax[me] + tm * dx[me])])
+        cand_y = np.concatenate([cand_y, np.floor(ay[me] + tm * dy[me])])
+
+    inside = (
+        (cand_x >= 0) & (cand_x < width) & (cand_y >= 0) & (cand_y < height)
+    )
+    ix = cand_x[inside].astype(np.int64)
+    iy = cand_y[inside].astype(np.int64)
+    return owner[cand_e[inside]], ix * height + iy
+
+
+def _ring_edges(
+    viewport: Viewport, rings: Iterable[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """All ring edges as flat (ax, ay, bx, by) screen-coordinate arrays."""
+    axs: list[np.ndarray] = []
+    ays: list[np.ndarray] = []
+    bxs: list[np.ndarray] = []
+    bys: list[np.ndarray] = []
+    for ring in rings:
+        sx, sy = viewport.to_screen(ring[:, 0], ring[:, 1])
+        axs.append(sx)
+        ays.append(sy)
+        bxs.append(np.roll(sx, -1))
+        bys.append(np.roll(sy, -1))
+    if not axs:
+        empty = np.zeros(0, dtype=np.float64)
+        return empty, empty, empty, empty
+    return (
+        np.concatenate(axs), np.concatenate(ays),
+        np.concatenate(bxs), np.concatenate(bys),
+    )
+
+
 def outline_pixels(
     viewport: Viewport,
     rings: Iterable[np.ndarray],
@@ -90,25 +216,91 @@ def outline_pixels(
     """Conservative outline of a polygon: pixels touched by any ring edge.
 
     Returns deduplicated local (ix, iy) arrays.  This renders the paper's
-    boundary FBO content for one polygon.
+    boundary FBO content for one polygon.  All edges are traversed in one
+    vectorized pass (the flat-array convention of
+    :mod:`repro.graphics.raster_batch`); the result is the same pixel set
+    a per-edge :func:`supercover_line` loop produces, in the same sorted
+    order (tested property).
     """
-    all_cols: list[np.ndarray] = []
-    all_rows: list[np.ndarray] = []
-    for ring in rings:
-        sx, sy = viewport.to_screen(ring[:, 0], ring[:, 1])
-        n = len(ring)
-        for i in range(n):
-            j = (i + 1) % n
-            cols, rows = supercover_line(
-                float(sx[i]), float(sy[i]), float(sx[j]), float(sy[j]),
-                viewport.width, viewport.height,
-            )
-            if len(cols):
-                all_cols.append(cols)
-                all_rows.append(rows)
-    if not all_cols:
+    ax, ay, bx, by = _ring_edges(viewport, rings)
+    if not len(ax):
         return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
-    cols = np.concatenate(all_cols)
-    rows = np.concatenate(all_rows)
-    flat = np.unique(cols * viewport.height + rows)
+    _, codes = _edges_touched_pixels(
+        ax, ay, bx, by, np.zeros(len(ax), dtype=np.int64),
+        viewport.width, viewport.height,
+    )
+    if not len(codes):
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    flat = _sorted_unique(codes)
     return flat // viewport.height, flat % viewport.height
+
+
+def _sorted_unique(keys: np.ndarray) -> np.ndarray:
+    """Sorted distinct values via an explicit sort + neighbor mask.
+
+    Identical result to ``np.unique`` on 1-D integer input, but avoids
+    its hash-based dedup path, which is far slower than one sort on the
+    clustered (pid, pixel) key distributions the outline pass produces.
+    """
+    s = np.sort(keys)
+    keep = np.empty(len(s), dtype=bool)
+    keep[0] = True
+    np.not_equal(s[1:], s[:-1], out=keep[1:])
+    return s[keep]
+
+
+def outline_pixels_many(
+    viewport: Viewport,
+    rings_by_pid: Mapping[int, Sequence[np.ndarray]],
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """Outline pixels for many polygons from one vectorized edge pass.
+
+    Returns ``pid -> (ix, iy)`` with an entry for every requested pid
+    (empty arrays when the polygon touches no pixel), each identical to
+    what :func:`outline_pixels` returns for that polygon alone: edges
+    carry their owning polygon id through the flat candidate arrays and
+    one sorted dedup over (pid, flat pixel) codes splits per polygon.
+    """
+    pids = sorted(rings_by_pid)
+    empty = np.zeros(0, dtype=np.int64)
+    out = {pid: (empty, empty) for pid in pids}
+    if not pids:
+        return out
+    # Assemble every ring of every polygon into one flat vertex array,
+    # project it with a single to_screen call, and close the rings with
+    # a next-vertex permutation instead of per-ring rolls.
+    ring_arrays: list[np.ndarray] = []
+    ring_owner: list[int] = []
+    for pid in pids:
+        for ring in rings_by_pid[pid]:
+            if len(ring):
+                ring_arrays.append(np.asarray(ring, dtype=np.float64))
+                ring_owner.append(pid)
+    if not ring_arrays:
+        return out
+    lengths = np.asarray([len(r) for r in ring_arrays], dtype=np.int64)
+    flat = np.concatenate(ring_arrays)
+    sx, sy = viewport.to_screen(flat[:, 0], flat[:, 1])
+    starts = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+    nxt = np.arange(len(flat), dtype=np.int64) + 1
+    nxt[starts + lengths - 1] = starts
+    owner = np.repeat(
+        np.asarray(ring_owner, dtype=np.int64), lengths
+    )
+    owner_of, codes = _edges_touched_pixels(
+        sx, sy, sx[nxt], sy[nxt],
+        owner, viewport.width, viewport.height,
+    )
+    if not len(codes):
+        return out
+    span = viewport.width * viewport.height
+    keyed = _sorted_unique(owner_of * span + codes)
+    key_pid = keyed // span
+    flat = keyed - key_pid * span
+    starts = np.searchsorted(key_pid, np.asarray(pids, dtype=np.int64))
+    stops = np.searchsorted(key_pid, np.asarray(pids, dtype=np.int64), "right")
+    for pid, lo, hi in zip(pids, starts, stops):
+        if hi > lo:
+            part = flat[lo:hi]
+            out[pid] = (part // viewport.height, part % viewport.height)
+    return out

@@ -38,6 +38,11 @@ class ExecutionStats:
     engine: str = ""
     transfer_s: float = 0.0
     processing_s: float = 0.0
+    #: The polygon-pass share of ``processing_s`` (coverage build +
+    #: channel reduction); the cost model's calibration uses the measured
+    #: split between point rendering and the polygon pass instead of
+    #: guessing one.
+    polygon_pass_s: float = 0.0
     #: Parent-side point partitioning (one global projection + bucketing
     #: per chunk on multi-tile canvases); part of query processing time.
     partition_s: float = 0.0
@@ -81,6 +86,7 @@ class ExecutionStats:
         """Accumulate another execution's counters into this one."""
         self.transfer_s += other.transfer_s
         self.processing_s += other.processing_s
+        self.polygon_pass_s += other.polygon_pass_s
         self.partition_s += other.partition_s
         self.triangulation_s += other.triangulation_s
         self.index_build_s += other.index_build_s

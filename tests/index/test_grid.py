@@ -105,3 +105,129 @@ class TestOccupancy:
         low = GridIndex(small_set, resolution=8)
         high = GridIndex(small_set, resolution=64)
         assert high.num_entries > low.num_entries
+
+
+class TestSplice:
+    """In-place CSR splicing must be bit-identical to a full re-compose."""
+
+    @staticmethod
+    def _edit(rng, polys, dirty):
+        out = list(polys)
+        for pid in dirty:
+            ring = out[pid].exterior.copy()
+            c = ring.mean(axis=0)
+            ring = c + (ring - c) * rng.uniform(0.3, 1.4) + rng.uniform(-3, 3, 2)
+            out[pid] = Polygon(ring)
+        return out
+
+    @staticmethod
+    def _changes(base, old_polys, new_polys, dirty):
+        return {
+            pid: (
+                GridIndex.cells_for_polygon(
+                    old_polys[pid], base.extent, base.resolution,
+                    base.assignment,
+                ),
+                GridIndex.cells_for_polygon(
+                    new_polys[pid], base.extent, base.resolution,
+                    base.assignment,
+                ),
+            )
+            for pid in dirty
+        }
+
+    @pytest.mark.parametrize("assignment", ["mbr", "exact"])
+    @pytest.mark.parametrize("resolution", [16, 257, 1024])
+    def test_bit_identical_to_from_cells(self, assignment, resolution):
+        rng = np.random.default_rng(resolution)
+        polys = [
+            random_star_polygon(
+                rng,
+                center=(rng.uniform(15, 85), rng.uniform(15, 85)),
+                radius_range=(2, 18),
+                vertices=int(rng.integers(3, 9)),
+            )
+            for _ in range(40)
+        ]
+        base = GridIndex(polys, resolution=resolution, assignment=assignment)
+        dirty = sorted(rng.choice(40, size=6, replace=False).tolist())
+        new_polys = self._edit(rng, polys, dirty)
+        spliced = base.splice(
+            new_polys, self._changes(base, polys, new_polys, dirty)
+        )
+        rebuilt = GridIndex.from_cells(
+            new_polys,
+            [
+                GridIndex.cells_for_polygon(
+                    p, base.extent, resolution, assignment
+                )
+                for p in new_polys
+            ],
+            resolution,
+            assignment,
+            base.extent,
+        )
+        assert np.array_equal(spliced.cell_start, rebuilt.cell_start)
+        assert np.array_equal(spliced.entries, rebuilt.entries)
+
+    def test_adjacent_cell_tie_break(self):
+        """Inserts at the end of cell c and the start of cell c+1 share a
+        flat position; cell order must win over pid order there."""
+        # pid 0 occupies cell 1 only; pid 2 occupies cell 2 only.  Move
+        # pid 2 into cell 1 (insert at its end) and pid 0 into cell 2
+        # (insert at its start): both inserts land at the same position.
+        polys = [
+            rectangle(10, 0, 19, 9),   # cell 1 at resolution 4 over 0..40
+            rectangle(0, 30, 9, 39),   # out of the way
+            rectangle(20, 0, 29, 9),   # cell 2
+        ]
+        extent = BBox(0, 0, 40, 40)
+        cells = [
+            GridIndex.cells_for_polygon(p, extent, 4, "mbr") for p in polys
+        ]
+        base = GridIndex.from_cells(polys, cells, 4, "mbr", extent)
+        new_polys = [polys[2], polys[1], polys[0]]  # swap 0 and 2
+        changes = {
+            0: (cells[0], cells[2]),
+            2: (cells[2], cells[0]),
+        }
+        spliced = base.splice(new_polys, changes)
+        rebuilt = GridIndex.from_cells(
+            new_polys, [cells[2], cells[1], cells[0]], 4, "mbr", extent
+        )
+        assert np.array_equal(spliced.cell_start, rebuilt.cell_start)
+        assert np.array_equal(spliced.entries, rebuilt.entries)
+
+    def test_empty_changes_is_identity(self, small_set):
+        base = GridIndex(small_set, resolution=16)
+        spliced = base.splice(small_set, {})
+        assert np.array_equal(spliced.entries, base.entries)
+        assert np.array_equal(spliced.cell_start, base.cell_start)
+
+    def test_probe_equivalence_after_splice(self):
+        rng = np.random.default_rng(3)
+        polys = [
+            random_star_polygon(
+                rng,
+                center=(rng.uniform(15, 85), rng.uniform(15, 85)),
+                radius_range=(3, 15),
+                vertices=6,
+            )
+            for _ in range(20)
+        ]
+        base = GridIndex(polys, resolution=64, assignment="exact")
+        dirty = [4, 11]
+        new_polys = self._edit(rng, polys, dirty)
+        spliced = base.splice(
+            new_polys, self._changes(base, polys, new_polys, dirty)
+        )
+        fresh = GridIndex(
+            new_polys, resolution=64, assignment="exact", extent=base.extent
+        )
+        xs = rng.uniform(0, 100, 500)
+        ys = rng.uniform(0, 100, 500)
+        for x, y in zip(xs, ys):
+            assert np.array_equal(
+                spliced.candidates_of_point(x, y),
+                fresh.candidates_of_point(x, y),
+            )

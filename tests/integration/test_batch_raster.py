@@ -1,0 +1,222 @@
+"""Integration tests for the batched rasterization pipeline.
+
+The batched layer must be a pure performance change: every engine
+result, prepared artifact, and incremental-edit behavior is bit-for-bit
+what the scalar per-triangle path produces.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccurateRasterJoin,
+    ArtifactStore,
+    BoundedRasterJoin,
+    EngineConfig,
+    PointDataset,
+    Polygon,
+    PolygonSet,
+    QuerySession,
+    Sum,
+)
+from tests.conftest import random_star_polygon
+
+
+@pytest.fixture
+def many_regions() -> PolygonSet:
+    rng = np.random.default_rng(42)
+    return PolygonSet(
+        [
+            random_star_polygon(
+                rng,
+                center=(rng.uniform(15, 85), rng.uniform(15, 85)),
+                radius_range=(3, 12),
+                vertices=int(rng.integers(4, 10)),
+            )
+            for _ in range(64)
+        ]
+    )
+
+
+def _edit_one(regions: PolygonSet, pid: int = 10) -> PolygonSet:
+    polys = list(regions)
+    ring = polys[pid].exterior.copy()
+    center = ring.mean(axis=0)
+    ring[0] = ring[0] + (center - ring[0]) * 0.25
+    polys[pid] = Polygon(ring, holes=polys[pid].holes)
+    out = PolygonSet(polys)
+    assert out.bbox == regions.bbox  # frame unchanged -> delta eligible
+    return out
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("resolution", [64, 256])
+    def test_accurate_batch_on_off_bit_identical(
+        self, uniform_points, many_regions, resolution
+    ):
+        on = AccurateRasterJoin(
+            resolution=resolution, config=EngineConfig(batch_raster=True)
+        ).execute(uniform_points, many_regions, aggregate=Sum("fare"))
+        off = AccurateRasterJoin(
+            resolution=resolution, config=EngineConfig(batch_raster=False)
+        ).execute(uniform_points, many_regions, aggregate=Sum("fare"))
+        assert np.array_equal(on.values, off.values)
+
+    @pytest.mark.parametrize("resolution", [64, 256])
+    def test_bounded_batch_on_off_bit_identical(
+        self, uniform_points, many_regions, resolution
+    ):
+        on = BoundedRasterJoin(
+            resolution=resolution, config=EngineConfig(batch_raster=True)
+        ).execute(uniform_points, many_regions, aggregate=Sum("fare"))
+        off = BoundedRasterJoin(
+            resolution=resolution, config=EngineConfig(batch_raster=False)
+        ).execute(uniform_points, many_regions, aggregate=Sum("fare"))
+        assert np.array_equal(on.values, off.values)
+
+    def test_env_flag_controls_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_RASTER", "0")
+        assert EngineConfig().batch_raster_enabled() is False
+        monkeypatch.setenv("REPRO_BATCH_RASTER", "1")
+        assert EngineConfig().batch_raster_enabled() is True
+        monkeypatch.delenv("REPRO_BATCH_RASTER")
+        assert EngineConfig().batch_raster_enabled() is True  # default on
+        assert EngineConfig(batch_raster=False).batch_raster_enabled() is False
+
+    def test_session_artifacts_bit_identical(
+        self, uniform_points, many_regions
+    ):
+        """Units built batched carry the same boundaries/coverage as
+        units built by the scalar loops."""
+        results = {}
+        for flag in (True, False):
+            session = QuerySession(store=False)
+            AccurateRasterJoin(
+                resolution=128,
+                grid_resolution=64,
+                session=session,
+                config=EngineConfig(batch_raster=flag),
+            ).execute(uniform_points, many_regions, aggregate=Sum("fare"))
+            results[flag] = session._entries[next(iter(session._entries))]
+        a, b = results[True], results[False]
+        assert set(a.coverage) == set(b.coverage)
+        for idx in a.coverage:
+            assert len(a.coverage[idx]) == len(b.coverage[idx])
+            for (pid_a, pieces_a), (pid_b, pieces_b) in zip(
+                a.coverage[idx], b.coverage[idx]
+            ):
+                assert pid_a == pid_b
+                assert len(pieces_a) == len(pieces_b)
+                for (iy_a, ix_a), (iy_b, ix_b) in zip(pieces_a, pieces_b):
+                    assert np.array_equal(iy_a, iy_b)
+                    assert np.array_equal(ix_a, ix_b)
+        assert set(a.boundary_masks) == set(b.boundary_masks)
+        for idx, mask in a.boundary_masks.items():
+            assert np.array_equal(mask, b.boundary_masks[idx])
+
+
+class TestIncrementalThroughBatch:
+    def test_one_of_64_edit_rebuilds_one_polygon(
+        self, uniform_points, many_regions
+    ):
+        """PR 5's per-polygon invalidation survives the batched
+        builders: a single edit rebuilds exactly one polygon's slice and
+        splices the grid instead of re-composing it."""
+        session = QuerySession(store=False)
+        engine = AccurateRasterJoin(
+            resolution=256,
+            grid_resolution=128,
+            session=session,
+            config=EngineConfig(batch_raster=True),
+        )
+        engine.execute(uniform_points, many_regions, aggregate=Sum("fare"))
+        after = _edit_one(many_regions)
+        result = engine.execute(uniform_points, after, aggregate=Sum("fare"))
+        assert result.stats.extra["prepared"] == "delta"
+        assert result.stats.extra["polygons_rebuilt"] == 1
+        assert result.stats.extra.get("grid_spliced") == 1
+        fresh = AccurateRasterJoin(
+            resolution=256,
+            grid_resolution=128,
+            config=EngineConfig(batch_raster=False),
+        ).execute(uniform_points, after, aggregate=Sum("fare"))
+        assert np.array_equal(result.values, fresh.values)
+
+    def test_spliced_grid_matches_recomposed(
+        self, uniform_points, many_regions
+    ):
+        session = QuerySession(store=False)
+        engine = AccurateRasterJoin(
+            resolution=128,
+            grid_resolution=256,
+            session=session,
+            config=EngineConfig(batch_raster=True),
+        )
+        engine.execute(uniform_points, many_regions, aggregate=Sum("fare"))
+        after = _edit_one(many_regions, pid=33)
+        engine.execute(uniform_points, after, aggregate=Sum("fare"))
+        from repro.cache import polygon_fingerprint
+
+        new_key = (polygon_fingerprint(after),) + tuple(engine.prepared_spec())
+        spliced = session._entries[new_key].grid
+        assert spliced is not None
+        from repro.index.grid import GridIndex
+
+        fresh = GridIndex(
+            list(after),
+            resolution=256,
+            assignment=spliced.assignment,
+            extent=spliced.extent,
+        )
+        assert np.array_equal(spliced.cell_start, fresh.cell_start)
+        assert np.array_equal(spliced.entries, fresh.entries)
+
+
+class TestStoreRoundTrip:
+    def test_batched_built_units_round_trip(
+        self, tmp_path, uniform_points, many_regions
+    ):
+        """Coverage pieces built by the batched pass (np.split views)
+        persist and reload bit-identically."""
+        store = ArtifactStore(tmp_path / "artifacts")
+        session = QuerySession(store=store)
+        engine = AccurateRasterJoin(
+            resolution=128,
+            grid_resolution=64,
+            session=session,
+            config=EngineConfig(batch_raster=True),
+        )
+        expected = engine.execute(
+            uniform_points, many_regions, aggregate=Sum("fare")
+        )
+        key = next(iter(session._entries))
+        artifact = session._entries[key]
+        loaded = store.load(key, many_regions)
+        assert loaded is not None
+        assert set(loaded.coverage) == set(artifact.coverage)
+        for idx, entries in artifact.coverage.items():
+            for (pid_a, pieces_a), (pid_b, pieces_b) in zip(
+                entries, loaded.coverage[idx]
+            ):
+                assert pid_a == pid_b
+                for (iy_a, ix_a), (iy_b, ix_b) in zip(pieces_a, pieces_b):
+                    assert np.array_equal(iy_a, iy_b)
+                    assert np.array_equal(ix_a, ix_b)
+        # Warm replay from disk is bit-identical.
+        other = QuerySession(store=store)
+        replay = AccurateRasterJoin(
+            resolution=128,
+            grid_resolution=64,
+            session=other,
+            config=EngineConfig(batch_raster=True),
+        ).execute(uniform_points, many_regions, aggregate=Sum("fare"))
+        assert replay.stats.prepared_store_hits == 1
+        assert np.array_equal(replay.values, expected.values)
+
+
+class TestCalibrationStat:
+    def test_polygon_pass_share_measured(self, uniform_points, many_regions):
+        result = AccurateRasterJoin(resolution=128).execute(
+            uniform_points, many_regions, aggregate=Sum("fare")
+        )
+        assert 0.0 < result.stats.polygon_pass_s <= result.stats.processing_s

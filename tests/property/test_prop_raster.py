@@ -131,3 +131,113 @@ def test_tiled_coverage_equals_global(poly, nx, ny):
                 zip((xs + tile.x_offset).tolist(), (ys + tile.y_offset).tolist())
             )
     assert tiled == global_set
+
+
+# ----------------------------------------------------------------------
+# Batched rasterizer: bit-equality with the scalar reference on
+# adversarial inputs — shared interior edges, E == 0 pixel centers,
+# degenerate triangles, tile seams.
+
+
+def _batched_per_triangle(viewport, tris):
+    from repro.graphics.raster_batch import rasterize_triangles
+
+    if not len(tris):
+        return []
+    frags = rasterize_triangles(viewport, np.stack(tris))
+    splits = np.cumsum(frags.counts)[:-1]
+    return list(zip(np.split(frags.ix, splits), np.split(frags.iy, splits)))
+
+
+@given(star_polygons())
+@settings(max_examples=60, deadline=None)
+def test_batched_equals_scalar_on_shared_edges(poly):
+    """A triangulated polygon is all shared interior edges — the batched
+    pass must land every fragment exactly where the scalar loop does, in
+    the same order (watertightness depends on it)."""
+    tris = triangulate_polygon(poly)
+    for (bx, by), tri in zip(_batched_per_triangle(VP, tris), tris):
+        xs, ys = covered_pixels(VP, tri)
+        assert np.array_equal(bx, xs)
+        assert np.array_equal(by, ys)
+
+
+@given(
+    st.integers(0, 20), st.integers(0, 20),
+    st.integers(0, 20), st.integers(0, 20),
+    st.integers(0, 20), st.integers(0, 20),
+)
+@settings(max_examples=150, deadline=None)
+def test_batched_fill_rule_ties_on_lattice(ax, ay, bx, by, cx, cy):
+    """Integer+half vertices put pixel centers exactly on edges
+    (E == 0): the top-left fill-rule tie-break must agree bit-for-bit,
+    including for degenerate (collinear/point) triangles."""
+    tri = np.array(
+        [(ax + 0.5, ay + 0.5), (bx + 0.5, by + 0.5), (cx + 0.5, cy + 0.5)]
+    )
+    vp = Viewport(BBox(0, 0, 25, 25), 25, 25)
+    [(gx, gy)] = _batched_per_triangle(vp, [tri])
+    xs, ys = covered_pixels(vp, tri)
+    assert np.array_equal(gx, xs)
+    assert np.array_equal(gy, ys)
+
+
+@given(star_polygons(), st.integers(1, 4), st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_batched_equals_scalar_across_tile_seams(poly, nx, ny):
+    """Per-tile viewports clip triangle bboxes at seams; the batched
+    clip must match the scalar clip on every tile."""
+    from repro.graphics.viewport import Canvas
+
+    canvas = Canvas(BBox(0, 0, 100, 100), 100, 100)
+    max_res = max(100 // max(nx, ny), 1)
+    tris = triangulate_polygon(poly)
+    for tile in canvas.tiles(max_resolution=max_res):
+        for (gx, gy), tri in zip(_batched_per_triangle(tile, tris), tris):
+            xs, ys = covered_pixels(tile, tri)
+            assert np.array_equal(gx, xs)
+            assert np.array_equal(gy, ys)
+
+
+@given(star_polygons())
+@settings(max_examples=40, deadline=None)
+def test_vectorized_outline_equals_per_edge_supercover(poly):
+    """outline_pixels (vectorized) is the unique union of the scalar
+    per-edge supercover — same pixels, same sorted order."""
+    ox, oy = outline_pixels(VP, poly.rings)
+    cols, rows = [], []
+    for ring in poly.rings:
+        sx, sy = VP.to_screen(ring[:, 0], ring[:, 1])
+        n = len(ring)
+        for i in range(n):
+            j = (i + 1) % n
+            c, r = supercover_line(
+                float(sx[i]), float(sy[i]), float(sx[j]), float(sy[j]),
+                VP.width, VP.height,
+            )
+            cols.append(c)
+            rows.append(r)
+    flat = np.unique(np.concatenate(cols) * VP.height + np.concatenate(rows))
+    assert np.array_equal(ox, flat // VP.height)
+    assert np.array_equal(oy, flat % VP.height)
+
+
+@given(star_polygons(), star_polygons(center=(30.0, 60.0), max_radius=25.0))
+@settings(max_examples=30, deadline=None)
+def test_batched_multi_polygon_scatter(poly_a, poly_b):
+    """coverage_pieces_by_polygon routes each fragment back to its
+    owning polygon id even when polygons overlap."""
+    from repro.graphics.raster_batch import coverage_pieces_by_polygon
+
+    tris = {0: triangulate_polygon(poly_a), 1: triangulate_polygon(poly_b)}
+    pieces = coverage_pieces_by_polygon(VP, tris)
+    for pid in (0, 1):
+        ref = []
+        for tri in tris[pid]:
+            xs, ys = covered_pixels(VP, tri)
+            if len(xs):
+                ref.append((ys, xs))
+        assert len(pieces[pid]) == len(ref)
+        for (gy, gx), (ry, rx) in zip(pieces[pid], ref):
+            assert np.array_equal(gy, ry)
+            assert np.array_equal(gx, rx)
