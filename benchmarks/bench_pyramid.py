@@ -1,0 +1,212 @@
+"""Aggregate-pyramid cache under an overlapping pan/zoom workload.
+
+The interactive loop the pyramid targets: an analyst aggregates over a
+viewport choropleth, pans, zooms, re-aggregates.  Every frame is a new
+polygon set (so prepared-state reuse alone does not help the *point*
+pass), but all frames query the same point source over the same grid
+frame — two fixed anchor rectangles at the extent corners pin the union
+bbox, so one :class:`~repro.cache.pyramid.AggregatePyramid` serves the
+whole stroke.  Polygon interiors are answered from cached block
+partials; only boundary-cell points reach the exact PIP fallback.
+
+This benchmark builds the pyramid once (``engine.build_pyramid``), then
+replays six overlapping pan/zoom frames and asserts
+
+* every pyramid-warm frame reports ``pyramid: hit`` and touches only a
+  small fallback fraction of the points;
+* Count and Sum (integer-valued fares) are **bit-identical** to the
+  exact warm path, frame for frame;
+* summed over the stroke, the pyramid-warm point pass is at least
+  **3x** faster than the exact warm point pass at the paper's default
+  1024^2 canvas.
+
+Writes the machine-readable trajectory record ``BENCH_pyramid.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks import harness
+from repro import (
+    AccurateRasterJoin,
+    Count,
+    EngineConfig,
+    PointDataset,
+    QuerySession,
+    Sum,
+)
+from repro.data import generate_voronoi_regions
+from repro.geometry.bbox import BBox
+from repro.geometry.polygon import PolygonSet, rectangle
+
+POINT_ROWS = 1_500_000
+RESOLUTION = 1024
+GRID_RESOLUTION = 256
+REGIONS_PER_FRAME = 24
+REPEATS = 3
+EXTENT = BBox(0.0, 0.0, 1000.0, 1000.0)
+#: The pan/zoom stroke: overlapping viewport windows, full extent first.
+FRAMES = [
+    BBox(0.0, 0.0, 1000.0, 1000.0),
+    BBox(100.0, 100.0, 900.0, 900.0),
+    BBox(250.0, 200.0, 750.0, 700.0),
+    BBox(300.0, 250.0, 800.0, 750.0),
+    BBox(400.0, 350.0, 650.0, 600.0),
+    BBox(420.0, 380.0, 680.0, 640.0),
+]
+RESULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_pyramid.json"
+
+
+def _table():
+    return harness.table(
+        "pyramid_pan_zoom",
+        "Aggregate-pyramid cache over a pan/zoom stroke (accurate engine)",
+        ["frame", "regions", "exact_warm_s", "pyramid_warm_s", "speedup",
+         "fallback_points", "bit_identical"],
+    )
+
+
+@pytest.fixture(scope="module")
+def pan_zoom_workload():
+    rng = np.random.default_rng(11)
+    points = PointDataset(
+        rng.uniform(EXTENT.xmin, EXTENT.xmax, POINT_ROWS),
+        rng.uniform(EXTENT.ymin, EXTENT.ymax, POINT_ROWS),
+        # Integer-valued fares: float64 additions are exact, so Sum is
+        # bit-identical between the block and scatter paths.
+        {"fare": rng.integers(1, 100, POINT_ROWS).astype(np.float64)},
+    )
+    frames = []
+    for fid, window in enumerate(FRAMES):
+        regions = list(generate_voronoi_regions(
+            REGIONS_PER_FRAME, window, seed=100 + fid
+        ))
+        # Anchor rectangles at the extent corners pin the union bbox —
+        # and with it the pyramid's grid frame — across every frame.
+        regions.append(rectangle(0.0, 0.0, 2.0, 2.0))
+        regions.append(rectangle(998.0, 998.0, 1000.0, 1000.0))
+        frames.append(PolygonSet(regions))
+    return points, frames
+
+
+def _engine(pyramid: bool) -> AccurateRasterJoin:
+    return AccurateRasterJoin(
+        resolution=RESOLUTION,
+        grid_resolution=GRID_RESOLUTION,
+        session=QuerySession(),
+        config=EngineConfig(pyramid=pyramid),
+    )
+
+
+def _timed_warm(engine, points, polygons, aggregate):
+    """Best-of-N warm wall time (the first run paid all preparation)."""
+    best = float("inf")
+    last = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        last = engine.execute(points, polygons, aggregate=aggregate)
+        best = min(best, time.perf_counter() - start)
+    return best, last
+
+
+def _assert_identical(reference, result, label):
+    assert np.array_equal(reference.values, result.values), label
+    for name in reference.channels:
+        assert np.array_equal(
+            reference.channels[name], result.channels[name]
+        ), (label, name)
+
+
+@pytest.mark.benchmark(group="pyramid")
+def test_pyramid_pan_zoom_smoke(benchmark, pan_zoom_workload):
+    points, frames = pan_zoom_workload
+    table = _table()
+    record = {
+        "benchmark": "pyramid_pan_zoom",
+        "points": POINT_ROWS,
+        "resolution": RESOLUTION,
+        "grid_resolution": GRID_RESOLUTION,
+        "frames": len(frames),
+        "regions_per_frame": REGIONS_PER_FRAME + 2,
+        "repeats": REPEATS,
+        "per_frame": [],
+    }
+
+    exact = _engine(pyramid=False)
+    warm = _engine(pyramid=True)
+    # The one-off O(points) investment the stroke amortizes: sort the
+    # point source into grid cells and register the pyramid artifact.
+    build_start = time.perf_counter()
+    warm.build_pyramid(points, frames[0])
+    record["pyramid_build_s"] = time.perf_counter() - build_start
+
+    exact_total = 0.0
+    pyramid_total = 0.0
+    for fid, regions in enumerate(frames):
+        # Cold runs pay preparation (triangulation, grid, masks — and on
+        # the pyramid engine the per-frame cell classification) so the
+        # warm timings below isolate the per-query point pass.
+        exact_cold = exact.execute(points, regions, aggregate=Sum("fare"))
+        warm_cold = warm.execute(points, regions, aggregate=Sum("fare"))
+        assert warm_cold.stats.extra.get("pyramid") == "hit", (
+            fid, warm_cold.stats.extra
+        )
+
+        exact_s, exact_sum = _timed_warm(exact, points, regions, Sum("fare"))
+        pyramid_s, warm_sum = _timed_warm(warm, points, regions, Sum("fare"))
+        assert warm_sum.stats.extra.get("pyramid") == "hit"
+        fallback = warm_sum.stats.extra["pyramid_fallback_points"]
+        # Interiors came from block partials: the fallback PIP pass saw
+        # only a fraction of the point source.
+        assert fallback < POINT_ROWS // 2, (fid, fallback)
+
+        # Count and Sum are bit-identical between the paths.
+        _assert_identical(exact_sum, warm_sum, ("sum", fid))
+        exact_count = exact.execute(points, regions, aggregate=Count())
+        warm_count = warm.execute(points, regions, aggregate=Count())
+        _assert_identical(exact_count, warm_count, ("count", fid))
+
+        exact_total += exact_s
+        pyramid_total += pyramid_s
+        speedup = exact_s / pyramid_s
+        table.add_row(
+            f"frame-{fid}", len(regions), exact_s, pyramid_s, speedup,
+            fallback, True,
+        )
+        record["per_frame"].append({
+            "frame": fid,
+            "regions": len(regions),
+            "exact_warm_s": exact_s,
+            "pyramid_warm_s": pyramid_s,
+            "speedup": speedup,
+            "pyramid_cells": warm_sum.stats.extra["pyramid_cells"],
+            "fallback_points": fallback,
+        })
+
+    benchmark.pedantic(
+        lambda: warm.execute(points, frames[-1], aggregate=Sum("fare")),
+        rounds=1, iterations=1,
+    )
+    exact.close()
+    warm.close()
+
+    # ------------------------------------------------------------------
+    # Acceptance bar + the machine-readable trajectory record.
+    # ------------------------------------------------------------------
+    stroke_speedup = exact_total / pyramid_total
+    record["exact_warm_total_s"] = exact_total
+    record["pyramid_warm_total_s"] = pyramid_total
+    record["stroke_speedup"] = stroke_speedup
+    table.add_row(
+        "stroke-total", sum(len(f) for f in frames), exact_total,
+        pyramid_total, stroke_speedup, "-", True,
+    )
+    RESULT_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    assert pyramid_total * 3.0 <= exact_total, (
+        f"pyramid-warm stroke {pyramid_total:.3f}s not 3x faster than "
+        f"exact warm {exact_total:.3f}s"
+    )

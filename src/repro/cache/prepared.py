@@ -129,14 +129,22 @@ class PolygonUnit:
       (the polygon's contribution to the tile's boundary mask);
     * ``coverage[tile_idx]`` — raw covered-pixel pieces ``(iy, ix)`` on
       that tile, *before* boundary exclusion (exclusion depends on the
-      whole set's outlines, so it is applied at composition time).
+      whole set's outlines, so it is applied at composition time);
+    * ``interior_cells`` / ``pip_cells`` / ``blocks`` — the aggregate
+      pyramid's cell classification (see ``repro.cache.pyramid``):
+      grid cells entirely inside this polygon, cells its boundary may
+      touch (conservative), and the interior decomposed into
+      hierarchical 2×2 blocks.  Like ``cells`` these depend only on
+      this polygon and the grid frame, so edits to other polygons keep
+      them; they re-derive lazily and are never persisted.
 
     A tile key being present means the tile was built for this unit —
     possibly with empty arrays (the polygon does not touch the tile).
     """
 
     __slots__ = ("fingerprint", "bbox", "triangles", "cells",
-                 "boundary", "coverage")
+                 "boundary", "coverage", "interior_cells", "pip_cells",
+                 "blocks")
 
     def __init__(self, fingerprint: str, bbox: tuple) -> None:
         self.fingerprint = fingerprint
@@ -147,6 +155,9 @@ class PolygonUnit:
         self.cells: np.ndarray | None = None
         self.boundary: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self.coverage: dict[int, list] = {}
+        self.interior_cells: np.ndarray | None = None
+        self.pip_cells: np.ndarray | None = None
+        self.blocks: list | None = None
 
     def clone(self) -> "PolygonUnit":
         """A unit sharing this one's (immutable) arrays but owning its
@@ -157,6 +168,9 @@ class PolygonUnit:
         other.cells = self.cells
         other.boundary = dict(self.boundary)
         other.coverage = dict(self.coverage)
+        other.interior_cells = self.interior_cells
+        other.pip_cells = self.pip_cells
+        other.blocks = self.blocks
         return other
 
 
@@ -178,6 +192,7 @@ class PreparedPolygons:
         "boundary_masks",
         "coverage",
         "mbr_arrays",
+        "pip_grid",
         "units",
         "polygon_fps",
         "source_bbox",
@@ -204,6 +219,12 @@ class PreparedPolygons:
         self.coverage: dict[int, list] = {}
         #: polygon MBRs as (xmin, xmax, ymin, ymax) column arrays
         self.mbr_arrays: tuple[np.ndarray, ...] | None = None
+        #: boundary-cells-only CSR grid for the pyramid path's exact
+        #: fallback — composed from the units' ``pip_cells`` (so a point
+        #: in a cell *interior* to polygon A is never PIP-tested against
+        #: A; the cached block already counted it).  Set-level, derived,
+        #: never persisted; see :func:`repro.cache.pyramid.ensure_polygon_blocks`.
+        self.pip_grid: GridIndex | None = None
         #: per-polygon units (None for sessionless throwaway artifacts)
         self.units: list[PolygonUnit] | None = None
         self.polygon_fps: list[str] | None = None
@@ -663,6 +684,9 @@ class PreparedPolygons:
         if self.mbr_arrays is not None:
             for arr in self.mbr_arrays:
                 add(arr)
+        if self.pip_grid is not None:
+            add(self.pip_grid.cell_start)
+            add(self.pip_grid.entries)
         if self.units is not None:
             for unit in self.units:
                 if unit.triangles is not None:
@@ -670,6 +694,13 @@ class PreparedPolygons:
                         add(t)
                 if unit.cells is not None:
                     add(unit.cells)
+                if unit.interior_cells is not None:
+                    add(unit.interior_cells)
+                if unit.pip_cells is not None:
+                    add(unit.pip_cells)
+                if unit.blocks is not None:
+                    for _, ids in unit.blocks:
+                        add(ids)
                 for ix, iy in unit.boundary.values():
                     add(ix)
                     add(iy)

@@ -156,6 +156,7 @@ class QuerySession:
         byte_budget: int | str | None = None,
         store=None,
         partition_capacity: int = 4,
+        pyramid_capacity: int = 2,
     ) -> None:
         if capacity < 1:
             raise QueryError(f"session capacity must be >= 1, got {capacity}")
@@ -170,6 +171,18 @@ class QuerySession:
         #: source's identity and evicted LRU.
         self.partition_capacity = partition_capacity
         self._partitions: "OrderedDict[tuple, tuple]" = OrderedDict()
+        #: How many aggregate pyramids to retain (0 disables the memory
+        #: tier; the store tier still answers).  Keyed like partitions —
+        #: by point-source identity plus the grid-frame token, validated
+        #: by content hash — and evicted LRU.  Entries are
+        #: ``(points, guard, token, pyramid, persisted_version)``.
+        self.pyramid_capacity = pyramid_capacity
+        self._pyramids: "OrderedDict[tuple, list]" = OrderedDict()
+        #: Memoized content guards: ``id(points) -> (points, fold,
+        #: guard)``.  See :meth:`_cached_guard`.
+        self._guards: "OrderedDict[int, tuple]" = OrderedDict()
+        self.pyramid_hits = 0
+        self.pyramid_store_hits = 0
         #: set fingerprint -> per-polygon fingerprints (content-keyed,
         #: so it can never serve stale hashes).  One rezoning stroke
         #: probes warmth per candidate engine and then executes, each
@@ -475,6 +488,55 @@ class QuerySession:
             digest.update(memoryview(arr).cast("B"))
         return digest.hexdigest()
 
+    @staticmethod
+    def _content_fold(points) -> tuple:
+        """A cheap one-pass checksum of every column's bytes.
+
+        Sum + XOR over the 64-bit words of each column buffer (plus the
+        ragged byte tail), roughly an order of magnitude cheaper than
+        the cryptographic guard.  Any realistic in-place mutation of a
+        value flips bits in its word and changes at least one of the two
+        reductions; it is the *revalidation trigger* for the memoized
+        full guard, not a substitute for it.
+        """
+        fold: list = [len(points)]
+        for name in _point_columns(points):
+            arr = np.ascontiguousarray(points.column(name))
+            data = arr.view(np.uint8).reshape(-1)
+            words = data[: (data.size // 8) * 8].view(np.uint64)
+            fold.append((
+                str(name), arr.dtype.str, data.size,
+                int(words.sum(dtype=np.uint64)) if words.size else 0,
+                int(np.bitwise_xor.reduce(words)) if words.size else 0,
+                int(data[words.size * 8:].sum(dtype=np.uint64)),
+            ))
+        return tuple(fold)
+
+    def _cached_guard(self, points) -> str:
+        """The content guard, memoized per source identity.
+
+        ``_partition_guard`` reads every column byte through blake2b —
+        correct, but a per-query pass over the whole point source, which
+        would dominate the pyramid-warm path it is meant to validate
+        (the pyramid's promise is that warm interiors touch *no* point
+        data).  This memoizes the full hash keyed by the dataset's
+        identity and revalidates it with :meth:`_content_fold`; the
+        expensive hash is recomputed only when the fold sees the bytes
+        change, so a mutated-in-place source still can never replay a
+        stale pyramid.
+        """
+        fold = self._content_fold(points)
+        cached = self._guards.get(id(points))
+        if cached is not None and cached[0] is points and cached[1] == fold:
+            self._guards.move_to_end(id(points))
+            return cached[2]
+        guard = self._partition_guard(points)
+        self._guards[id(points)] = (points, fold, guard)
+        self._guards.move_to_end(id(points))
+        while len(self._guards) > max(self.pyramid_capacity, 2):
+            self._guards.popitem(last=False)
+        return guard
+
     def partition_lookup(self, points, token: tuple):
         """A cached ``(per_tile, duplicates)`` partition, or ``None``.
 
@@ -532,6 +594,119 @@ class QuerySession:
         return sum(entry[4] for entry in self._partitions.values())
 
     # ------------------------------------------------------------------
+    # Aggregate-pyramid cache (see repro.cache.pyramid)
+    # ------------------------------------------------------------------
+    def pyramid_lookup(self, points, token: tuple):
+        """A resident (or store-tier) aggregate pyramid, or ``None``.
+
+        ``token`` is the grid-frame spec the pyramid was built under
+        (grid extent, resolution, assignment) — the pyramid depends on
+        nothing else about the query, in particular not on the polygons,
+        so every pan/zoom stroke over the same frame keeps hitting.
+        Memory entries are keyed by the source's identity and validated
+        by its content hash (the partition cache's never-stale
+        contract); the store tier is keyed by that hash directly, so a
+        restarted process answers pyramid-warm from disk.  Never builds.
+        """
+        token = tuple(token)
+        key = (id(points),) + token
+        guard = None
+        cached = self._pyramids.get(key)
+        if cached is not None:
+            held, held_guard, _, pyramid, _ = cached
+            guard = self._cached_guard(points)
+            if held is points and held_guard == guard:
+                self._pyramids.move_to_end(key)
+                self.pyramid_hits += 1
+                pyramid.uses += 1
+                return pyramid
+            del self._pyramids[key]
+        if self.store is None:
+            return None
+        if guard is None:
+            guard = self._cached_guard(points)
+        pyramid = self.store.load_pyramid((guard,) + token)
+        if pyramid is None:
+            return None
+        self.pyramid_store_hits += 1
+        self._pyramid_insert(points, guard, token, pyramid,
+                             persisted_version=pyramid.version)
+        return pyramid
+
+    def pyramid_register(self, points, token: tuple, pyramid) -> None:
+        """Retain an explicitly built pyramid (persisted at the next
+        checkpoint when a store is attached)."""
+        token = tuple(token)
+        self._pyramid_insert(
+            points, self._cached_guard(points), token, pyramid,
+            persisted_version=-1,
+        )
+
+    def pyramid_warm(self, points, token: tuple) -> bool:
+        """Cheap costing probe: is a pyramid resident for this source?
+
+        Identity-keyed only — no content hashing, no store I/O, no LRU
+        touch — so the optimizer can call it per candidate plan.
+        Optimistic by design: a mutated-in-place source reads warm here
+        but fails the content guard at execution, which costs one
+        mispredicted plan, never a wrong result.
+        """
+        return ((id(points),) + tuple(token)) in self._pyramids
+
+    def _pyramid_insert(self, points, guard: str, token: tuple, pyramid,
+                        persisted_version: int) -> None:
+        if self.pyramid_capacity < 1:
+            return
+        cap = (
+            self.byte_budget if self.byte_budget is not None
+            else self.PARTITION_BYTE_CAP
+        )
+        if pyramid.nbytes > cap:
+            return
+        key = (id(points),) + tuple(token)
+        self._pyramids[key] = [points, guard, token, pyramid,
+                               persisted_version]
+        self._pyramids.move_to_end(key)
+        while len(self._pyramids) > self.pyramid_capacity:
+            self._flush_pyramid_entry(self._pyramids.popitem(last=False)[1])
+
+    @property
+    def pyramid_nbytes(self) -> int:
+        """Bytes held by resident aggregate pyramids."""
+        return sum(entry[3].nbytes for entry in self._pyramids.values())
+
+    def _flush_pyramid_entry(self, entry: list) -> bool:
+        """Persist one pyramid entry's channels if the store lacks them."""
+        if self.store is None:
+            return False
+        _, guard, token, pyramid, persisted_version = entry
+        if pyramid.version <= persisted_version or not pyramid.channels:
+            return False
+        from repro.store import ArtifactTooLargeError
+
+        try:
+            self.store.save_pyramid((guard,) + tuple(token), pyramid)
+        except ArtifactTooLargeError:
+            entry[4] = pyramid.version  # refused at this size: stop retrying
+            return False
+        except (TypeError, ValueError):
+            entry[4] = pyramid.version
+            return False
+        except OSError:
+            self.store.save_failures += 1
+            return False
+        entry[4] = pyramid.version
+        return True
+
+    def _flush_pyramids(self) -> int:
+        """Persist every dirty resident pyramid (checkpoint hook)."""
+        saved = 0
+        for entry in self._pyramids.values():
+            if self._flush_pyramid_entry(entry):
+                saved += 1
+        return saved
+
+    # ------------------------------------------------------------------
     # Tier maintenance
     # ------------------------------------------------------------------
     def checkpoint(self) -> None:
@@ -562,6 +737,7 @@ class QuerySession:
             for key, entry in self._entries.items()
         }
         self._flush_dirty(sizes, exclude)
+        self._flush_pyramids()
         self._enforce_capacity(exclude, sizes)
         self._enforce_byte_budget(exclude, sizes)
 
@@ -692,9 +868,17 @@ class QuerySession:
         if self.byte_budget is None:
             return
         total = sum(sizes[key] for key in self._entries)
-        # Tier 0: cached tile-point partitions are pure re-derivable
-        # acceleration state — under pressure they go first, LRU-first,
-        # so the budget really bounds the session's whole footprint.
+        # Tier 0: cached tile-point partitions and aggregate pyramids
+        # are pure re-derivable acceleration state — under pressure they
+        # go first, LRU-first, so the budget really bounds the session's
+        # whole footprint.  Dirty pyramids persist on the way out (the
+        # store tier keeps answering pyramid-warm).
+        while (
+            self._pyramids
+            and total + self.partition_nbytes + self.pyramid_nbytes
+            > self.byte_budget
+        ):
+            self._flush_pyramid_entry(self._pyramids.popitem(last=False)[1])
         while (
             self._partitions
             and total + self.partition_nbytes > self.byte_budget
@@ -754,6 +938,7 @@ class QuerySession:
                 self._forget(key)
             self._entries.clear()
             self._partitions.clear()
+            self._pyramids.clear()
             return removed
         fingerprint = polygon_fingerprint(polygons)
         doomed = [key for key in self._entries if key[0] == fingerprint]

@@ -32,6 +32,11 @@ from typing import Callable, Iterator, Sequence
 import numpy as np
 
 from repro.cache.prepared import PreparedPolygons
+from repro.cache.pyramid import (
+    AggregatePyramid,
+    channel_kinds,
+    ensure_polygon_blocks,
+)
 from repro.cache.session import QuerySession
 from repro.core.aggregates import Aggregate, Count
 from repro.core.engine import (
@@ -75,6 +80,11 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         # accurate engine upgrades them to float64 so attribute sums and
         # order statistics match the PIP path bit-for-bit.
         self.fbo_dtype = np.float64
+        # Whether a *resident* aggregate pyramid may answer queries
+        # (repro.cache.pyramid).  Building one is always explicit
+        # (build_pyramid / the planner's prewarm) — with nothing built,
+        # execution is byte-for-byte the pre-pyramid path either way.
+        self._pyramid = self.config.pyramid_enabled()
 
     # ------------------------------------------------------------------
     # Prepared state
@@ -115,6 +125,155 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         return prepared
 
     # ------------------------------------------------------------------
+    # Aggregate pyramid (GeoBlocks-style warm path; repro.cache.pyramid)
+    # ------------------------------------------------------------------
+    def pyramid_token(self, polygons: PolygonSet) -> tuple:
+        """The grid-frame spec a pyramid over these polygons is keyed by.
+
+        Mirrors what :meth:`_prepare`'s ``ensure_grid`` builds — the
+        grid extent is :meth:`GridIndex.default_extent` of the polygon
+        set — so a pyramid built here is addressable by any later query
+        whose polygons share that frame (every pan/zoom stroke over the
+        same union bbox).
+        """
+        from repro.index.grid import GridIndex
+
+        ext = GridIndex.default_extent(polygons)
+        return (
+            "pyramid", self.grid_resolution, "mbr",
+            (ext.xmin, ext.ymin, ext.xmax, ext.ymax),
+        )
+
+    def build_pyramid(
+        self,
+        points: PointDataset | ResidentPointSet,
+        polygons: PolygonSet,
+    ) -> AggregatePyramid:
+        """Explicitly build (or fetch) the pyramid for this frame.
+
+        Building is never implicit — a query over a cold session runs
+        the exact path untouched — so the one-off O(points) sort is paid
+        exactly where the caller asked for it (a dashboard's "prewarm"
+        step, the planner's :meth:`~repro.sql.planner.QueryPlanner.prewarm`,
+        or a benchmark's setup).  Channels are added lazily by the first
+        query that needs them.
+        """
+        if self.session is None:
+            raise QueryError(
+                "build_pyramid needs a QuerySession to retain the pyramid"
+            )
+        token = self.pyramid_token(polygons)
+        pyramid = self.session.pyramid_lookup(points, token)
+        if pyramid is not None:
+            return pyramid
+        stats = ExecutionStats(engine=self.name, batches=0, passes=0)
+        prepared = self._prepare(polygons, stats)
+        pyramid = AggregatePyramid.build(points, prepared.grid)
+        self.session.pyramid_register(points, token, pyramid)
+        self.session.checkpoint()
+        return pyramid
+
+    def pyramid_warmth(
+        self,
+        points: PointDataset | ResidentPointSet,
+        polygons: PolygonSet,
+    ) -> bool:
+        """Costing probe: would :meth:`_run` take the pyramid path?
+
+        Identity-keyed and hash-free (the optimizer calls it per
+        candidate plan); optimistic the same way the session's
+        :meth:`~repro.cache.session.QuerySession.pyramid_warm` is.
+        """
+        if not self._pyramid or self.session is None:
+            return False
+        return self.session.pyramid_warm(points, self.pyramid_token(polygons))
+
+    def _pyramid_plan(
+        self,
+        prepared: PreparedPolygons,
+        points: PointDataset | ResidentPointSet,
+        polygons: PolygonSet,
+        aggregate: Aggregate,
+        filters: FilterSet,
+        stats: ExecutionStats,
+    ) -> tuple[AggregatePyramid, dict] | None:
+        """The resident pyramid serving this query, or ``None`` (exact path).
+
+        ``None`` whenever the pyramid is disabled, nothing was ever
+        built, the aggregate has a shape the partials cannot express,
+        filters are present (cell partials pre-aggregate over *all*
+        points), or the artifact lacks per-polygon units (no block
+        classification to hang off).  The gate never builds anything —
+        a cold query costs one O(1) probe plus, with a store attached,
+        one content hash for the disk-tier key.
+        """
+        if not self._pyramid or self.session is None:
+            return None
+        if prepared.units is None or filters:
+            return None
+        kinds = channel_kinds(aggregate)
+        if kinds is None:
+            return None
+        pyramid = self.session.pyramid_lookup(points, self.pyramid_token(polygons))
+        if pyramid is None:
+            stats.extra["pyramid"] = "cold"
+            return None
+        return pyramid, kinds
+
+    def _run_pyramid(
+        self,
+        prepared: PreparedPolygons,
+        pyramid: AggregatePyramid,
+        kinds: dict,
+        points: PointDataset | ResidentPointSet,
+        polygons: PolygonSet,
+        aggregate: Aggregate,
+        stats: ExecutionStats,
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Answer from cached block aggregates + boundary-cell PIP.
+
+        Interior cells (the polygon boundary provably misses them) are
+        folded from the pyramid's block partials with zero point reads;
+        only the points of boundary cells are gathered and joined
+        through the exact :func:`grid_pip_aggregate` — against a grid
+        holding *boundary cells only*, so a point a block already
+        counted is never PIP-tested for the same polygon.
+        """
+        self._record_execution_env(stats, len(prepared.tiles))
+        start = time.perf_counter()
+        pip_grid = ensure_polygon_blocks(prepared, polygons, prepared.grid)
+        for kind, col in kinds.values():
+            pyramid.ensure_channel(kind, col, points)
+        accumulators = self._new_accumulators(polygons, aggregate)
+        block_cells = 0
+        for pid, unit in enumerate(prepared.units):
+            for ch, (kind, col) in kinds.items():
+                accumulators[ch][pid] = aggregate.combine(
+                    np.asarray(accumulators[ch][pid]),
+                    np.asarray(pyramid.block_reduce(kind, col, unit.blocks)),
+                )
+            block_cells += sum(len(ids) for _, ids in unit.blocks)
+        fallback_cells = np.unique(np.concatenate(
+            [unit.pip_cells for unit in prepared.units]
+        )) if prepared.units else np.zeros(0, dtype=np.int64)
+        idx = pyramid.gather_indices(fallback_cells)
+        if len(idx):
+            attrs = {
+                col: points.column(col)[idx] for col in aggregate.columns
+            }
+            grid_pip_aggregate(
+                points.column("x")[idx], points.column("y")[idx], attrs,
+                pip_grid, polygons, aggregate, accumulators, stats,
+            )
+        stats.points_processed += len(idx)
+        stats.boundary_points += len(idx)
+        stats.extra["pyramid"] = "hit"
+        stats.extra["pyramid_cells"] = int(block_cells)
+        stats.extra["pyramid_fallback_points"] = int(len(idx))
+        stats.processing_s += time.perf_counter() - start
+        return aggregate.finalize(accumulators), accumulators
+
+    # ------------------------------------------------------------------
     # Execution (monolithic and streamed share the per-tile stages)
     # ------------------------------------------------------------------
     def _run(
@@ -126,6 +285,13 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         stats: ExecutionStats,
     ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
         prepared = self._prepare(polygons, stats)
+        plan = self._pyramid_plan(
+            prepared, points, polygons, aggregate, filters, stats
+        )
+        if plan is not None:
+            return self._run_pyramid(
+                prepared, plan[0], plan[1], points, polygons, aggregate, stats
+            )
         columns = self.required_columns(aggregate, filters)
         accumulators = self._new_accumulators(polygons, aggregate)
         self._execute_tiles(
@@ -335,9 +501,12 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                 ix, iy = outline_pixels(tile, polygon.rings)
                 boundary[iy, ix] = True
         stats.processing_s += time.perf_counter() - start
-        stats.extra["boundary_pixels"] = (
-            stats.extra.get("boundary_pixels", 0) + int(boundary.sum())
-        )
+        # Assign, don't accumulate: this stat is the tile's boundary
+        # population, and every caller renders at most one mask per tile
+        # stats object.  Adding to a value another branch already
+        # assigned would double-count it (the composed-boundary branch
+        # in _execute_tiles assigns the same key).
+        stats.extra["boundary_pixels"] = int(boundary.sum())
         return boundary
 
     def _route_points(

@@ -51,7 +51,12 @@ class Aggregate(ABC):
             np.maximum.at(accumulator, ids, values)
 
     def reduce_pixels(self, pixel_values: np.ndarray) -> float:
-        """Combine one polygon's covered-pixel channel values."""
+        """Combine one polygon's covered-pixel channel values.
+
+        A polygon with zero covered pixels reduces to :meth:`identity`,
+        so its partial merges as a no-op under :meth:`combine` (adding 0,
+        or min/max against ±inf) and never perturbs other tiles' values.
+        """
         if len(pixel_values) == 0:
             return self.identity()
         if self.blend == "add":
@@ -59,7 +64,17 @@ class Aggregate(ABC):
         return float(np.min(pixel_values) if self.blend == "min" else np.max(pixel_values))
 
     def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Merge partial results from two batches/tiles."""
+        """Merge partial results from two batches/tiles.
+
+        Identity slots are absorbing-neutral: a tile that saw no pixels
+        for a polygon contributes ``identity()`` and the merge leaves the
+        other operand's value bit-unchanged (``x + 0.0 == x`` exactly in
+        IEEE float64 except for ``-0.0``, which no reduction here
+        produces from a true sum; ``minimum(x, inf)``/``maximum(x,
+        -inf)`` return ``x`` exactly).  NaN is deliberately *not*
+        neutral — a NaN attribute value poisons min/max merges, matching
+        ``np.min``/``np.max`` semantics in :meth:`reduce_pixels`.
+        """
         if self.blend == "add":
             return a + b
         return np.minimum(a, b) if self.blend == "min" else np.maximum(a, b)
@@ -125,9 +140,22 @@ class Min(Aggregate):
 
     An extension beyond the paper's implementation (its §5 notes the
     approach applies to any distributive aggregate; the authors implement
-    count/sum/avg).  Note the *bounded* engine makes min/max conservative
-    rather than ε-bounded: a boundary pixel can pull in a neighbouring
-    point's value.
+    count/sum/avg).  Note the *bounded* engine's min/max error is
+    two-sided rather than ε-bounded: a boundary pixel attributes every
+    point on it to every polygon touching that pixel, so a neighbouring
+    point's value can be pulled in (making the reported min too small /
+    max too large) *and* a genuinely-inside point near the boundary can
+    be credited to an adjacent polygon instead (making the reported min
+    too large / max too small when it was the extremum).  The accurate
+    engine resolves boundary pixels exactly.
+
+    ``finalize`` maps only *identity* slots — polygons no contributing
+    point ever blended into, still holding ``+inf`` — to NaN, the
+    SQL-style "MIN of the empty set".  A legitimate ``-inf`` attribute
+    value (or a NaN one, which poisons the blend) passes through
+    untouched.  The one residual ambiguity is an attribute value exactly
+    equal to the identity itself: a polygon whose true minimum is
+    ``+inf`` is indistinguishable from an empty one and reports NaN.
     """
 
     name = "min"
@@ -141,12 +169,14 @@ class Min(Aggregate):
 
     def finalize(self, reduced: dict[str, np.ndarray]) -> np.ndarray:
         out = reduced["min"].astype(np.float64)
-        out[~np.isfinite(out)] = np.nan
+        out[out == self.identity()] = np.nan
         return out
 
 
 class Max(Aggregate):
-    """MAX(attribute) — see :class:`Min`."""
+    """MAX(attribute) — see :class:`Min` (mirror-image semantics:
+    untouched ``-inf`` identity slots finalize to NaN; legitimate
+    ``+inf`` and NaN values pass through)."""
 
     name = "max"
     blend = "max"
@@ -159,5 +189,5 @@ class Max(Aggregate):
 
     def finalize(self, reduced: dict[str, np.ndarray]) -> np.ndarray:
         out = reduced["max"].astype(np.float64)
-        out[~np.isfinite(out)] = np.nan
+        out[out == self.identity()] = np.nan
         return out

@@ -709,10 +709,14 @@ def grid_pip_aggregate(
                         np.sum(vals, dtype=np.float64)
                     )
                 elif aggregate.blend == "min":
-                    accumulators[ch][pid] = min(
-                        accumulators[ch][pid], float(np.min(vals))
-                    )
+                    # np.minimum, not Python min: NaN must poison the
+                    # merge exactly as it does in the raster path's
+                    # np.minimum.at scatter and in reduce_pixels' np.min
+                    # (Python min would silently keep the accumulator).
+                    accumulators[ch][pid] = float(np.minimum(
+                        accumulators[ch][pid], np.min(vals)
+                    ))
                 else:
-                    accumulators[ch][pid] = max(
-                        accumulators[ch][pid], float(np.max(vals))
-                    )
+                    accumulators[ch][pid] = float(np.maximum(
+                        accumulators[ch][pid], np.max(vals)
+                    ))

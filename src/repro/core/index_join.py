@@ -174,9 +174,17 @@ class IndexJoin(SpatialAggregationEngine):
                     if aggregate.blend == "add":
                         accumulators[ch][pid] += value
                     elif aggregate.blend == "min":
-                        accumulators[ch][pid] = min(accumulators[ch][pid], value)
+                        # np.minimum, not Python min: a NaN value must
+                        # poison the slot exactly as it does in the
+                        # vectorized paths (Python min would keep the
+                        # accumulator and silently drop the NaN).
+                        accumulators[ch][pid] = float(
+                            np.minimum(accumulators[ch][pid], value)
+                        )
                     else:
-                        accumulators[ch][pid] = max(accumulators[ch][pid], value)
+                        accumulators[ch][pid] = float(
+                            np.maximum(accumulators[ch][pid], value)
+                        )
         stats.pip_tests += pip_tests
 
     # ------------------------------------------------------------------

@@ -123,6 +123,7 @@ class CostModel:
         self, num_points: int, boundary_fraction: float, covered_pixels: int,
         tiles: int = 1, workers: int = 1, num_vertices: int = 0,
         warm: "str | bool | None" = False, partitioned: bool = False,
+        pyramid_warm: bool = False, pyramid_cells: int = 0,
     ) -> float:
         """Predicted accurate-join time: prepare + render + boundary PIP.
 
@@ -133,12 +134,30 @@ class CostModel:
         cold.  With ``partitioned`` point execution the render term
         scales by the per-tile point share (see
         :meth:`_point_pass_seconds`).
+
+        ``pyramid_warm`` is the third regime: a resident aggregate
+        pyramid (``repro.cache.pyramid``) answers polygon interiors from
+        cached block partials, so the whole-input point pass and the
+        pixel polygon pass disappear — what remains is the boundary-cell
+        PIP fallback (``boundary_fraction`` should then be the *grid
+        cell* supercover share, not the canvas pixel share) plus the
+        block folds, priced per block entry by the polygon-pass pixel
+        rate (both are gather-and-reduce of cached partials).  The
+        preparation term stays: a cold artifact still triangulates and
+        builds its grid before the pyramid can route around the points.
         """
         tiles = max(1, tiles)
         concurrency = max(1, min(workers, tiles))
         waves = math.ceil(tiles / concurrency)
         boundary_points = num_points * boundary_fraction
         prepared, replayable = self._grades(warm)
+        if pyramid_warm:
+            return (
+                self.per_boundary_point * boundary_points / concurrency
+                + self.per_pixel_polygon_pass * pyramid_cells / concurrency
+                + (self.per_vertex_triangulate + self.per_vertex_grid)
+                * num_vertices * (1.0 - prepared)
+            )
         seconds = (
             self._point_pass_seconds(num_points, tiles, waves, partitioned)
             + self.per_boundary_point * boundary_points / concurrency
@@ -346,6 +365,20 @@ class RasterJoinOptimizer:
         # the prediction must assume the same point-pass execution they
         # will actually run: partitioned tiles scan only their share.
         partitioned = self._partitioned
+        acc_workers = self._effective_workers(points, acc_canvas, max_res, 8)
+        # Third regime: a resident aggregate pyramid reads only the
+        # points of boundary *grid cells* plus O(blocks) cached partials.
+        pyramid_warm = accurate_engine.pyramid_warmth(points, polygons)
+        grid_res = max(1, accurate_engine.grid_resolution)
+        grid_canvas = Canvas.for_resolution(polygons.bbox, grid_res)
+        boundary_cells = perimeter / max(
+            min(grid_canvas.pixel_width, grid_canvas.pixel_height), 1e-300
+        )
+        cell_fraction = min(1.0, boundary_cells / max(grid_res * grid_res, 1))
+        # Block decomposition folds O(boundary cells) entries per level.
+        pyramid_cells = int(
+            boundary_cells * max(1.0, math.log2(max(grid_res, 2)))
+        )
         return {
             "bounded": model.bounded_seconds(
                 len(points), canvas.num_pixels, tiles, int(covered),
@@ -357,12 +390,22 @@ class RasterJoinOptimizer:
                 len(points), boundary_fraction,
                 int(acc_canvas.num_pixels * area_fraction),
                 tiles=acc_tiles,
-                workers=self._effective_workers(points, acc_canvas, max_res, 8),
+                workers=acc_workers,
                 num_vertices=num_vertices, warm=warm_accurate,
                 partitioned=partitioned,
             ),
+            "accurate_pyramid": model.accurate_seconds(
+                len(points), cell_fraction,
+                int(acc_canvas.num_pixels * area_fraction),
+                tiles=acc_tiles,
+                workers=acc_workers,
+                num_vertices=num_vertices, warm=warm_accurate,
+                partitioned=partitioned,
+                pyramid_warm=True, pyramid_cells=pyramid_cells,
+            ),
             "bounded_warm": warm_bounded or False,
             "accurate_warm": warm_accurate or False,
+            "accurate_pyramid_warm": bool(pyramid_warm),
         }
 
     def _effective_workers(
@@ -405,6 +448,12 @@ class RasterJoinOptimizer:
         bounded_engine, accurate_engine = self._candidates(epsilon)
         cost = self._estimate(points, polygons, epsilon,
                               bounded_engine, accurate_engine)
-        if cost["bounded"] <= cost["accurate"]:
+        # With a resident pyramid the accurate engine will actually take
+        # the pyramid-warm path, so that's the prediction it competes on.
+        accurate_cost = (
+            cost["accurate_pyramid"] if cost["accurate_pyramid_warm"]
+            else cost["accurate"]
+        )
+        if cost["bounded"] <= accurate_cost:
             return bounded_engine
         return accurate_engine

@@ -36,6 +36,16 @@ PARTITION_ENV_VAR = "REPRO_PARTITION_POINTS"
 #: scalar-vs-batched ablation and the equivalence test suites.
 BATCH_RASTER_ENV_VAR = "REPRO_BATCH_RASTER"
 
+#: Environment hook for the aggregate-pyramid warm path; consulted when
+#: ``EngineConfig.pyramid`` is ``None``.  Defaults to on — but the flag
+#: only governs whether the accurate engine *consults* a pyramid that an
+#: explicit :meth:`AccurateRasterJoin.build_pyramid` call (or the SQL
+#: planner's prewarm) has made resident; nothing builds one implicitly,
+#: and with none resident every query runs the exact path unchanged.
+#: ``REPRO_PYRAMID=0`` forces the exact path even with a resident
+#: pyramid (see ``docs/aggregate_pyramid.md``).
+PYRAMID_ENV_VAR = "REPRO_PYRAMID"
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -64,9 +74,13 @@ class EngineConfig:
     to on); ``batch_raster`` selects the batched whole-set raster
     builders over the per-triangle loops (``None`` consults
     ``$REPRO_BATCH_RASTER``, defaulting to on — see
-    ``docs/rasterization.md``).  Results never depend on any of them —
-    like the backend choice they are purely performance decisions (see
-    ``docs/parallel_execution.md``).
+    ``docs/rasterization.md``); ``pyramid`` lets the accurate engine
+    answer warm queries from an explicitly built aggregate pyramid
+    (``None`` consults ``$REPRO_PYRAMID``, defaulting to on — see
+    ``docs/aggregate_pyramid.md``).  Results never depend on any of
+    them — like the backend choice they are purely performance decisions
+    (see ``docs/parallel_execution.md``; the pyramid path's per-aggregate
+    exactness contract is spelled out in its doc).
     """
 
     backend: str | ExecutionBackend | None = None
@@ -76,6 +90,7 @@ class EngineConfig:
     partition_points: bool | None = None
     persistent_pool: bool | None = None
     batch_raster: bool | None = None
+    pyramid: bool | None = None
 
     def make_backend(self) -> ExecutionBackend:
         """The backend instance this configuration describes."""
@@ -116,6 +131,21 @@ class EngineConfig:
         if self.batch_raster is not None:
             return self.batch_raster
         return flag_from_env(BATCH_RASTER_ENV_VAR, True)
+
+    def pyramid_enabled(self) -> bool:
+        """Whether the accurate engine may answer from a resident
+        aggregate pyramid.
+
+        Only gates *use*: pyramids are built solely through explicit
+        calls (:meth:`AccurateRasterJoin.build_pyramid`, planner
+        prewarm), so with none resident the exact path runs regardless.
+        Count/Sum answers are bit-identical either way; Min/Max/Average
+        are exact with documented merge semantics (see
+        ``docs/aggregate_pyramid.md``).
+        """
+        if self.pyramid is not None:
+            return self.pyramid
+        return flag_from_env(PYRAMID_ENV_VAR, True)
 
     def make_store(self):
         """The artifact store this configuration describes (or ``None``).

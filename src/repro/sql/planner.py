@@ -207,6 +207,29 @@ class QueryPlanner:
         engine, points, regions, aggregate, filters = self.plan(statement)
         return engine.execute(points, regions, aggregate=aggregate, filters=filters)
 
+    def prewarm(self, point_table: str, region_table: str) -> None:
+        """Build the aggregate pyramid for a (points, regions) pairing.
+
+        The explicit opt-in to the pyramid-warm path
+        (``docs/aggregate_pyramid.md``): a dashboard calls this once
+        after registering its tables, pays the one-off O(points)
+        cell-sort here, and every later unfiltered Count/Sum/Avg/Min/Max
+        statement whose regions share the frame answers polygon
+        interiors from cached block partials.  Statements the pyramid
+        cannot serve (filters, unsupported aggregates) silently keep the
+        exact path, as does everything when ``$REPRO_PYRAMID=0``.
+        """
+        if point_table not in self._points:
+            raise SqlError(f"unknown point table {point_table!r}")
+        if region_table not in self._regions:
+            raise SqlError(f"unknown region table {region_table!r}")
+        engine = AccurateRasterJoin(
+            device=self.device, session=self.session, config=self.config,
+        )
+        engine.build_pyramid(
+            self._points[point_table], self._regions[region_table]
+        )
+
     def close(self) -> None:
         """Release the shared backend's worker pool.
 

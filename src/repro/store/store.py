@@ -662,6 +662,92 @@ class ArtifactStore:
             and (self.root / f"{root}.json").exists()
         )
 
+    # ------------------------------------------------------------------
+    # Aggregate pyramids — second artifact type, same pair layout
+    # ------------------------------------------------------------------
+    def save_pyramid(self, key: Sequence, pyramid) -> int:
+        """Persist an aggregate pyramid atomically; returns bytes written.
+
+        Same durability contract as :meth:`save` — tmp-and-rename pair
+        commit with the npz first, checksum in the manifest, and an
+        :class:`ArtifactTooLargeError` *before* writing anything when
+        the pair alone would exceed the disk budget.  Pyramids never
+        journal: a channel addition rewrites the (small) pair whole.
+        """
+        start = time.perf_counter()
+        arrays, manifest = artifact_format.encode_pyramid(pyramid, key)
+        buffer = io.BytesIO()
+        np.savez(buffer, **arrays)
+        payload = buffer.getvalue()
+        manifest["checksum"] = artifact_format.checksum(payload)
+        manifest["payload_bytes"] = len(payload)
+        manifest_bytes = json.dumps(manifest, sort_keys=True).encode("utf-8")
+        if (
+            self.disk_budget is not None
+            and len(payload) + len(manifest_bytes) > self.disk_budget
+        ):
+            self.rejected_saves += 1
+            raise ArtifactTooLargeError(
+                f"pyramid pair ({(len(payload) + len(manifest_bytes)) / 1e6:.1f}"
+                f" MB) exceeds the store's disk budget "
+                f"({self.disk_budget / 1e6:.1f} MB)"
+            )
+        npz_path, manifest_path = self._paths(key)
+        tmp_npz = self._tmp_name(npz_path)
+        tmp_manifest = self._tmp_name(manifest_path)
+        try:
+            tmp_npz.write_bytes(payload)
+            os.replace(tmp_npz, npz_path)
+            tmp_manifest.write_bytes(manifest_bytes)
+            os.replace(tmp_manifest, manifest_path)
+        finally:
+            for leftover in (tmp_npz, tmp_manifest):
+                try:
+                    leftover.unlink(missing_ok=True)
+                except OSError:
+                    pass
+        self.saves += 1
+        self.save_s += time.perf_counter() - start
+        if self.disk_budget is not None:
+            self.enforce_disk_budget(protect=artifact_format.key_id(key))
+        return len(payload) + len(manifest_bytes)
+
+    def load_pyramid(self, key: Sequence):
+        """Load and validate the pyramid for ``key``; ``None`` on any
+        failure — the caller rebuilds from points, it never crashes."""
+        start = time.perf_counter()
+        paths = self._paths_or_none(key)
+        if paths is None:
+            return None
+        npz_path, manifest_path = paths
+        try:
+            manifest = json.loads(manifest_path.read_bytes())
+            artifact_format.validate_pyramid_manifest(manifest, key)
+            payload = npz_path.read_bytes()
+            if len(payload) != manifest.get("payload_bytes"):
+                raise ArtifactFormatError("payload size mismatch")
+            if artifact_format.checksum(payload) != manifest.get("checksum"):
+                raise ArtifactFormatError("payload checksum mismatch")
+            with np.load(io.BytesIO(payload), allow_pickle=False) as arrays:
+                pyramid = artifact_format.decode_pyramid(arrays, manifest)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self.load_failures += 1
+            return None
+        self._touch(npz_path, manifest_path)
+        self.loads += 1
+        self.load_s += time.perf_counter() - start
+        return pyramid
+
+    def contains_pyramid(self, key: Sequence) -> bool:
+        """Cheap existence probe for a persisted pyramid pair."""
+        paths = self._paths_or_none(key)
+        if paths is None:
+            return False
+        npz_path, manifest_path = paths
+        return npz_path.exists() and manifest_path.exists()
+
     def describe(self, key: Sequence) -> list[str] | None:
         """The stored artifact's field list, without loading the payload.
 
