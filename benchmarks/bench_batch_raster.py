@@ -160,6 +160,7 @@ def test_batched_raster_prepare_speedup():
 
     RESULT_JSON.write_text(json.dumps({
         "benchmark": "batch_raster",
+        "metrics": harness.metrics_snapshot(),
         "zones": ZONES,
         "resolution": RESOLUTION,
         "cells": {

@@ -234,6 +234,7 @@ def test_incremental_edit_smoke(benchmark, taxi, tmp_path_factory):
     # Acceptance bar: >= 5x faster than the cold rebuild.
     speedup = cold_s / inc_s
     record["speedup_incremental_vs_cold"] = speedup
+    record["metrics"] = harness.metrics_snapshot()
     RESULT_JSON.write_text(json.dumps(record, indent=2, sort_keys=True))
     assert speedup >= 5.0, (
         f"incremental edit is only {speedup:.1f}x faster than a cold "

@@ -218,6 +218,7 @@ def test_point_partition_smoke(benchmark, square_workload):
     record["speedup_at_4_workers"] = speedup_parallel
     record["speedup_at_1_worker"] = speedup_serial
     record["single_tile_overhead_ratio"] = single_ratio
+    record["metrics"] = harness.metrics_snapshot()
     RESULT_JSON.write_text(json.dumps(record, indent=2, sort_keys=True))
 
     assert speedup_parallel >= 2.0, (

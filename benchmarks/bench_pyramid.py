@@ -205,6 +205,7 @@ def test_pyramid_pan_zoom_smoke(benchmark, pan_zoom_workload):
         "stroke-total", sum(len(f) for f in frames), exact_total,
         pyramid_total, stroke_speedup, "-", True,
     )
+    record["metrics"] = harness.metrics_snapshot()
     RESULT_JSON.write_text(json.dumps(record, indent=2) + "\n")
     assert pyramid_total * 3.0 <= exact_total, (
         f"pyramid-warm stroke {pyramid_total:.3f}s not 3x faster than "

@@ -1,0 +1,132 @@
+"""Tracing-off overhead gate, plus the CI Chrome-trace artifact.
+
+The observability contract: with ``$REPRO_TRACE`` unset, every
+``trace.span(...)`` call site must cost one thread-local lookup and one
+branch — indistinguishable from uninstrumented code.  This benchmark
+measures exactly that delta on a warm 1024^2 accurate query:
+
+* **baseline** — ``trace.span`` monkeypatched to a raw stub that
+  returns the shared no-op context manager unconditionally (the closest
+  runnable stand-in for "the call sites were never added");
+* **instrumented-off** — the real disabled path.
+
+Runs interleave (baseline, instrumented, baseline, instrumented, ...)
+so clock drift and cache effects hit both arms equally, and the gate
+compares *medians*: relative overhead under **3%**, or — for hosts
+where the warm query is so fast the ratio is noise — an absolute delta
+under 5 ms.
+
+Also records one *traced* run's span tree as a Chrome ``trace_event``
+file under ``benchmarks/results/`` (the CI artifact), and writes the
+``BENCH_trace.json`` trajectory record.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks import harness
+from repro import AccurateRasterJoin, PointDataset, QuerySession
+from repro.data import generate_voronoi_regions
+from repro.geometry.bbox import BBox
+from repro.obs import export, trace
+
+POINT_ROWS = 400_000
+RESOLUTION = 1024
+ZONES = 32
+REPEATS = 7
+OVERHEAD_GATE = 0.03
+ABS_SLACK_S = 0.005
+EXTENT = BBox(0.0, 0.0, 1000.0, 1000.0)
+RESULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+CHROME_TRACE = harness.RESULTS_DIR / "trace_overhead.chrome.json"
+
+
+def _table():
+    return harness.table(
+        "trace_overhead",
+        "Tracing-off overhead on a warm 1024^2 accurate query",
+        ["arm", "median_s", "overhead", "gate"],
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(23)
+    points = PointDataset(
+        rng.uniform(EXTENT.xmin, EXTENT.xmax, POINT_ROWS),
+        rng.uniform(EXTENT.ymin, EXTENT.ymax, POINT_ROWS),
+    )
+    zones = generate_voronoi_regions(ZONES, EXTENT, seed=23)
+    return points, zones
+
+
+def _timed(engine, points, zones):
+    start = time.perf_counter()
+    result = engine.execute(points, zones)
+    return time.perf_counter() - start, result
+
+
+def test_tracing_off_overhead(monkeypatch, workload):
+    points, zones = workload
+    monkeypatch.delenv(trace.TRACE_ENV_VAR, raising=False)
+    engine = AccurateRasterJoin(
+        resolution=RESOLUTION, session=QuerySession()
+    )
+    noop = trace._NOOP
+    real_span = trace.span
+
+    def stub_span(name, **attrs):
+        return noop
+
+    # Warm the session (and the CPU caches) before either arm is timed.
+    engine.execute(points, zones)
+
+    baseline_s, instrumented_s = [], []
+    for _ in range(REPEATS):
+        monkeypatch.setattr(trace, "span", stub_span)
+        seconds, _ = _timed(engine, points, zones)
+        baseline_s.append(seconds)
+        monkeypatch.setattr(trace, "span", real_span)
+        seconds, result = _timed(engine, points, zones)
+        instrumented_s.append(seconds)
+    assert result.trace is None  # the env gate really was off
+
+    base = statistics.median(baseline_s)
+    instr = statistics.median(instrumented_s)
+    overhead = (instr - base) / base
+    table = _table()
+    table.add_row("span-stub baseline", base, 0.0, "")
+    table.add_row("tracing off", instr, overhead, f"<{OVERHEAD_GATE:.0%}")
+    assert overhead < OVERHEAD_GATE or (instr - base) < ABS_SLACK_S, (
+        f"tracing-off overhead {overhead:.1%} "
+        f"(baseline {base:.4f}s, instrumented {instr:.4f}s)"
+    )
+
+    # One traced run: the Chrome trace CI artifact + the trajectory record.
+    monkeypatch.setenv(trace.TRACE_ENV_VAR, "1")
+    traced_seconds, traced = _timed(engine, points, zones)
+    assert traced.trace is not None
+    harness.RESULTS_DIR.mkdir(exist_ok=True)
+    export.write_chrome_trace(traced.trace, str(CHROME_TRACE))
+
+    RESULT_JSON.write_text(json.dumps({
+        "benchmark": "trace_overhead",
+        "points": POINT_ROWS,
+        "resolution": RESOLUTION,
+        "zones": ZONES,
+        "repeats": REPEATS,
+        "cells": {
+            "baseline_median_s": base,
+            "tracing_off_median_s": instr,
+            "overhead": overhead,
+            "gate": OVERHEAD_GATE,
+            "traced_run_s": traced_seconds,
+            "spans_recorded": sum(1 for _ in traced.trace.walk()),
+        },
+        "metrics": harness.metrics_snapshot(),
+    }, indent=2) + "\n")

@@ -97,6 +97,24 @@ def all_tables() -> list[ExperimentTable]:
 
 
 # ----------------------------------------------------------------------
+# Metrics snapshots for the BENCH_*.json trajectory records
+# ----------------------------------------------------------------------
+def metrics_snapshot() -> dict:
+    """A JSON-safe dump of the process-wide metrics registry.
+
+    Benchmarks embed this in their ``BENCH_*.json`` records so a
+    trajectory point carries not just the headline timings but the work
+    the run actually did — cache hit/miss counts, store traffic,
+    device-memory high-water marks (see ``docs/observability.md``).
+    Call ``repro.obs.metrics.reset()`` at the start of a leg to scope
+    the snapshot to that leg.
+    """
+    from repro.obs import metrics
+
+    return metrics.snapshot()
+
+
+# ----------------------------------------------------------------------
 # CPU grid-index builds for Table 1 (the paper reports GPU / multi-CPU /
 # single-CPU index-creation costs separately).
 # ----------------------------------------------------------------------

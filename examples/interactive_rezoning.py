@@ -98,6 +98,9 @@ def rezoning_session(taxi, strokes: int = 4) -> None:
             f"[{elapsed:.3f}s, prepared={demand.stats.extra['prepared']}, "
             f"rebuilt {rebuilt}/{len(zones)} zones]"
         )
+    print("\n  last stroke, in full (stats.summary()):")
+    for line in demand.stats.summary().splitlines():
+        print(f"    {line}")
     print(f"  => {session!r}")
 
 

@@ -54,6 +54,7 @@ from repro.geometry.polygon import PolygonSet
 from repro.graphics.raster_line import outline_pixels
 from repro.graphics.viewport import Viewport
 from repro.index.grid import GridIndex
+from repro.obs import metrics, trace
 
 #: Per-channel identity values by partial kind (count/sum fold from 0).
 _IDENTITY = {"count": 0.0, "sum": 0.0, "min": np.inf, "max": -np.inf}
@@ -168,6 +169,8 @@ class AggregatePyramid:
             grid.resolution, len(xs), point_order, cell_start,
         )
         pyramid.build_s = time.perf_counter() - start
+        metrics.counter("pyramid_builds")
+        metrics.observe("pyramid_build_seconds", pyramid.build_s)
         return pyramid
 
     def _sorted_cells(self) -> np.ndarray:
@@ -205,7 +208,10 @@ class AggregatePyramid:
         self.install_channel(kind, column, level0.reshape(
             self.resolution, self.resolution
         ))
-        self.build_s += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.build_s += elapsed
+        metrics.counter("pyramid_channel_builds", kind=kind)
+        metrics.observe("pyramid_build_seconds", elapsed)
 
     def install_channel(
         self, kind: str, column: str | None, level0: np.ndarray
@@ -392,20 +398,26 @@ def ensure_polygon_blocks(
     viewport = Viewport(grid.extent, grid.resolution, grid.resolution)
     num_levels = pyramid_levels(grid.resolution)
     dirty = False
-    for pid, unit in enumerate(units):
-        if unit.blocks is not None and unit.pip_cells is not None:
-            continue
-        cells = unit.cells
-        if cells is None:
-            cells = GridIndex.cells_for_polygon(
-                polygons[pid], grid.extent, grid.resolution, grid.assignment
+    with trace.span("pyramid-classify", polygons=len(units)):
+        for pid, unit in enumerate(units):
+            if unit.blocks is not None and unit.pip_cells is not None:
+                continue
+            cells = unit.cells
+            if cells is None:
+                cells = GridIndex.cells_for_polygon(
+                    polygons[pid], grid.extent, grid.resolution,
+                    grid.assignment
+                )
+                unit.cells = cells
+            interior, pip = classify_cells(
+                polygons[pid], cells, grid, viewport
             )
-            unit.cells = cells
-        interior, pip = classify_cells(polygons[pid], cells, grid, viewport)
-        unit.interior_cells = interior
-        unit.pip_cells = pip
-        unit.blocks = decompose_blocks(interior, grid.resolution, num_levels)
-        dirty = True
+            unit.interior_cells = interior
+            unit.pip_cells = pip
+            unit.blocks = decompose_blocks(
+                interior, grid.resolution, num_levels
+            )
+            dirty = True
     if prepared.pip_grid is None or dirty:
         prepared.pip_grid = GridIndex.from_cells(
             polygons,

@@ -70,6 +70,7 @@ from repro.cache.prepared import (
 )
 from repro.errors import QueryError
 from repro.geometry.polygon import Polygon, PolygonSet
+from repro.obs import metrics
 
 
 def _point_columns(source) -> tuple:
@@ -252,6 +253,7 @@ class QuerySession:
             # no bytes, no mutation since the last post-execution
             # checkpoint — so the warm path skips maintenance and stays
             # O(1), like the pre-store LRU.
+            metrics.counter("session_prepared_lookups", result="hit")
             return entry, "memory"
         if self.store is not None:
             entry = self.store.load(key, polygons)
@@ -263,6 +265,8 @@ class QuerySession:
                 self.store_hits += 1
                 entry.uses += 1
                 self._maintain(exclude=key)
+                metrics.counter("session_prepared_lookups",
+                                result="store_hit")
                 return entry, "store"
         # Delta derivation: an edited set adopts a resident sibling's
         # unchanged per-polygon units instead of cold-building all of
@@ -283,6 +287,8 @@ class QuerySession:
                 self.polygons_rebuilt += len(entry.delta_dirty)
                 entry.uses += 1
                 self._maintain(exclude=key)
+                metrics.counter("session_prepared_lookups",
+                                result="delta_hit")
                 return entry, "delta"
         entry = PreparedPolygons(key)
         if fingerprints:
@@ -292,6 +298,7 @@ class QuerySession:
         self._entries[key] = entry
         self.misses += 1
         self._maintain(exclude=key)
+        metrics.counter("session_prepared_lookups", result="miss")
         return entry, ""
 
     def _find_delta_base(
@@ -556,6 +563,7 @@ class QuerySession:
             return None
         self._partitions.move_to_end(key)
         self.partition_hits += 1
+        metrics.counter("session_partition_hits")
         return per_tile, duplicates
 
     def partition_store(self, points, token: tuple, per_tile,
@@ -619,6 +627,7 @@ class QuerySession:
                 self._pyramids.move_to_end(key)
                 self.pyramid_hits += 1
                 pyramid.uses += 1
+                metrics.counter("session_pyramid_lookups", result="hit")
                 return pyramid
             del self._pyramids[key]
         if self.store is None:
@@ -629,6 +638,7 @@ class QuerySession:
         if pyramid is None:
             return None
         self.pyramid_store_hits += 1
+        metrics.counter("session_pyramid_lookups", result="store_hit")
         self._pyramid_insert(points, guard, token, pyramid,
                              persisted_version=pyramid.version)
         return pyramid
@@ -840,6 +850,7 @@ class QuerySession:
             self._try_save(key, entry, nbytes)
         self._forget(key)
         self.demotions += 1
+        metrics.counter("session_demotions", kind="full")
 
     def _forget(self, key: tuple) -> None:
         """Drop a departed key's bookkeeping.
@@ -879,11 +890,13 @@ class QuerySession:
             > self.byte_budget
         ):
             self._flush_pyramid_entry(self._pyramids.popitem(last=False)[1])
+            metrics.counter("session_evictions", tier="pyramid")
         while (
             self._partitions
             and total + self.partition_nbytes > self.byte_budget
         ):
             self._partitions.popitem(last=False)
+            metrics.counter("session_evictions", tier="partition")
         if total <= self.byte_budget:
             return
         # Tier 1: strip re-derivable state (coverage, boundary masks)
@@ -909,6 +922,7 @@ class QuerySession:
             sizes[key] -= freed
             total -= freed
             self.partial_demotions += 1
+            metrics.counter("session_demotions", kind="partial")
         # Tier 2: demote whole entries to the store, LRU-first.
         for key in list(self._entries):
             if total <= self.byte_budget:

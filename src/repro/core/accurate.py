@@ -54,6 +54,7 @@ from repro.graphics.fbo import FrameBuffer
 from repro.graphics.raster_line import outline_pixels, outline_pixels_many
 from repro.graphics.raster_triangle import triangle_coverage_mask
 from repro.graphics.viewport import Canvas, Viewport
+from repro.obs import metrics, trace
 from repro.types import AggregationResult, ExecutionStats
 
 
@@ -107,20 +108,25 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         self, polygons: PolygonSet, stats: ExecutionStats
     ) -> PreparedPolygons:
         """Canvas layout, triangulations, and grid index — built once."""
-        prepared = self._prepared_state(polygons, self.prepared_spec(), stats)
-        if prepared.canvas is None:
-            extent = polygons.bbox
-            probe = Canvas.for_resolution(extent, self.resolution)
-            pad = max(probe.pixel_width, probe.pixel_height)
-            prepared.canvas = Canvas.for_resolution(
-                extent.expanded(pad), self.resolution
+        with trace.span("prepare", polygons=len(polygons)):
+            prepared = self._prepared_state(
+                polygons, self.prepared_spec(), stats
             )
-            prepared.tiles = list(prepared.canvas.tiles(self.max_resolution))
-        prepared.ensure_triangles(polygons, stats)
-        prepared.ensure_grid(polygons, self.grid_resolution, "mbr", stats)
-        # Columnar MBRs feed the batched builders' vectorized per-tile
-        # bin pass; built in the parent so tile tasks only read them.
-        prepared.ensure_mbr_arrays(polygons)
+            if prepared.canvas is None:
+                extent = polygons.bbox
+                probe = Canvas.for_resolution(extent, self.resolution)
+                pad = max(probe.pixel_width, probe.pixel_height)
+                prepared.canvas = Canvas.for_resolution(
+                    extent.expanded(pad), self.resolution
+                )
+                prepared.tiles = list(
+                    prepared.canvas.tiles(self.max_resolution)
+                )
+            prepared.ensure_triangles(polygons, stats)
+            prepared.ensure_grid(polygons, self.grid_resolution, "mbr", stats)
+            # Columnar MBRs feed the batched builders' vectorized per-tile
+            # bin pass; built in the parent so tile tasks only read them.
+            prepared.ensure_mbr_arrays(polygons)
         stats.extra["canvas"] = (prepared.canvas.width, prepared.canvas.height)
         return prepared
 
@@ -246,13 +252,16 @@ class AccurateRasterJoin(SpatialAggregationEngine):
             pyramid.ensure_channel(kind, col, points)
         accumulators = self._new_accumulators(polygons, aggregate)
         block_cells = 0
-        for pid, unit in enumerate(prepared.units):
-            for ch, (kind, col) in kinds.items():
-                accumulators[ch][pid] = aggregate.combine(
-                    np.asarray(accumulators[ch][pid]),
-                    np.asarray(pyramid.block_reduce(kind, col, unit.blocks)),
-                )
-            block_cells += sum(len(ids) for _, ids in unit.blocks)
+        with trace.span("pyramid-block-merge", polygons=len(polygons)):
+            for pid, unit in enumerate(prepared.units):
+                for ch, (kind, col) in kinds.items():
+                    accumulators[ch][pid] = aggregate.combine(
+                        np.asarray(accumulators[ch][pid]),
+                        np.asarray(
+                            pyramid.block_reduce(kind, col, unit.blocks)
+                        ),
+                    )
+                block_cells += sum(len(ids) for _, ids in unit.blocks)
         fallback_cells = np.unique(np.concatenate(
             [unit.pip_cells for unit in prepared.units]
         )) if prepared.units else np.zeros(0, dtype=np.int64)
@@ -261,15 +270,18 @@ class AccurateRasterJoin(SpatialAggregationEngine):
             attrs = {
                 col: points.column(col)[idx] for col in aggregate.columns
             }
-            grid_pip_aggregate(
-                points.column("x")[idx], points.column("y")[idx], attrs,
-                pip_grid, polygons, aggregate, accumulators, stats,
-            )
+            with trace.span("boundary-pip", points=int(len(idx))):
+                grid_pip_aggregate(
+                    points.column("x")[idx], points.column("y")[idx], attrs,
+                    pip_grid, polygons, aggregate, accumulators, stats,
+                )
         stats.points_processed += len(idx)
         stats.boundary_points += len(idx)
         stats.extra["pyramid"] = "hit"
         stats.extra["pyramid_cells"] = int(block_cells)
         stats.extra["pyramid_fallback_points"] = int(len(idx))
+        metrics.counter("pyramid_block_cells", int(block_cells))
+        metrics.counter("pyramid_fallback_points", int(len(idx)))
         stats.processing_s += time.perf_counter() - start
         return aggregate.finalize(accumulators), accumulators
 
@@ -313,21 +325,25 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         filter_set = FilterSet.coerce(filters)
         columns = self.required_columns(aggregate, filter_set)
         stats = ExecutionStats(engine=self.name, batches=0, passes=0)
-        prepared = self._prepare(polygons, stats)
-        accumulators = self._new_accumulators(polygons, aggregate)
-        saw_chunk = self._execute_tiles(
-            prepared, chunk_source, polygons, aggregate, filter_set,
-            columns, accumulators, stats,
-        )
-        if not saw_chunk:
-            raise QueryError("chunk source produced no chunks")
-        if stats.batches == 0:
-            stats.batches = 1
+        with trace.query_scope(self.name) as root:
+            prepared = self._prepare(polygons, stats)
+            accumulators = self._new_accumulators(polygons, aggregate)
+            saw_chunk = self._execute_tiles(
+                prepared, chunk_source, polygons, aggregate, filter_set,
+                columns, accumulators, stats,
+            )
+            if not saw_chunk:
+                raise QueryError("chunk source produced no chunks")
+            if stats.batches == 0:
+                stats.batches = 1
+            if root is not None:
+                root.attrs.update(stats.as_span_attrs())
         self._checkpoint_session()
         return AggregationResult(
             values=aggregate.finalize(accumulators),
             channels=accumulators,
             stats=stats,
+            trace=root,
         )
 
     def _execute_tiles(
@@ -365,60 +381,88 @@ class AccurateRasterJoin(SpatialAggregationEngine):
             points_hint=points_hint,
         )
         units_mode = retain and prepared.units is not None
+        # Captured before dispatch: worker threads and forked children
+        # have no ambient tracer, so each tile task records into its own
+        # (shipped home via TilePartial.span).
+        tracing = trace.active() is not None
 
         def run_tile(tile_idx: int, tile: Viewport) -> TilePartial:
-            tile_stats = ExecutionStats(engine=self.name, batches=0, passes=0)
-            partial_acc = self._new_accumulators(polygons, aggregate)
-            boundary = prepared.boundary_masks.get(tile_idx)
-            built_boundary = None
-            built_unit_boundary = None
-            if boundary is None:
-                if units_mode:
-                    # Per-polygon build: rasterize outlines only for
-                    # polygons whose unit lacks this tile (after an edit,
-                    # just the changed ones) and OR every polygon's
-                    # pixels into the tile mask — bit-identical to the
-                    # direct whole-set render.
-                    start = time.perf_counter()
-                    built_unit_boundary = self._build_unit_boundaries(
-                        tile, prepared, polygons,
-                        prepared.missing_boundary_pids(tile_idx),
-                    )
-                    boundary = prepared.compose_boundary(
-                        tile_idx, tile, built_unit_boundary
-                    )
-                    tile_stats.processing_s += time.perf_counter() - start
-                    tile_stats.extra["boundary_pixels"] = int(boundary.sum())
+            with trace.tile_scope(tracing, tile=tile_idx) as tile_span:
+                tile_stats = ExecutionStats(
+                    engine=self.name, batches=0, passes=0
+                )
+                partial_acc = self._new_accumulators(polygons, aggregate)
+                boundary = prepared.boundary_masks.get(tile_idx)
+                built_boundary = None
+                built_unit_boundary = None
+                if boundary is None:
+                    with trace.span("boundary"):
+                        if units_mode:
+                            # Per-polygon build: rasterize outlines only
+                            # for polygons whose unit lacks this tile
+                            # (after an edit, just the changed ones) and
+                            # OR every polygon's pixels into the tile
+                            # mask — bit-identical to the direct
+                            # whole-set render.
+                            start = time.perf_counter()
+                            built_unit_boundary = self._build_unit_boundaries(
+                                tile, prepared, polygons,
+                                prepared.missing_boundary_pids(tile_idx),
+                            )
+                            boundary = prepared.compose_boundary(
+                                tile_idx, tile, built_unit_boundary
+                            )
+                            tile_stats.processing_s += (
+                                time.perf_counter() - start
+                            )
+                            tile_stats.extra["boundary_pixels"] = int(
+                                boundary.sum()
+                            )
+                        else:
+                            boundary = self._render_boundary(
+                                tile, polygons, tile_stats
+                            )
+                    built_boundary = boundary
                 else:
-                    boundary = self._render_boundary(tile, polygons, tile_stats)
-                built_boundary = boundary
-            else:
-                tile_stats.extra["boundary_pixels"] = int(boundary.sum())
-            fbo = self._tile_framebuffer(tile, aggregate, self.fbo_dtype)
-            saw_points = False
-            chunks = source() if partitioned is None else partitioned[0][tile_idx]
-            for chunk in chunks:
-                saw_points = True
-                self._route_points(tile, boundary, fbo, chunk, polygons,
-                                   prepared.grid, columns, aggregate, filters,
-                                   partial_acc, tile_stats)
-            built_coverage, built_unit_coverage = self._polygon_pass(
-                tile_idx, tile, prepared, boundary, fbo, polygons, aggregate,
-                partial_acc, tile_stats, units_mode,
-            )
-            tile_stats.passes = 1
-            return TilePartial(
-                tile_idx, partial_acc, tile_stats, saw_points=saw_points,
-                boundary_mask=built_boundary if retain else None,
-                coverage=built_coverage if retain else None,
-                unit_boundary=built_unit_boundary if retain else None,
-                unit_coverage=built_unit_coverage if retain else None,
-            )
+                    tile_stats.extra["boundary_pixels"] = int(boundary.sum())
+                fbo = self._tile_framebuffer(tile, aggregate, self.fbo_dtype)
+                saw_points = False
+                chunks = (
+                    source() if partitioned is None
+                    else partitioned[0][tile_idx]
+                )
+                with trace.span("point-pass"):
+                    for chunk in chunks:
+                        saw_points = True
+                        self._route_points(
+                            tile, boundary, fbo, chunk, polygons,
+                            prepared.grid, columns, aggregate, filters,
+                            partial_acc, tile_stats,
+                        )
+                with trace.span("polygon-pass"):
+                    built_coverage, built_unit_coverage = self._polygon_pass(
+                        tile_idx, tile, prepared, boundary, fbo, polygons,
+                        aggregate, partial_acc, tile_stats, units_mode,
+                    )
+                tile_stats.passes = 1
+                return TilePartial(
+                    tile_idx, partial_acc, tile_stats, saw_points=saw_points,
+                    boundary_mask=built_boundary if retain else None,
+                    coverage=built_coverage if retain else None,
+                    unit_boundary=built_unit_boundary if retain else None,
+                    unit_coverage=built_unit_coverage if retain else None,
+                    span=tile_span,
+                )
 
-        partials = self._dispatch_tiles(tiles, run_tile, parallelism, stats)
-        saw = self._merge_tile_partials(
-            partials, prepared, aggregate, accumulators, stats
-        )
+        # ``concurrent`` marks that child (tile) spans may overlap in
+        # wall time, so their durations can legitimately sum past the
+        # parent's — the span-containment invariant exempts it.
+        with trace.span("tiles", concurrent=self.backend.workers > 1):
+            partials = self._dispatch_tiles(tiles, run_tile, parallelism,
+                                            stats)
+            saw = self._merge_tile_partials(
+                partials, prepared, aggregate, accumulators, stats
+            )
         return saw or (partitioned is not None and partitioned[1])
 
     # ------------------------------------------------------------------
@@ -544,13 +588,14 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                 # Boundary points: exact join via the polygon grid index.
                 # When the whole batch is boundary the masked gathers are
                 # skipped — identical values in identical order.
-                grid_pip_aggregate(
-                    xs if all_boundary else xs[on_boundary],
-                    ys if all_boundary else ys[on_boundary],
-                    attrs if all_boundary else
-                    {n: a[on_boundary] for n, a in attrs.items()},
-                    grid, polygons, aggregate, accumulators, stats,
-                )
+                with trace.span("boundary-pip", points=num_boundary):
+                    grid_pip_aggregate(
+                        xs if all_boundary else xs[on_boundary],
+                        ys if all_boundary else ys[on_boundary],
+                        attrs if all_boundary else
+                        {n: a[on_boundary] for n, a in attrs.items()},
+                        grid, polygons, aggregate, accumulators, stats,
+                    )
             if not all_boundary:
                 # Interior points: plain additive rasterization.  A batch
                 # with no boundary points skips the mask entirely — the

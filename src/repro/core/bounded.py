@@ -41,6 +41,7 @@ from repro.graphics.raster_point import rasterize_points
 from repro.graphics.raster_polygon import scanline_polygon_pixels
 from repro.graphics.raster_triangle import triangle_coverage_mask
 from repro.graphics.viewport import Canvas, Viewport
+from repro.obs import trace
 from repro.types import AggregationResult, ExecutionStats
 
 
@@ -127,14 +128,19 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         self, polygons: PolygonSet, stats: ExecutionStats
     ) -> PreparedPolygons:
         """Canvas layout and triangulations — built once per polygon set."""
-        prepared = self._prepared_state(polygons, self.prepared_spec(), stats)
-        if prepared.canvas is None:
-            prepared.canvas = self._make_canvas(polygons)
-            prepared.tiles = list(prepared.canvas.tiles(self.max_resolution))
-        prepared.ensure_triangles(polygons, stats)
-        # Columnar MBRs feed the batched builders' vectorized per-tile
-        # bin pass; built in the parent so tile tasks only read them.
-        prepared.ensure_mbr_arrays(polygons)
+        with trace.span("prepare", polygons=len(polygons)):
+            prepared = self._prepared_state(
+                polygons, self.prepared_spec(), stats
+            )
+            if prepared.canvas is None:
+                prepared.canvas = self._make_canvas(polygons)
+                prepared.tiles = list(
+                    prepared.canvas.tiles(self.max_resolution)
+                )
+            prepared.ensure_triangles(polygons, stats)
+            # Columnar MBRs feed the batched builders' vectorized per-tile
+            # bin pass; built in the parent so tile tasks only read them.
+            prepared.ensure_mbr_arrays(polygons)
         stats.extra["canvas"] = (prepared.canvas.width, prepared.canvas.height)
         stats.extra["pixel_diagonal"] = prepared.canvas.pixel_diagonal
         return prepared
@@ -163,9 +169,11 @@ class BoundedRasterJoin(SpatialAggregationEngine):
             from repro.core.bounds import estimate_result_intervals
 
             start = time.perf_counter()
-            self._intervals = estimate_result_intervals(
-                bounds_inputs, polygons, prepared.triangles, values, aggregate
-            )
+            with trace.span("bounds"):
+                self._intervals = estimate_result_intervals(
+                    bounds_inputs, polygons, prepared.triangles, values,
+                    aggregate,
+                )
             stats.extra["bounds_s"] = time.perf_counter() - start
         else:
             self._intervals = None
@@ -192,21 +200,25 @@ class BoundedRasterJoin(SpatialAggregationEngine):
         filter_set = FilterSet.coerce(filters)
         columns = self.required_columns(aggregate, filter_set)
         stats = ExecutionStats(engine=self.name, batches=0, passes=0)
-        prepared = self._prepare(polygons, stats)
-        accumulators = self._new_accumulators(polygons, aggregate)
-        saw_chunk = self._execute_tiles(
-            prepared, chunk_source, polygons, aggregate, filter_set,
-            columns, accumulators, stats, None,
-        )
-        if not saw_chunk:
-            raise QueryError("chunk source produced no chunks")
-        if stats.batches == 0:
-            stats.batches = 1
+        with trace.query_scope(self.name) as root:
+            prepared = self._prepare(polygons, stats)
+            accumulators = self._new_accumulators(polygons, aggregate)
+            saw_chunk = self._execute_tiles(
+                prepared, chunk_source, polygons, aggregate, filter_set,
+                columns, accumulators, stats, None,
+            )
+            if not saw_chunk:
+                raise QueryError("chunk source produced no chunks")
+            if stats.batches == 0:
+                stats.batches = 1
+            if root is not None:
+                root.attrs.update(stats.as_span_attrs())
         self._checkpoint_session()
         return AggregationResult(
             values=aggregate.finalize(accumulators),
             channels=accumulators,
             stats=stats,
+            trace=root,
         )
 
     def _execute_tiles(
@@ -243,35 +255,52 @@ class BoundedRasterJoin(SpatialAggregationEngine):
             points_hint=points_hint,
         )
         units_mode = retain and prepared.units is not None
+        # Captured before dispatch: worker threads and forked children
+        # have no ambient tracer, so each tile task records into its own
+        # (shipped home via TilePartial.span).
+        tracing = trace.active() is not None
 
         def run_tile(tile_idx: int, tile: Viewport) -> TilePartial:
-            tile_stats = ExecutionStats(engine=self.name, batches=0, passes=0)
-            partial_acc = self._new_accumulators(polygons, aggregate)
-            fbo = self._tile_framebuffer(tile, aggregate)
-            saw_points = False
-            chunks = source() if partitioned is None else partitioned[0][tile_idx]
-            for chunk in chunks:
-                saw_points = True
-                self._rasterize_chunk(tile, fbo, chunk, columns, aggregate,
-                                      filters, tile_stats)
-            built_coverage, built_unit_coverage = self._polygon_pass(
-                tile_idx, tile, prepared, fbo, polygons, aggregate,
-                partial_acc, tile_stats, units_mode,
-            )
-            tile_stats.passes = 1
-            return TilePartial(
-                tile_idx, partial_acc, tile_stats, saw_points=saw_points,
-                coverage=built_coverage if retain else None,
-                unit_coverage=built_unit_coverage if retain else None,
-                payload=(tile, fbo) if want_fbos else None,
-            )
+            with trace.tile_scope(tracing, tile=tile_idx) as tile_span:
+                tile_stats = ExecutionStats(
+                    engine=self.name, batches=0, passes=0
+                )
+                partial_acc = self._new_accumulators(polygons, aggregate)
+                fbo = self._tile_framebuffer(tile, aggregate)
+                saw_points = False
+                chunks = (
+                    source() if partitioned is None
+                    else partitioned[0][tile_idx]
+                )
+                with trace.span("point-pass"):
+                    for chunk in chunks:
+                        saw_points = True
+                        self._rasterize_chunk(
+                            tile, fbo, chunk, columns, aggregate, filters,
+                            tile_stats,
+                        )
+                with trace.span("polygon-pass"):
+                    built_coverage, built_unit_coverage = self._polygon_pass(
+                        tile_idx, tile, prepared, fbo, polygons, aggregate,
+                        partial_acc, tile_stats, units_mode,
+                    )
+                tile_stats.passes = 1
+                return TilePartial(
+                    tile_idx, partial_acc, tile_stats, saw_points=saw_points,
+                    coverage=built_coverage if retain else None,
+                    unit_coverage=built_unit_coverage if retain else None,
+                    payload=(tile, fbo) if want_fbos else None,
+                    span=tile_span,
+                )
 
-        partials = self._dispatch_tiles(tiles, run_tile, parallelism, stats)
-        if bounds_inputs is not None:
-            bounds_inputs.extend(p.payload for p in partials)
-        saw = self._merge_tile_partials(
-            partials, prepared, aggregate, accumulators, stats
-        )
+        with trace.span("tiles", concurrent=self.backend.workers > 1):
+            partials = self._dispatch_tiles(tiles, run_tile, parallelism,
+                                            stats)
+            if bounds_inputs is not None:
+                bounds_inputs.extend(p.payload for p in partials)
+            saw = self._merge_tile_partials(
+                partials, prepared, aggregate, accumulators, stats
+            )
         return saw or (partitioned is not None and partitioned[1])
 
     # ------------------------------------------------------------------

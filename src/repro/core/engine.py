@@ -29,6 +29,7 @@ from repro.exec.config import EngineConfig
 from repro.exec.partition import ResidentSubset, partition_chunk
 from repro.geometry.polygon import PolygonSet
 from repro.graphics.fbo import FrameBuffer
+from repro.obs import trace
 from repro.types import AggregationResult, ExecutionStats
 
 
@@ -106,13 +107,23 @@ class SpatialAggregationEngine(ABC):
         filter_set = FilterSet.coerce(filters)
         self._validate_columns(points, aggregate, filter_set)
         stats = ExecutionStats(engine=self.name, batches=0, passes=0)
-        values, channels = self._run(points, polygons, aggregate, filter_set, stats)
-        if stats.passes == 0:
-            stats.passes = 1
-        if stats.batches == 0:
-            stats.batches = 1
+        with trace.query_scope(self.name) as root:
+            values, channels = self._run(
+                points, polygons, aggregate, filter_set, stats
+            )
+            if stats.passes == 0:
+                stats.passes = 1
+            if stats.batches == 0:
+                stats.batches = 1
+            if root is not None:
+                # The stats ↔ span bridge, stamped before the scope
+                # closes so the JSONL sink sees the same §7.1 breakdown
+                # as the returned stats object.
+                root.attrs.update(stats.as_span_attrs())
         self._checkpoint_session()
-        return AggregationResult(values=values, channels=channels, stats=stats)
+        return AggregationResult(
+            values=values, channels=channels, stats=stats, trace=root
+        )
 
     def execute_stream(
         self,
@@ -137,22 +148,32 @@ class SpatialAggregationEngine(ABC):
         aggregate = aggregate or Count()
         merged_channels: dict[str, np.ndarray] | None = None
         merged_stats = ExecutionStats(engine=self.name, batches=0, passes=0)
-        for chunk in chunk_source():
-            result = self.execute(chunk, polygons, aggregate, filters)
+        with trace.query_scope(self.name) as root:
+            for chunk in chunk_source():
+                result = self.execute(chunk, polygons, aggregate, filters)
+                if merged_channels is None:
+                    merged_channels = dict(result.channels)
+                else:
+                    for name, values in result.channels.items():
+                        merged_channels[name] = aggregate.combine(
+                            merged_channels[name], values
+                        )
+                merged_stats.merge(result.stats)
+                # Environment facts (tile count, worker count) describe the
+                # execution, they don't accumulate — the type-based extra
+                # merge sums ints, so restore last-writer semantics here.
+                for key in ("tiles", "workers"):
+                    if key in result.stats.extra:
+                        merged_stats.extra[key] = result.stats.extra[key]
             if merged_channels is None:
-                merged_channels = dict(result.channels)
-            else:
-                for name, values in result.channels.items():
-                    merged_channels[name] = aggregate.combine(
-                        merged_channels[name], values
-                    )
-            merged_stats.merge(result.stats)
-        if merged_channels is None:
-            raise QueryError("chunk source produced no chunks")
+                raise QueryError("chunk source produced no chunks")
+            if root is not None:
+                root.attrs.update(merged_stats.as_span_attrs())
         return AggregationResult(
             values=aggregate.finalize(merged_channels),
             channels=merged_channels,
             stats=merged_stats,
+            trace=root,
         )
 
     # ------------------------------------------------------------------
@@ -383,6 +404,16 @@ class SpatialAggregationEngine(ABC):
         if len(tiles) <= 1 or not self._partition_points:
             stats.extra["partition"] = "off"
             return None
+        with trace.span("partition", tiles=len(tiles)):
+            return self._partition_tile_chunks_timed(
+                prepared, source, aggregate, columns, fbo_dtype, stats,
+                points_hint, tiles,
+            )
+
+    def _partition_tile_chunks_timed(
+        self, prepared, source, aggregate, columns, fbo_dtype, stats,
+        points_hint, tiles,
+    ) -> tuple[list[list], bool] | None:
         start = time.perf_counter()
         fbo_bytes = [
             self._tile_fbo_bytes(tile, aggregate, fbo_dtype) for tile in tiles
@@ -487,12 +518,12 @@ class SpatialAggregationEngine(ABC):
             saw_points = saw_points or partial.saw_points
             for name, arr in partial.accumulators.items():
                 accumulators[name] = aggregate.combine(accumulators[name], arr)
+            # stats.merge sums numeric extras (boundary_pixels et al.)
+            # across tiles by the type-based rules in ExecutionStats.
             stats.merge(partial.stats)
-            pixels = partial.stats.extra.get("boundary_pixels")
-            if pixels is not None:
-                stats.extra["boundary_pixels"] = (
-                    stats.extra.get("boundary_pixels", 0) + pixels
-                )
+            # Shipped tile subtrees re-parent here, in tile-index order,
+            # so the trace tree is deterministic across backends.
+            trace.attach(partial.span)
             if partial.unit_boundary is not None:
                 prepared.install_unit_boundary(
                     partial.tile_idx, partial.unit_boundary

@@ -35,6 +35,7 @@ from repro.exec.config import EngineConfig
 from repro.geometry.polygon import PolygonSet
 from repro.geometry.predicates import point_in_polygon
 from repro.index.grid import GridIndex
+from repro.obs import trace
 from repro.types import ExecutionStats
 
 
@@ -103,10 +104,13 @@ class IndexJoin(SpatialAggregationEngine):
     def _build_grid(self, polygons: PolygonSet, stats: ExecutionStats) -> GridIndex:
         """The polygon grid, reused across queries (and, with a store,
         across processes) via the session."""
-        prepared = self._prepared_state(polygons, self.prepared_spec(), stats)
-        return prepared.ensure_grid(
-            polygons, self.grid_resolution, self.grid_assignment, stats
-        )
+        with trace.span("prepare", polygons=len(polygons)):
+            prepared = self._prepared_state(
+                polygons, self.prepared_spec(), stats
+            )
+            return prepared.ensure_grid(
+                polygons, self.grid_resolution, self.grid_assignment, stats
+            )
 
     def _run(
         self,
@@ -130,15 +134,20 @@ class IndexJoin(SpatialAggregationEngine):
         for batch in self._batches(points, columns, stats):
             start = time.perf_counter()
             xs, ys, attrs = self._apply_filters(batch, filters, stats)
-            if self.mode == "gpu":
-                grid_pip_aggregate(xs, ys, attrs, grid, polygons, aggregate,
-                                   accumulators, stats)
-            elif self.mode == "cpu":
-                self._scalar_join(xs, ys, attrs, grid, polygons, aggregate,
-                                  accumulators, stats)
-            else:
-                self._parallel_join(xs, ys, attrs, grid, polygons, aggregate,
-                                    accumulators, stats)
+            # The grid probe + PIP join *is* the whole point pass here;
+            # multicore fans chunks out concurrently, so its child
+            # durations may overlap (span-containment exemption).
+            with trace.span("pip-join", mode=self.mode,
+                            concurrent=self.mode == "multicore"):
+                if self.mode == "gpu":
+                    grid_pip_aggregate(xs, ys, attrs, grid, polygons,
+                                       aggregate, accumulators, stats)
+                elif self.mode == "cpu":
+                    self._scalar_join(xs, ys, attrs, grid, polygons,
+                                      aggregate, accumulators, stats)
+                else:
+                    self._parallel_join(xs, ys, attrs, grid, polygons,
+                                        aggregate, accumulators, stats)
             stats.processing_s += time.perf_counter() - start
         return aggregate.finalize(accumulators), accumulators
 

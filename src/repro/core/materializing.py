@@ -34,6 +34,7 @@ from repro.device.memory import GPUDevice, ResidentPointSet
 from repro.exec.config import EngineConfig
 from repro.geometry.polygon import PolygonSet
 from repro.index.quadtree import PointQuadtree
+from repro.obs import trace
 from repro.types import ExecutionStats
 
 
@@ -94,26 +95,30 @@ class MaterializingJoin(SpatialAggregationEngine):
                 continue
             xs, ys = self._truncate(xs, ys, polygons)
             # Point quadtree: the comparator's load-balancing structure.
-            qtree = PointQuadtree(xs, ys, leaf_capacity=self.leaf_capacity)
+            with trace.span("index-build"):
+                qtree = PointQuadtree(
+                    xs, ys, leaf_capacity=self.leaf_capacity
+                )
             stats.index_build_s += qtree.build_seconds
 
             # Filter step: leaf MBR x polygon MBR -> materialized pairs.
             pair_points: list[np.ndarray] = []
             pair_polys: list[np.ndarray] = []
-            for leaf in qtree.leaves():
-                box = leaf.bbox
-                hits = np.flatnonzero(
-                    (poly_xmin <= box.xmax) & (poly_xmax >= box.xmin)
-                    & (poly_ymin <= box.ymax) & (poly_ymax >= box.ymin)
-                )
-                if len(hits) == 0:
-                    continue
-                ids = qtree.leaf_point_ids(leaf)
-                # Materialization: the full candidate cross product is
-                # written out as explicit pair arrays (the memory cost the
-                # paper's Insight 1 avoids).
-                pair_points.append(np.repeat(ids, len(hits)))
-                pair_polys.append(np.tile(hits, len(ids)))
+            with trace.span("materialize"):
+                for leaf in qtree.leaves():
+                    box = leaf.bbox
+                    hits = np.flatnonzero(
+                        (poly_xmin <= box.xmax) & (poly_xmax >= box.xmin)
+                        & (poly_ymin <= box.ymax) & (poly_ymax >= box.ymin)
+                    )
+                    if len(hits) == 0:
+                        continue
+                    ids = qtree.leaf_point_ids(leaf)
+                    # Materialization: the full candidate cross product is
+                    # written out as explicit pair arrays (the memory cost
+                    # the paper's Insight 1 avoids).
+                    pair_points.append(np.repeat(ids, len(hits)))
+                    pair_polys.append(np.tile(hits, len(ids)))
             if not pair_points:
                 stats.processing_s += time.perf_counter() - start
                 continue
@@ -166,25 +171,27 @@ class MaterializingJoin(SpatialAggregationEngine):
                 return pt_out, poly_out, tests
 
             workers = self.backend.workers
-            if (
-                workers > 1
-                and len(groups) > 1
-                and len(cand_poly) >= self.parallel_refine_threshold
-            ):
-                span = -(-len(groups) // workers)
-                slices = [
-                    (lo, min(lo + span, len(groups)))
-                    for lo in range(0, len(groups), span)
-                ]
-                partials = self.backend.run_tasks(
-                    [
-                        (lambda lo=lo, hi=hi: refine(lo, hi))
-                        for lo, hi in slices
+            with trace.span("pip-refine", concurrent=workers > 1,
+                            pairs=int(len(cand_poly))):
+                if (
+                    workers > 1
+                    and len(groups) > 1
+                    and len(cand_poly) >= self.parallel_refine_threshold
+                ):
+                    step = -(-len(groups) // workers)
+                    slices = [
+                        (lo, min(lo + step, len(groups)))
+                        for lo in range(0, len(groups), step)
                     ]
-                )
-                stats.extra["pool"] = self.backend.last_pool_event
-            else:
-                partials = [refine(0, len(groups))]
+                    partials = self.backend.run_tasks(
+                        [
+                            (lambda lo=lo, hi=hi: refine(lo, hi))
+                            for lo, hi in slices
+                        ]
+                    )
+                    stats.extra["pool"] = self.backend.last_pool_event
+                else:
+                    partials = [refine(0, len(groups))]
             for pt_out, poly_out, tests in partials:
                 match_pt.extend(pt_out)
                 match_poly.extend(poly_out)

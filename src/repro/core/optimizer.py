@@ -91,13 +91,18 @@ class CostModel:
             return self.per_point_render * num_points * waves
         return self.per_point_render * num_points * (1.0 + waves / tiles)
 
-    def bounded_seconds(
+    def bounded_terms(
         self, num_points: int, canvas_pixels: int, tiles: int,
         covered_pixels: int, workers: int = 1, num_vertices: int = 0,
         warm: "str | bool | None" = False, partitioned: bool = False,
-    ) -> float:
-        """Predicted bounded-join time: prepare + point pass per tile +
-        polygon pass.
+    ) -> dict[str, float]:
+        """Per-term predicted bounded-join seconds.
+
+        Keys name the trace spans the terms correspond to (EXPLAIN
+        ANALYZE lines predictions up against measured span times):
+        ``point_pass`` (the per-tile point render), ``prepare``
+        (triangulation, discounted by warmth), and ``polygon_pass``
+        (coverage rasterization, dropped when coverage replays).
 
         Tiles are independent, so with ``workers`` parallel tile workers
         the point pass runs in ``ceil(tiles / workers)`` waves and the
@@ -109,23 +114,38 @@ class CostModel:
         concurrency = max(1, min(workers, tiles))
         waves = math.ceil(tiles / concurrency)
         prepared, replayable = self._grades(warm)
-        seconds = self._point_pass_seconds(num_points, tiles, waves, partitioned)
-        seconds += (
-            self.per_vertex_triangulate * num_vertices * (1.0 - prepared)
-        )
-        seconds += (
-            self.per_pixel_polygon_pass * covered_pixels / concurrency
-            * (1.0 - replayable)
-        )
-        return seconds
+        return {
+            "point_pass": self._point_pass_seconds(
+                num_points, tiles, waves, partitioned
+            ),
+            "prepare": (
+                self.per_vertex_triangulate * num_vertices * (1.0 - prepared)
+            ),
+            "polygon_pass": (
+                self.per_pixel_polygon_pass * covered_pixels / concurrency
+                * (1.0 - replayable)
+            ),
+        }
 
-    def accurate_seconds(
+    def bounded_seconds(
+        self, num_points: int, canvas_pixels: int, tiles: int,
+        covered_pixels: int, workers: int = 1, num_vertices: int = 0,
+        warm: "str | bool | None" = False, partitioned: bool = False,
+    ) -> float:
+        """Predicted bounded-join time (the :meth:`bounded_terms` sum)."""
+        return sum(self.bounded_terms(
+            num_points, canvas_pixels, tiles, covered_pixels,
+            workers=workers, num_vertices=num_vertices, warm=warm,
+            partitioned=partitioned,
+        ).values())
+
+    def accurate_terms(
         self, num_points: int, boundary_fraction: float, covered_pixels: int,
         tiles: int = 1, workers: int = 1, num_vertices: int = 0,
         warm: "str | bool | None" = False, partitioned: bool = False,
         pyramid_warm: bool = False, pyramid_cells: int = 0,
-    ) -> float:
-        """Predicted accurate-join time: prepare + render + boundary PIP.
+    ) -> dict[str, float]:
+        """Per-term predicted accurate-join seconds.
 
         The render and polygon pass parallelize across tiles like the
         bounded variant; the boundary PIP path is partitioned with the
@@ -151,26 +171,47 @@ class CostModel:
         waves = math.ceil(tiles / concurrency)
         boundary_points = num_points * boundary_fraction
         prepared, replayable = self._grades(warm)
-        if pyramid_warm:
-            return (
-                self.per_boundary_point * boundary_points / concurrency
-                + self.per_pixel_polygon_pass * pyramid_cells / concurrency
-                + (self.per_vertex_triangulate + self.per_vertex_grid)
-                * num_vertices * (1.0 - prepared)
-            )
-        seconds = (
-            self._point_pass_seconds(num_points, tiles, waves, partitioned)
-            + self.per_boundary_point * boundary_points / concurrency
-        )
-        seconds += (
+        prepare = (
             (self.per_vertex_triangulate + self.per_vertex_grid)
             * num_vertices * (1.0 - prepared)
         )
-        seconds += (
-            self.per_pixel_polygon_pass * covered_pixels / concurrency
-            * (1.0 - replayable)
-        )
-        return seconds
+        if pyramid_warm:
+            return {
+                "prepare": prepare,
+                "pyramid_blocks": (
+                    self.per_pixel_polygon_pass * pyramid_cells / concurrency
+                ),
+                "boundary_pip": (
+                    self.per_boundary_point * boundary_points / concurrency
+                ),
+            }
+        return {
+            "prepare": prepare,
+            "point_pass": self._point_pass_seconds(
+                num_points, tiles, waves, partitioned
+            ),
+            "boundary_pip": (
+                self.per_boundary_point * boundary_points / concurrency
+            ),
+            "polygon_pass": (
+                self.per_pixel_polygon_pass * covered_pixels / concurrency
+                * (1.0 - replayable)
+            ),
+        }
+
+    def accurate_seconds(
+        self, num_points: int, boundary_fraction: float, covered_pixels: int,
+        tiles: int = 1, workers: int = 1, num_vertices: int = 0,
+        warm: "str | bool | None" = False, partitioned: bool = False,
+        pyramid_warm: bool = False, pyramid_cells: int = 0,
+    ) -> float:
+        """Predicted accurate-join time (the :meth:`accurate_terms` sum)."""
+        return sum(self.accurate_terms(
+            num_points, boundary_fraction, covered_pixels, tiles=tiles,
+            workers=workers, num_vertices=num_vertices, warm=warm,
+            partitioned=partitioned, pyramid_warm=pyramid_warm,
+            pyramid_cells=pyramid_cells,
+        ).values())
 
 
 def _calibrate(device: GPUDevice | None, probe_points: int = 20_000) -> CostModel:
@@ -407,6 +448,92 @@ class RasterJoinOptimizer:
             "accurate_warm": warm_accurate or False,
             "accurate_pyramid_warm": bool(pyramid_warm),
         }
+
+    def explain_terms(
+        self,
+        points: PointDataset,
+        polygons: PolygonSet,
+        engine: SpatialAggregationEngine,
+    ) -> tuple[str, dict[str, float]]:
+        """(regime, per-term predicted seconds) for the given engine.
+
+        The regime names which cost path the prediction took —
+        ``"cold"``, ``"warm"`` (prepared artifact reusable), or
+        ``"pyramid-warm"`` (resident aggregate pyramid answers polygon
+        interiors) — and the term keys name the trace spans the engine
+        will emit (``prepare``, ``point_pass``, ``polygon_pass``,
+        ``boundary_pip``, ``pyramid_blocks``), so EXPLAIN ANALYZE can
+        line each prediction up against the measured span time.
+
+        Supports the two raster-join variants the SQL planner chooses
+        between; the feature extraction mirrors :meth:`estimate`.
+        """
+        num_vertices = sum(p.num_vertices for p in polygons)
+        area_fraction = min(
+            1.0,
+            sum(p.area for p in polygons) / max(polygons.bbox.area, 1e-300),
+        )
+        perimeter = sum(
+            math.hypot(bx - ax, by - ay)
+            for poly in polygons
+            for (ax, ay, bx, by) in poly.edges()
+        )
+        max_res = (
+            self.device.max_resolution if self.device is not None else 8192
+        )
+        model = self.model
+        partitioned = self._partitioned
+        warm = self._warmth(engine, polygons)
+        if isinstance(engine, BoundedRasterJoin):
+            canvas = Canvas.for_epsilon(polygons.bbox, engine.epsilon)
+            regime = "warm" if warm else "cold"
+            return regime, model.bounded_terms(
+                len(points), canvas.num_pixels, canvas.num_tiles(max_res),
+                int(canvas.num_pixels * area_fraction),
+                workers=self._effective_workers(points, canvas, max_res, 4),
+                num_vertices=num_vertices, warm=warm,
+                partitioned=partitioned,
+            )
+        resolution = getattr(engine, "resolution", self.accurate_resolution)
+        acc_canvas = Canvas.for_resolution(polygons.bbox, resolution)
+        boundary_pixels = perimeter / max(
+            min(acc_canvas.pixel_width, acc_canvas.pixel_height), 1e-300
+        )
+        boundary_fraction = min(
+            1.0, boundary_pixels / max(acc_canvas.num_pixels, 1)
+        )
+        acc_workers = self._effective_workers(points, acc_canvas, max_res, 8)
+        pyramid_warm = bool(getattr(engine, "pyramid_warmth", lambda *a: False)(
+            points, polygons
+        ))
+        if pyramid_warm:
+            grid_res = max(1, getattr(engine, "grid_resolution", resolution))
+            grid_canvas = Canvas.for_resolution(polygons.bbox, grid_res)
+            boundary_cells = perimeter / max(
+                min(grid_canvas.pixel_width, grid_canvas.pixel_height),
+                1e-300,
+            )
+            cell_fraction = min(
+                1.0, boundary_cells / max(grid_res * grid_res, 1)
+            )
+            pyramid_cells = int(
+                boundary_cells * max(1.0, math.log2(max(grid_res, 2)))
+            )
+            return "pyramid-warm", model.accurate_terms(
+                len(points), cell_fraction,
+                int(acc_canvas.num_pixels * area_fraction),
+                tiles=acc_canvas.num_tiles(max_res), workers=acc_workers,
+                num_vertices=num_vertices, warm=warm,
+                partitioned=partitioned,
+                pyramid_warm=True, pyramid_cells=pyramid_cells,
+            )
+        regime = "warm" if warm else "cold"
+        return regime, model.accurate_terms(
+            len(points), boundary_fraction,
+            int(acc_canvas.num_pixels * area_fraction),
+            tiles=acc_canvas.num_tiles(max_res), workers=acc_workers,
+            num_vertices=num_vertices, warm=warm, partitioned=partitioned,
+        )
 
     def _effective_workers(
         self, points: PointDataset, canvas: Canvas, max_res: int,

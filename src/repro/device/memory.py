@@ -19,6 +19,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.errors import DeviceError, OutOfDeviceMemoryError
+from repro.obs import metrics
 
 #: Live devices whose locks must be re-armed in forked children: a fork
 #: taken while another thread holds a device lock would otherwise hand
@@ -112,6 +113,7 @@ class GPUDevice:
         self.max_resolution = max_resolution
         self.name = name
         self.allocated_bytes = 0
+        self.peak_allocated_bytes = 0
         self.total_bytes_transferred = 0
         self.total_transfer_s = 0.0
         # Concurrent tile workers allocate and free batch buffers from
@@ -131,6 +133,12 @@ class GPUDevice:
                     f"({self.allocated_bytes}/{self.capacity_bytes} in use)"
                 )
             self.allocated_bytes += nbytes
+            if self.allocated_bytes > self.peak_allocated_bytes:
+                self.peak_allocated_bytes = self.allocated_bytes
+                metrics.gauge_max(
+                    "device_peak_bytes", self.allocated_bytes,
+                    device=self.name,
+                )
 
     def _release(self, nbytes: int) -> None:
         with self._lock:

@@ -47,6 +47,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import ExecutionBackendError
+from repro.obs import metrics
 from repro.types import ExecutionStats
 
 #: Environment variables consulted when no backend is configured
@@ -90,7 +91,10 @@ class TilePartial:
     *per-polygon* slices of the same builds (polygon id -> outline
     pixels / raw coverage pieces) so the parent can install them into
     the artifact's :class:`~repro.cache.prepared.PolygonUnit` list —
-    the state that makes single-polygon edits incremental.
+    the state that makes single-polygon edits incremental.  ``span`` is
+    the tile task's finished trace subtree (plain picklable
+    :class:`repro.obs.trace.Span` data, so it survives the process
+    backend's result pickling), or ``None`` when tracing was off.
     """
 
     tile_idx: int
@@ -102,6 +106,7 @@ class TilePartial:
     unit_boundary: dict | None = None
     unit_coverage: dict | None = None
     payload: object = None
+    span: object = None
 
 
 #: Live backends whose pools must be dropped in forked children (their
@@ -176,6 +181,8 @@ class ExecutionBackend(ABC):
 
     def _record_event(self, event: str) -> None:
         self._events.last = event
+        metrics.counter("backend_pool_events", backend=self.name,
+                        event=event)
 
     @abstractmethod
     def run_tasks(

@@ -54,6 +54,7 @@ from repro.data.dataset import PointDataset
 from repro.device.batching import plan_batches
 from repro.device.memory import ResidentPointSet
 from repro.errors import DeviceError
+from repro.obs import metrics
 
 
 class ResidentSubset:
@@ -235,4 +236,8 @@ def partition_chunk(
         for piece in np.split(sel, cuts):
             if len(piece):
                 per_tile[tile_idx].append(_take(chunk, piece, columns))
+    metrics.counter("partition_chunks")
+    metrics.counter("partition_points", int(n))
+    if duplicates:
+        metrics.counter("partition_seam_duplicates", duplicates)
     return per_tile, duplicates

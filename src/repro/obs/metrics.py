@@ -1,0 +1,153 @@
+"""Process-wide metrics registry: counters, gauges, histograms, labels.
+
+One global :data:`REGISTRY` collects operational counts the flat
+per-query :class:`~repro.types.ExecutionStats` cannot: cache-tier
+hit/miss/evict/demote rates across queries, store save/load bytes and
+latencies, pyramid block hits vs. fallback points, backend pool reuse,
+and the device-memory high-water mark.  The module-level helpers
+(:func:`counter`, :func:`gauge_set`, :func:`gauge_max`, :func:`observe`)
+all delegate to it.
+
+Instrumented call sites sit on cache/store/dispatch paths — never in
+per-point loops — so a plain lock is cheap enough.  Metrics incremented
+inside a forked tile worker die with the child (only ``TilePartial``
+results are pickled back); all shipped hooks run parent-side, and
+``docs/observability.md`` documents the caveat.
+
+Snapshots render metric keys Prometheus-style — ``name{k="v",...}`` with
+labels sorted — which keeps :func:`repro.obs.export.prometheus_text`
+a straight dump and makes JSON snapshots diffable.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Histogram bucket upper bounds (seconds); chosen for IO latencies that
+#: span sub-millisecond mmap loads to multi-second cold saves.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0)
+
+
+def _key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class _Histogram:
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.buckets = [0] * (len(DEFAULT_BUCKETS) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(DEFAULT_BUCKETS):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    def as_dict(self) -> dict:
+        out = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "buckets": {},
+        }
+        for i, bound in enumerate(DEFAULT_BUCKETS):
+            out["buckets"][f"le_{bound:g}"] = self.buckets[i]
+        out["buckets"]["le_inf"] = self.buckets[-1]
+        return out
+
+
+class MetricsRegistry:
+    """Thread-safe named counters/gauges/histograms with labels."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, _Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str, amount: float = 1, **labels) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + amount
+
+    def gauge_set(self, name: str, value: float, **labels) -> None:
+        with self._lock:
+            self._gauges[_key(name, labels)] = value
+
+    def gauge_max(self, name: str, value: float, **labels) -> None:
+        """Set the gauge to ``max(current, value)`` — high-water marks."""
+        key = _key(name, labels)
+        with self._lock:
+            current = self._gauges.get(key)
+            if current is None or value > current:
+                self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = _Histogram()
+            hist.observe(value)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A point-in-time plain-dict copy, safe to mutate or serialize."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
+                "histograms": {
+                    k: h.as_dict() for k, h in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        """Clear everything (tests and benchmark legs isolate with this)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry every instrumented call site reports to.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, amount: float = 1, **labels) -> None:
+    REGISTRY.counter(name, amount, **labels)
+
+
+def gauge_set(name: str, value: float, **labels) -> None:
+    REGISTRY.gauge_set(name, value, **labels)
+
+
+def gauge_max(name: str, value: float, **labels) -> None:
+    REGISTRY.gauge_max(name, value, **labels)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    REGISTRY.observe(name, value, **labels)
+
+
+def snapshot() -> dict:
+    return REGISTRY.snapshot()
+
+
+def reset() -> None:
+    REGISTRY.reset()

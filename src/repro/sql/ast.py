@@ -56,6 +56,11 @@ class SelectStatement:
     ``aggregate`` is the first (primary) SELECT item; ``aggregates`` holds
     the full SELECT list when the statement asks for several aggregates in
     one pass (the paper's §8 multi-aggregate extension).
+
+    ``explain_analyze`` marks an ``EXPLAIN ANALYZE`` prefix: the planner
+    still executes the statement, but returns the result wrapped with the
+    traced span tree annotated by the optimizer's per-term predictions
+    (see :mod:`repro.sql.explain`).
     """
 
     aggregate: AggregateSpec
@@ -66,6 +71,7 @@ class SelectStatement:
     group_by_table: str | None = None
     group_by_column: str | None = None
     aggregates: tuple[AggregateSpec, ...] = ()
+    explain_analyze: bool = False
 
     def select_list(self) -> tuple[AggregateSpec, ...]:
         """All SELECT items (falls back to the single primary aggregate)."""
@@ -83,8 +89,9 @@ class SelectStatement:
             else (self.group_by_column or "")
         )
         select = ", ".join(str(a) for a in self.select_list())
+        prefix = "EXPLAIN ANALYZE " if self.explain_analyze else ""
         return (
-            f"SELECT {select} FROM {self.point_table}, "
+            f"{prefix}SELECT {select} FROM {self.point_table}, "
             f"{self.region_table} WHERE {' AND '.join(where)} "
             f"GROUP BY {group}"
         )

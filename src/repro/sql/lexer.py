@@ -9,7 +9,7 @@ from repro.errors import SqlError
 
 KEYWORDS = {
     "SELECT", "FROM", "WHERE", "AND", "GROUP", "BY", "INSIDE", "AS",
-    "COUNT", "SUM", "AVG", "MIN", "MAX", "WITHIN",
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "WITHIN", "EXPLAIN", "ANALYZE",
 }
 
 _PUNCT = {"(", ")", ",", ".", "*"}

@@ -2,7 +2,8 @@
 
 Grammar (keywords case-insensitive)::
 
-    statement   := SELECT aggregate FROM ident "," ident
+    statement   := ( EXPLAIN ANALYZE )?
+                   SELECT aggregate FROM ident "," ident
                    WHERE predicate ( AND condition )*
                    GROUP BY column_ref
     aggregate   := COUNT "(" "*" ")"
@@ -103,6 +104,12 @@ class _Parser:
         return Condition(column, op, value, table)
 
     def statement(self) -> SelectStatement:
+        explain = False
+        if self.accept("KEYWORD", "EXPLAIN"):
+            # Bare EXPLAIN (without execution) is not offered: the whole
+            # point of the surface is predicted-vs-measured timings.
+            self.expect("KEYWORD", "ANALYZE")
+            explain = True
         self.expect("KEYWORD", "SELECT")
         aggs = [self.aggregate()]
         # Multiple aggregates per query (paper §8 extension): a comma-
@@ -132,6 +139,7 @@ class _Parser:
             group_by_table=gb_table,
             group_by_column=gb_column,
             aggregates=tuple(aggs),
+            explain_analyze=explain,
         )
 
 

@@ -16,6 +16,8 @@ redraw-and-re-query loop the paper targets.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.cache.session import QuerySession
 from repro.core.accurate import AccurateRasterJoin
 from repro.core.aggregates import Aggregate, Average, Count, Max, Min, Sum
@@ -76,6 +78,20 @@ class QueryPlanner:
         self.session = session
         self._points: dict[str, PointDataset] = {}
         self._regions: dict[str, PolygonSet] = {}
+        #: Lazily-built optimizer for EXPLAIN ANALYZE predictions: one
+        #: instance per planner, so the calibration probes run once and
+        #: every explained statement reuses the fitted cost model.
+        self._optimizer = None
+
+    def optimizer(self):
+        """The planner's calibrated cost optimizer (built on first use)."""
+        if self._optimizer is None:
+            from repro.core.optimizer import RasterJoinOptimizer
+
+            self._optimizer = RasterJoinOptimizer(
+                device=self.device, session=self.session, config=self.config,
+            )
+        return self._optimizer
 
     # ------------------------------------------------------------------
     # Catalog
@@ -114,18 +130,16 @@ class QueryPlanner:
         """
         if stmt.point_table not in self._points:
             # The FROM clause does not order the tables; try both ways.
+            # dataclasses.replace keeps every other field (the SELECT
+            # list, the EXPLAIN ANALYZE flag) intact through the swap.
             if (
                 stmt.region_table in self._points
                 and stmt.point_table in self._regions
             ):
-                stmt = SelectStatement(
-                    aggregate=stmt.aggregate,
+                stmt = replace(
+                    stmt,
                     point_table=stmt.region_table,
                     region_table=stmt.point_table,
-                    spatial=stmt.spatial,
-                    conditions=stmt.conditions,
-                    group_by_table=stmt.group_by_table,
-                    group_by_column=stmt.group_by_column,
                 )
             else:
                 raise SqlError(f"unknown point table {stmt.point_table!r}")
@@ -203,8 +217,22 @@ class QueryPlanner:
         return engine, points, regions, aggregate, filters
 
     def execute(self, statement: str | SelectStatement) -> AggregationResult:
-        """Parse, plan, and run a statement."""
-        engine, points, regions, aggregate, filters = self.plan(statement)
+        """Parse, plan, and run a statement.
+
+        An ``EXPLAIN ANALYZE`` statement still executes, but returns an
+        :class:`~repro.sql.explain.ExplainResult` wrapping the
+        aggregation result with the traced span tree and the optimizer's
+        per-term predicted-vs-measured comparison.
+        """
+        stmt = parse(statement) if isinstance(statement, str) else statement
+        engine, points, regions, aggregate, filters = self.plan(stmt)
+        if stmt.explain_analyze:
+            from repro.sql.explain import explain_analyze
+
+            return explain_analyze(
+                self.optimizer(), engine, points, regions, aggregate, filters,
+                statement=stmt,
+            )
         return engine.execute(points, regions, aggregate=aggregate, filters=filters)
 
     def prewarm(self, point_table: str, region_table: str) -> None:

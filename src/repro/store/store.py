@@ -60,6 +60,7 @@ import numpy as np
 
 from repro.cache.prepared import PreparedPolygons
 from repro.errors import QueryError
+from repro.obs import metrics
 from repro.store import format as artifact_format
 from repro.store.format import ArtifactFormatError
 
@@ -346,7 +347,12 @@ class ArtifactStore:
                 except OSError:
                     pass
         self.saves += 1
-        self.save_s += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.save_s += elapsed
+        metrics.counter("store_saves", kind="prepared")
+        metrics.counter("store_save_bytes",
+                        len(payload) + len(manifest_bytes), kind="prepared")
+        metrics.observe("store_save_seconds", elapsed, kind="prepared")
         # A full save supersedes any patch ref for the same key.
         try:
             self._ref_path(artifact_format.key_id(key)).unlink(missing_ok=True)
@@ -472,7 +478,12 @@ class ArtifactStore:
                 pass
         self.patch_saves += 1
         self.saves += 1
-        self.save_s += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.save_s += elapsed
+        metrics.counter("store_saves", kind="patch")
+        metrics.counter("store_save_bytes",
+                        len(record) + len(ref_bytes), kind="patch")
+        metrics.observe("store_save_seconds", elapsed, kind="patch")
         if self.disk_budget is not None:
             self.enforce_disk_budget(protect=root_kid)
         return len(record) + len(ref_bytes)
@@ -549,7 +560,11 @@ class ArtifactStore:
             return None
         self._touch(npz_path, manifest_path)
         self.loads += 1
-        self.load_s += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.load_s += elapsed
+        metrics.counter("store_loads", kind="prepared")
+        metrics.counter("store_load_bytes", len(payload), kind="prepared")
+        metrics.observe("store_load_seconds", elapsed, kind="prepared")
         return prepared
 
     def _load_patched(self, key: Sequence, polygons,
@@ -624,7 +639,11 @@ class ArtifactStore:
         )
         self.loads += 1
         self.patch_loads += 1
-        self.load_s += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.load_s += elapsed
+        metrics.counter("store_loads", kind="patch")
+        metrics.counter("store_load_bytes", len(payload), kind="patch")
+        metrics.observe("store_load_seconds", elapsed, kind="patch")
         return prepared
 
     @staticmethod
@@ -707,7 +726,12 @@ class ArtifactStore:
                 except OSError:
                     pass
         self.saves += 1
-        self.save_s += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.save_s += elapsed
+        metrics.counter("store_saves", kind="pyramid")
+        metrics.counter("store_save_bytes",
+                        len(payload) + len(manifest_bytes), kind="pyramid")
+        metrics.observe("store_save_seconds", elapsed, kind="pyramid")
         if self.disk_budget is not None:
             self.enforce_disk_budget(protect=artifact_format.key_id(key))
         return len(payload) + len(manifest_bytes)
@@ -737,7 +761,11 @@ class ArtifactStore:
             return None
         self._touch(npz_path, manifest_path)
         self.loads += 1
-        self.load_s += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.load_s += elapsed
+        metrics.counter("store_loads", kind="pyramid")
+        metrics.counter("store_load_bytes", len(payload), kind="pyramid")
+        metrics.observe("store_load_seconds", elapsed, kind="pyramid")
         return pyramid
 
     def contains_pyramid(self, key: Sequence) -> bool:

@@ -102,6 +102,96 @@ class ExecutionStats:
         self.prepared_misses += other.prepared_misses
         self.prepared_store_hits += other.prepared_store_hits
         self.prepared_delta_hits += other.prepared_delta_hits
+        # ``extra`` merges by type: numeric entries are per-execution
+        # work counts (``boundary_pixels``, ``materialized_pairs``) and
+        # sum; everything else — strings ("partition", "pool"), bools,
+        # tuples — describes the execution environment, where the most
+        # recent execution wins.  bool is checked before int/float
+        # because it *is* an int in Python, and True+True == 2 would turn
+        # a flag into a count.
+        for key, value in other.extra.items():
+            if isinstance(value, bool):
+                self.extra[key] = value
+            elif isinstance(value, (int, float)):
+                base = self.extra.get(key, 0)
+                if isinstance(base, (int, float)) and not isinstance(base, bool):
+                    self.extra[key] = base + value
+                else:
+                    self.extra[key] = value
+            else:
+                self.extra[key] = value
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """The §7.1 timing breakdown as an aligned two-column table."""
+        rows: list[tuple[str, str]] = []
+
+        def add(label: str, value) -> None:
+            if isinstance(value, float):
+                rows.append((label, f"{value:.4f}"))
+            else:
+                rows.append((label, f"{value}"))
+
+        add("engine", self.engine or "?")
+        add("transfer_s", self.transfer_s)
+        add("processing_s", self.processing_s)
+        add("  polygon_pass_s", self.polygon_pass_s)
+        add("partition_s", self.partition_s)
+        add("io_s", self.io_s)
+        add("query_s", self.query_s)
+        add("triangulation_s", self.triangulation_s)
+        add("index_build_s", self.index_build_s)
+        add("total_s", self.total_s)
+        add("points_processed", self.points_processed)
+        if self.points_filtered_out:
+            add("points_filtered_out", self.points_filtered_out)
+        if self.boundary_points:
+            add("boundary_points", self.boundary_points)
+        if self.pip_tests:
+            add("pip_tests", self.pip_tests)
+        add("passes", self.passes)
+        add("batches", self.batches)
+        add("bytes_transferred", self.bytes_transferred)
+        if self.prepared_hits or self.prepared_misses:
+            add("prepared_hits", self.prepared_hits)
+            add("prepared_misses", self.prepared_misses)
+        if self.prepared_store_hits:
+            add("prepared_store_hits", self.prepared_store_hits)
+        if self.prepared_delta_hits:
+            add("prepared_delta_hits", self.prepared_delta_hits)
+        for key in sorted(self.extra):
+            add(f"extra.{key}", self.extra[key])
+        width = max(len(label) for label, _ in rows)
+        vwidth = max(len(value) for _, value in rows)
+        lines = [f"{label.ljust(width)}  {value.rjust(vwidth)}"
+                 for label, value in rows]
+        return "\n".join(lines)
+
+    def as_span_attrs(self) -> dict:
+        """The stats ↔ span bridge: the breakdown as flat span attributes.
+
+        Engines stamp this onto the query root span so exported traces
+        carry the same §7.1 numbers as the stats object, without the
+        exporters needing to know about :class:`ExecutionStats`.
+        """
+        attrs = {
+            "engine": self.engine,
+            "transfer_s": self.transfer_s,
+            "processing_s": self.processing_s,
+            "polygon_pass_s": self.polygon_pass_s,
+            "partition_s": self.partition_s,
+            "triangulation_s": self.triangulation_s,
+            "index_build_s": self.index_build_s,
+            "io_s": self.io_s,
+            "query_s": self.query_s,
+            "points_processed": self.points_processed,
+            "pip_tests": self.pip_tests,
+            "batches": self.batches,
+            "bytes_transferred": self.bytes_transferred,
+        }
+        for key, value in self.extra.items():
+            attrs[f"extra.{key}"] = value
+        return attrs
 
 
 @dataclass
@@ -142,6 +232,10 @@ class AggregationResult:
     channels: dict[str, np.ndarray]
     stats: ExecutionStats
     intervals: ResultIntervals | None = None
+    #: Root :class:`repro.obs.trace.Span` of the execution, populated
+    #: only when tracing was active (``$REPRO_TRACE`` or an ambient
+    #: tracer such as ``EXPLAIN ANALYZE``); ``None`` otherwise.
+    trace: object | None = None
 
     def __len__(self) -> int:
         return len(self.values)

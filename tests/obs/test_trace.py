@@ -1,0 +1,146 @@
+"""Unit tests for the hierarchical trace-span system."""
+
+import json
+import pickle
+
+from repro.obs import trace
+
+
+class TestSpanTree:
+    def test_nested_spans_build_a_tree(self):
+        tracer = trace.Tracer("root", engine="x")
+        with trace.use(tracer):
+            with trace.span("outer", tiles=2) as outer:
+                with trace.span("inner") as inner:
+                    pass
+        root = tracer.close()
+        assert root.children == [outer]
+        assert outer.children == [inner]
+        assert outer.attrs == {"tiles": 2}
+        assert inner.duration_s <= outer.duration_s <= root.duration_s
+
+    def test_walk_and_find(self):
+        tracer = trace.Tracer("root")
+        with trace.use(tracer):
+            with trace.span("a"):
+                with trace.span("b"):
+                    pass
+            with trace.span("b"):
+                pass
+        root = tracer.close()
+        assert [s.name for s in root.walk()] == ["root", "a", "b", "b"]
+        assert len(root.find("b")) == 2
+
+    def test_spans_pickle_cleanly(self):
+        tracer = trace.Tracer("tile", tile=3)
+        with trace.use(tracer):
+            with trace.span("point-pass"):
+                pass
+        root = tracer.close()
+        clone = pickle.loads(pickle.dumps(root))
+        assert clone.attrs == {"tile": 3}
+        assert clone.children[0].name == "point-pass"
+
+
+class TestOffFastPath:
+    def test_span_without_tracer_is_shared_noop(self):
+        scope_a = trace.span("anything", big=1)
+        scope_b = trace.span("other")
+        assert scope_a is scope_b  # the shared no-op scope, no allocation
+        with scope_a as span:
+            assert span is None
+
+    def test_attach_without_tracer_is_noop(self):
+        trace.attach(trace.Span("orphan"))  # must not raise
+
+    def test_attach_none_is_noop(self):
+        tracer = trace.Tracer("root")
+        with trace.use(tracer):
+            trace.attach(None)
+        assert tracer.close().children == []
+
+    def test_active_reflects_installation(self):
+        assert trace.active() is None
+        tracer = trace.Tracer("root")
+        with trace.use(tracer):
+            assert trace.active() is tracer
+        assert trace.active() is None
+
+
+class TestEnvConfig:
+    def test_unset_and_false_flags_disable(self, monkeypatch):
+        monkeypatch.delenv(trace.TRACE_ENV_VAR, raising=False)
+        assert trace.env_config() == (False, None)
+        for flag in ("0", "false", "No", "OFF", ""):
+            monkeypatch.setenv(trace.TRACE_ENV_VAR, flag)
+            assert trace.env_config() == (False, None)
+
+    def test_true_flags_enable_without_sink(self, monkeypatch):
+        for flag in ("1", "true", "YES", "on"):
+            monkeypatch.setenv(trace.TRACE_ENV_VAR, flag)
+            assert trace.env_config() == (True, None)
+
+    def test_other_value_is_a_sink_path(self, monkeypatch):
+        monkeypatch.setenv(trace.TRACE_ENV_VAR, "/tmp/spans.jsonl")
+        assert trace.env_config() == (True, "/tmp/spans.jsonl")
+
+
+class TestQueryScope:
+    def test_off_yields_none(self, monkeypatch):
+        monkeypatch.delenv(trace.TRACE_ENV_VAR, raising=False)
+        with trace.query_scope("engine-x") as root:
+            assert root is None
+
+    def test_env_enabled_creates_root(self, monkeypatch):
+        monkeypatch.setenv(trace.TRACE_ENV_VAR, "1")
+        with trace.query_scope("engine-x") as root:
+            assert root.name == "query"
+            assert root.attrs["engine"] == "engine-x"
+            with trace.span("child"):
+                pass
+        assert trace.active() is None  # restored on exit
+        assert [c.name for c in root.children] == ["child"]
+        assert root.duration_s > 0.0
+
+    def test_nested_under_ambient_tracer(self, monkeypatch):
+        monkeypatch.delenv(trace.TRACE_ENV_VAR, raising=False)
+        tracer = trace.Tracer("explain")
+        with trace.use(tracer):
+            with trace.query_scope("engine-x") as root:
+                assert root.name == "query"
+        assert tracer.close().children == [root]
+
+    def test_sink_path_appends_jsonl(self, monkeypatch, tmp_path):
+        sink = tmp_path / "spans.jsonl"
+        monkeypatch.setenv(trace.TRACE_ENV_VAR, str(sink))
+        with trace.query_scope("engine-x"):
+            with trace.span("child"):
+                pass
+        rows = [json.loads(line) for line in sink.read_text().splitlines()]
+        assert [r["name"] for r in rows] == ["query", "child"]
+        assert rows[1]["parent"] == rows[0]["id"]
+
+    def test_unwritable_sink_never_fails_the_query(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(
+            trace.TRACE_ENV_VAR, str(tmp_path / "no" / "such" / "dir" / "f")
+        )
+        with trace.query_scope("engine-x") as root:
+            assert root is not None  # swallowed OSError, query unharmed
+
+
+class TestTileScope:
+    def test_disabled_yields_none(self):
+        with trace.tile_scope(False, tile=0) as span:
+            assert span is None
+
+    def test_enabled_records_into_own_tracer(self):
+        ambient = trace.Tracer("query")
+        with trace.use(ambient):
+            with trace.tile_scope(True, tile=4) as tile_span:
+                with trace.span("point-pass"):
+                    pass
+            # The tile's spans shadowed the ambient tracer...
+            assert ambient.close().children == []
+        # ...and landed on the shipped subtree instead.
+        assert tile_span.attrs == {"tile": 4}
+        assert [c.name for c in tile_span.children] == ["point-pass"]

@@ -1,0 +1,120 @@
+"""EXPLAIN ANALYZE: parsing, planning, and the three-regime report."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SqlError
+from repro.sql.explain import ExplainResult
+from repro.sql.parser import parse
+from repro.sql.planner import QueryPlanner
+
+QUERY = (
+    "SELECT COUNT(*) FROM taxi, hoods "
+    "WHERE taxi.loc INSIDE hoods.geometry GROUP BY hoods.id"
+)
+
+
+@pytest.fixture
+def planner(uniform_points, three_regions):
+    p = QueryPlanner()
+    p.register_points("taxi", uniform_points)
+    p.register_regions("hoods", three_regions)
+    return p
+
+
+class TestParsing:
+    def test_prefix_sets_flag(self):
+        stmt = parse("EXPLAIN ANALYZE " + QUERY)
+        assert stmt.explain_analyze is True
+
+    def test_plain_select_unflagged(self):
+        assert parse(QUERY).explain_analyze is False
+
+    def test_explain_without_analyze_rejected(self):
+        with pytest.raises(SqlError):
+            parse("EXPLAIN " + QUERY)
+
+    def test_str_round_trips_the_prefix(self):
+        stmt = parse("EXPLAIN ANALYZE " + QUERY)
+        assert str(stmt).startswith("EXPLAIN ANALYZE SELECT")
+        assert parse(str(stmt)).explain_analyze is True
+
+    def test_table_swap_keeps_aggregates_and_flag(
+        self, uniform_points, three_regions
+    ):
+        # Regression: _resolve used to rebuild the statement field by
+        # field on a FROM-order swap, dropping the SELECT list and the
+        # EXPLAIN ANALYZE flag.
+        p = QueryPlanner()
+        p.register_points("taxi", uniform_points)
+        p.register_regions("hoods", three_regions)
+        stmt = parse(
+            "EXPLAIN ANALYZE SELECT SUM(taxi.fare) FROM hoods, taxi "
+            "WHERE taxi.loc INSIDE hoods.geometry GROUP BY hoods.id"
+        )
+        resolved, points, regions = p._resolve(stmt)
+        assert resolved.point_table == "taxi"
+        assert resolved.explain_analyze is True
+        (spec,) = resolved.select_list()
+        assert spec.function == "SUM" and spec.column == "fare"
+
+
+class TestReport:
+    def test_cold_then_warm_regimes(self, planner):
+        first = planner.execute("EXPLAIN ANALYZE " + QUERY)
+        assert isinstance(first, ExplainResult)
+        assert first.regime == "cold"
+        second = planner.execute("EXPLAIN ANALYZE " + QUERY)
+        assert second.regime == "warm"
+        # The warm prediction drops the preparation-heavy terms.
+        assert second.predicted["prepare"] <= first.predicted["prepare"]
+
+    def test_pyramid_warm_regime_after_prewarm(self, planner):
+        planner.prewarm("taxi", "hoods")
+        report = planner.execute("EXPLAIN ANALYZE " + QUERY)
+        assert report.regime == "pyramid-warm"
+        assert "pyramid_blocks" in report.predicted
+        assert "point_pass" not in report.predicted
+        assert "pyramid-block-merge" in report.text
+
+    def test_values_match_plain_execution(self, planner):
+        explained = planner.execute("EXPLAIN ANALYZE " + QUERY)
+        plain = planner.execute(QUERY)
+        assert np.array_equal(explained.result.values, plain.values)
+
+    def test_text_has_tree_and_prediction_table(self, planner):
+        report = planner.execute("EXPLAIN ANALYZE " + QUERY)
+        text = str(report)
+        assert text.startswith("regime: ")
+        assert "query" in text
+        header = next(
+            line for line in text.splitlines() if line.startswith("term")
+        )
+        assert "predicted" in header and "measured" in header
+        assert "rel_error" in header
+        # Every measured term line carries a numeric relative error.
+        for term, meas in report.measured.items():
+            if meas > 0:
+                (line,) = [
+                    l for l in text.splitlines() if l.startswith(term)
+                ]
+                assert "+" in line or "-" in line
+
+    def test_measured_terms_cover_the_span_tree(self, planner):
+        report = planner.execute("EXPLAIN ANALYZE " + QUERY)
+        assert report.root.name in ("query", "explain")
+        assert "prepare" in report.measured
+        for seconds in report.measured.values():
+            assert seconds >= 0.0
+
+    def test_bounded_within_path(self, planner):
+        report = planner.execute(
+            "EXPLAIN ANALYZE SELECT COUNT(*) FROM taxi, hoods "
+            "WHERE taxi.loc INSIDE hoods.geometry WITHIN 2.0 "
+            "GROUP BY hoods.id"
+        )
+        assert isinstance(report, ExplainResult)
+        assert report.regime in ("cold", "warm")
+        assert {"prepare", "point_pass", "polygon_pass"} <= set(
+            report.predicted
+        )
