@@ -1,0 +1,224 @@
+"""Concurrent serving layer under a 16-client dashboard workload.
+
+The scenario the serving layer targets: many dashboard clients fire
+overlapping warm statements at one planner at the same time.  Most of
+the work is redundant — clients repeat each other's statements
+(coalescing collapses those onto one in-flight execution) and the
+distinct statements still share the point source and canvas (shared-scan
+fusion folds them into one point pass feeding N accumulators).
+
+This benchmark replays the same 64-statement script two ways:
+
+* **serialized** — one statement at a time through
+  ``QueryPlanner.execute`` (the pre-serving baseline; warm session);
+* **served** — 16 client threads, each firing its whole script through
+  ``Server.submit`` and then collecting the results (a dashboard
+  rendering all its widgets at once).
+
+and asserts
+
+* every served result is **bit-identical** to its solo reference;
+* the server coalesced and fused (counters observable, and fused
+  statements report ``stats.extra["fused_queries"]``);
+* served aggregate QPS is at least **3x** the serialized baseline.
+
+Writes the machine-readable trajectory record ``BENCH_serve.json``.
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks import harness
+from repro import PointDataset
+from repro.data import generate_voronoi_regions
+from repro.geometry.bbox import BBox
+from repro.geometry.polygon import PolygonSet, rectangle
+from repro.obs import metrics
+from repro.serve import ServeConfig, Server
+from repro.sql.planner import QueryPlanner
+
+POINT_ROWS = 400_000
+CLIENTS = 16
+ROUNDS = 4
+EXTENT = BBox(0.0, 0.0, 1000.0, 1000.0)
+RESULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: The statement pool: all fusable (accurate engine, shared frame), two
+#: region tables, mixed aggregates and filters — a dashboard's widgets.
+STATEMENTS = [
+    "SELECT COUNT(*) FROM taxi, hoods WHERE taxi.loc INSIDE hoods.geometry "
+    "GROUP BY hoods.id",
+    "SELECT SUM(fare) FROM taxi, hoods WHERE taxi.loc INSIDE hoods.geometry "
+    "GROUP BY hoods.id",
+    "SELECT AVG(fare) FROM taxi, hoods WHERE taxi.loc INSIDE hoods.geometry "
+    "AND hour >= 12 GROUP BY hoods.id",
+    "SELECT COUNT(*) FROM taxi, zones WHERE taxi.loc INSIDE zones.geometry "
+    "GROUP BY zones.id",
+    "SELECT SUM(fare) FROM taxi, zones WHERE taxi.loc INSIDE zones.geometry "
+    "AND fare < 25 GROUP BY zones.id",
+    "SELECT MAX(fare) FROM taxi, zones WHERE taxi.loc INSIDE zones.geometry "
+    "GROUP BY zones.id",
+]
+
+
+def _table():
+    return harness.table(
+        "serving_concurrent",
+        "Concurrent serving vs serialized execution (16 clients)",
+        ["mode", "statements", "wall_s", "qps", "speedup",
+         "executions", "bit_identical"],
+    )
+
+
+def _regions(count: int, seed: int) -> PolygonSet:
+    regions = list(generate_voronoi_regions(count, EXTENT, seed=seed))
+    # Anchor rectangles pin the union bbox so both tables derive the
+    # same canvas — the fusable configuration.
+    regions.append(rectangle(0.0, 0.0, 2.0, 2.0))
+    regions.append(rectangle(998.0, 998.0, 1000.0, 1000.0))
+    return PolygonSet(regions)
+
+
+@pytest.fixture(scope="module")
+def dashboard():
+    rng = np.random.default_rng(17)
+    points = PointDataset(
+        rng.uniform(EXTENT.xmin, EXTENT.xmax, POINT_ROWS),
+        rng.uniform(EXTENT.ymin, EXTENT.ymax, POINT_ROWS),
+        {
+            "fare": rng.integers(1, 100, POINT_ROWS).astype(np.float64),
+            "hour": rng.integers(0, 24, POINT_ROWS).astype(np.float64),
+        },
+    )
+    planner = QueryPlanner()
+    planner.register_points("taxi", points)
+    planner.register_regions("hoods", _regions(16, seed=101))
+    planner.register_regions("zones", _regions(12, seed=202))
+    yield planner
+    planner.close()
+
+
+def _script() -> list[list[str]]:
+    """Per-client statement scripts: heavy overlap, deterministic."""
+    return [
+        [STATEMENTS[(client + r) % len(STATEMENTS)] for r in range(ROUNDS)]
+        for client in range(CLIENTS)
+    ]
+
+
+@pytest.mark.benchmark(group="serving")
+def test_serving_concurrent_smoke(benchmark, dashboard):
+    planner = dashboard
+    table = _table()
+    scripts = _script()
+    total = CLIENTS * ROUNDS
+
+    # Solo references (and session warmup — both legs below run warm).
+    solo = {q: planner.execute(q) for q in STATEMENTS}
+
+    # ------------------------------------------------------------------
+    # Serialized baseline: the pre-serving behavior, one at a time.
+    # ------------------------------------------------------------------
+    start = time.perf_counter()
+    for script in scripts:
+        for statement in script:
+            result = planner.execute(statement)
+            assert np.array_equal(result.values, solo[statement].values,
+                                  equal_nan=True)
+    serialized_s = time.perf_counter() - start
+    serialized_qps = total / serialized_s
+
+    # ------------------------------------------------------------------
+    # Served: 16 concurrent clients through the serving layer.
+    # ------------------------------------------------------------------
+    metrics.reset()
+    server = Server(planner, ServeConfig(
+        max_workers=4, max_queue=2 * total, batch_window_s=0.01,
+    ))
+    errors: list[BaseException] = []
+    mismatches: list[str] = []
+    fused_seen = [0]
+    fused_lock = threading.Lock()
+    barrier = threading.Barrier(CLIENTS + 1)
+
+    def client(script: list[str]) -> None:
+        # A dashboard client renders all its widgets at once: fire the
+        # whole script, then collect — the server sees every statement
+        # in flight together and coalesces/fuses across the board.
+        try:
+            barrier.wait(30.0)
+            futures = [server.submit(statement) for statement in script]
+            for statement, future in zip(script, futures):
+                result = future.result(300.0)
+                if not np.array_equal(result.values, solo[statement].values,
+                                      equal_nan=True):
+                    mismatches.append(statement)
+                if result.stats.extra.get("fused_queries", 0) > 1:
+                    with fused_lock:
+                        fused_seen[0] += 1
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(script,)) for script in scripts
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(30.0)
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join(600.0)
+    served_s = time.perf_counter() - start
+    counters = server.counters()
+    server.close()
+
+    assert not errors, errors
+    assert not mismatches, mismatches
+    served_qps = total / served_s
+    speedup = served_qps / serialized_qps
+
+    # The concurrency machinery actually engaged: duplicates coalesced
+    # and at least one shared scan served multiple statements.
+    assert counters["coalesced"] > 0, counters
+    assert counters["fused_scans"] > 0, counters
+    assert counters["rejected"] == 0, counters
+    executions = counters["admitted"]
+    assert executions < total
+
+    table.add_row("serialized", total, serialized_s, serialized_qps,
+                  1.0, total, True)
+    table.add_row("served", total, served_s, served_qps, speedup,
+                  executions, True)
+
+    record = {
+        "benchmark": "serving_concurrent",
+        "points": POINT_ROWS,
+        "clients": CLIENTS,
+        "rounds": ROUNDS,
+        "statements": total,
+        "distinct_statements": len(STATEMENTS),
+        "serialized_s": serialized_s,
+        "serialized_qps": serialized_qps,
+        "served_s": served_s,
+        "served_qps": served_qps,
+        "speedup": speedup,
+        "bit_identical": True,
+        "fused_results_observed": fused_seen[0],
+        "server": counters,
+        "metrics": harness.metrics_snapshot(),
+    }
+    RESULT_JSON.write_text(json.dumps(record, indent=2) + "\n")
+
+    benchmark.pedantic(
+        lambda: planner.execute(STATEMENTS[0]), rounds=1, iterations=1,
+    )
+
+    assert speedup >= 3.0, (
+        f"served {served_qps:.1f} qps not 3x serialized "
+        f"{serialized_qps:.1f} qps (speedup {speedup:.2f}x)"
+    )

@@ -48,6 +48,7 @@ from repro.exec import (
     ThreadBackend,
 )
 from repro.geometry import BBox, Polygon, PolygonSet
+from repro.serve import ServeConfig, Server
 from repro.store import ArtifactStore
 from repro.types import AggregationResult, ExecutionStats, ResultIntervals
 
@@ -70,6 +71,8 @@ __all__ = [
     "GPUDevice",
     "ProcessBackend",
     "SerialBackend",
+    "ServeConfig",
+    "Server",
     "ThreadBackend",
     "IndexJoin",
     "MaterializingJoin",

@@ -57,7 +57,11 @@ arrays wherever those arrays came from.
 
 from __future__ import annotations
 
+import functools
 import hashlib
+import os
+import threading
+import weakref
 from collections import Counter, OrderedDict
 from typing import Sequence
 
@@ -71,6 +75,42 @@ from repro.cache.prepared import (
 from repro.errors import QueryError
 from repro.geometry.polygon import Polygon, PolygonSet
 from repro.obs import metrics
+
+
+#: Live sessions whose locks must be re-armed in forked children — the
+#: process execution backend forks mid-query by design, and a fork taken
+#: while another thread holds a session lock would hand every child a
+#: permanently-held lock (same hazard, and same fix, as GPUDevice's).
+_LIVE_SESSIONS: "weakref.WeakSet[QuerySession]" = weakref.WeakSet()
+
+
+def _rearm_session_locks_after_fork() -> None:  # pragma: no cover - fork path
+    for session in _LIVE_SESSIONS:
+        session._lock = threading.RLock()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_rearm_session_locks_after_fork)
+
+
+def _locked(method):
+    """Serialize a public session method under the session's RLock.
+
+    The serving layer multiplexes many concurrent queries over one warm
+    session, so every entry point that reads or mutates the LRU dicts,
+    the byte accounting, or the store tier takes one coarse re-entrant
+    lock.  Re-entrant because public methods call each other (checkpoint
+    runs maintenance, ``__repr__`` reads ``nbytes``); coarse because the
+    critical sections are dict bookkeeping — the expensive work (raster
+    builds, point passes) happens in the engines, outside the session.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 def _point_columns(source) -> tuple:
@@ -218,10 +258,16 @@ class QuerySession:
         self.partition_hits = 0
         self.demotions = 0
         self.partial_demotions = 0
+        # One coarse re-entrant lock serializes every public entry point
+        # (see _locked): concurrent serving threads share a session, and
+        # unguarded OrderedDict mutation corrupts the LRU chains.
+        self._lock = threading.RLock()
+        _LIVE_SESSIONS.add(self)
 
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
+    @_locked
     def prepared_for(
         self,
         polygons: PolygonSet | Sequence[Polygon],
@@ -349,6 +395,7 @@ class QuerySession:
                 best, best_matched = candidate, matched
         return best, best_matched
 
+    @_locked
     def contains(
         self,
         polygons: PolygonSet | Sequence[Polygon],
@@ -361,6 +408,7 @@ class QuerySession:
             return True
         return self.store is not None and self.store.contains(key)
 
+    @_locked
     def warmth(
         self,
         polygons: PolygonSet | Sequence[Polygon],
@@ -544,6 +592,7 @@ class QuerySession:
             self._guards.popitem(last=False)
         return guard
 
+    @_locked
     def partition_lookup(self, points, token: tuple):
         """A cached ``(per_tile, duplicates)`` partition, or ``None``.
 
@@ -566,6 +615,7 @@ class QuerySession:
         metrics.counter("session_partition_hits")
         return per_tile, duplicates
 
+    @_locked
     def partition_store(self, points, token: tuple, per_tile,
                         duplicates: int) -> None:
         """Retain a freshly computed partition (LRU-bounded).
@@ -597,6 +647,7 @@ class QuerySession:
             self._partitions.popitem(last=False)
 
     @property
+    @_locked
     def partition_nbytes(self) -> int:
         """Bytes held by cached per-tile partition sub-chunks."""
         return sum(entry[4] for entry in self._partitions.values())
@@ -604,6 +655,7 @@ class QuerySession:
     # ------------------------------------------------------------------
     # Aggregate-pyramid cache (see repro.cache.pyramid)
     # ------------------------------------------------------------------
+    @_locked
     def pyramid_lookup(self, points, token: tuple):
         """A resident (or store-tier) aggregate pyramid, or ``None``.
 
@@ -643,6 +695,7 @@ class QuerySession:
                              persisted_version=pyramid.version)
         return pyramid
 
+    @_locked
     def pyramid_register(self, points, token: tuple, pyramid) -> None:
         """Retain an explicitly built pyramid (persisted at the next
         checkpoint when a store is attached)."""
@@ -652,6 +705,7 @@ class QuerySession:
             persisted_version=-1,
         )
 
+    @_locked
     def pyramid_warm(self, points, token: tuple) -> bool:
         """Cheap costing probe: is a pyramid resident for this source?
 
@@ -681,6 +735,7 @@ class QuerySession:
             self._flush_pyramid_entry(self._pyramids.popitem(last=False)[1])
 
     @property
+    @_locked
     def pyramid_nbytes(self) -> int:
         """Bytes held by resident aggregate pyramids."""
         return sum(entry[3].nbytes for entry in self._pyramids.values())
@@ -719,6 +774,7 @@ class QuerySession:
     # ------------------------------------------------------------------
     # Tier maintenance
     # ------------------------------------------------------------------
+    @_locked
     def checkpoint(self) -> None:
         """Persist dirty artifacts and enforce both budgets.
 
@@ -935,6 +991,7 @@ class QuerySession:
     # ------------------------------------------------------------------
     # Invalidation
     # ------------------------------------------------------------------
+    @_locked
     def invalidate(
         self, polygons: PolygonSet | Sequence[Polygon] | None = None
     ) -> int:
@@ -964,14 +1021,17 @@ class QuerySession:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @_locked
     def __len__(self) -> int:
         return len(self._entries)
 
     @property
+    @_locked
     def nbytes(self) -> int:
         """Approximate bytes held by all in-memory artifacts."""
         return sum(entry.nbytes for entry in self._entries.values())
 
+    @_locked
     def __repr__(self) -> str:
         body = (
             f"QuerySession({len(self._entries)}/{self.capacity} entries, "

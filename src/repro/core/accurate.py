@@ -392,39 +392,12 @@ class AccurateRasterJoin(SpatialAggregationEngine):
                     engine=self.name, batches=0, passes=0
                 )
                 partial_acc = self._new_accumulators(polygons, aggregate)
-                boundary = prepared.boundary_masks.get(tile_idx)
-                built_boundary = None
-                built_unit_boundary = None
-                if boundary is None:
-                    with trace.span("boundary"):
-                        if units_mode:
-                            # Per-polygon build: rasterize outlines only
-                            # for polygons whose unit lacks this tile
-                            # (after an edit, just the changed ones) and
-                            # OR every polygon's pixels into the tile
-                            # mask — bit-identical to the direct
-                            # whole-set render.
-                            start = time.perf_counter()
-                            built_unit_boundary = self._build_unit_boundaries(
-                                tile, prepared, polygons,
-                                prepared.missing_boundary_pids(tile_idx),
-                            )
-                            boundary = prepared.compose_boundary(
-                                tile_idx, tile, built_unit_boundary
-                            )
-                            tile_stats.processing_s += (
-                                time.perf_counter() - start
-                            )
-                            tile_stats.extra["boundary_pixels"] = int(
-                                boundary.sum()
-                            )
-                        else:
-                            boundary = self._render_boundary(
-                                tile, polygons, tile_stats
-                            )
-                    built_boundary = boundary
-                else:
-                    tile_stats.extra["boundary_pixels"] = int(boundary.sum())
+                boundary, built_boundary, built_unit_boundary = (
+                    self._tile_boundary(
+                        tile_idx, tile, prepared, polygons, tile_stats,
+                        units_mode,
+                    )
+                )
                 fbo = self._tile_framebuffer(tile, aggregate, self.fbo_dtype)
                 saw_points = False
                 chunks = (
@@ -468,6 +441,50 @@ class AccurateRasterJoin(SpatialAggregationEngine):
     # ------------------------------------------------------------------
     # Per-tile stages
     # ------------------------------------------------------------------
+
+    def _tile_boundary(
+        self,
+        tile_idx: int,
+        tile: Viewport,
+        prepared: PreparedPolygons,
+        polygons: PolygonSet,
+        tile_stats: ExecutionStats,
+        units_mode: bool,
+    ) -> tuple[np.ndarray, np.ndarray | None, dict | None]:
+        """This tile's boundary mask: cached, composed, or rendered.
+
+        Returns ``(boundary, built_boundary, built_unit_boundary)`` —
+        the mask to route points against plus whatever was freshly built
+        for the caller to ship home in its :class:`TilePartial` (``None``
+        when the artifact already held the mask).  Shared by the solo
+        tile task and the fused shared-scan executor
+        (:mod:`repro.serve.fused`), which runs it once per member query.
+        """
+        boundary = prepared.boundary_masks.get(tile_idx)
+        if boundary is not None:
+            tile_stats.extra["boundary_pixels"] = int(boundary.sum())
+            return boundary, None, None
+        built_unit_boundary = None
+        with trace.span("boundary"):
+            if units_mode:
+                # Per-polygon build: rasterize outlines only for
+                # polygons whose unit lacks this tile (after an edit,
+                # just the changed ones) and OR every polygon's pixels
+                # into the tile mask — bit-identical to the direct
+                # whole-set render.
+                start = time.perf_counter()
+                built_unit_boundary = self._build_unit_boundaries(
+                    tile, prepared, polygons,
+                    prepared.missing_boundary_pids(tile_idx),
+                )
+                boundary = prepared.compose_boundary(
+                    tile_idx, tile, built_unit_boundary
+                )
+                tile_stats.processing_s += time.perf_counter() - start
+                tile_stats.extra["boundary_pixels"] = int(boundary.sum())
+            else:
+                boundary = self._render_boundary(tile, polygons, tile_stats)
+        return boundary, boundary, built_unit_boundary
 
     @staticmethod
     def _polygon_outline(
@@ -580,49 +597,81 @@ class AccurateRasterJoin(SpatialAggregationEngine):
             if len(xs) == 0:
                 stats.processing_s += time.perf_counter() - start
                 continue
-            on_boundary = boundary[iy, ix]
-            num_boundary = int(np.count_nonzero(on_boundary))
-            stats.boundary_points += num_boundary
-            all_boundary = num_boundary == len(xs)
-            if num_boundary:
-                # Boundary points: exact join via the polygon grid index.
-                # When the whole batch is boundary the masked gathers are
-                # skipped — identical values in identical order.
-                with trace.span("boundary-pip", points=num_boundary):
-                    grid_pip_aggregate(
-                        xs if all_boundary else xs[on_boundary],
-                        ys if all_boundary else ys[on_boundary],
-                        attrs if all_boundary else
-                        {n: a[on_boundary] for n, a in attrs.items()},
-                        grid, polygons, aggregate, accumulators, stats,
-                    )
-            if not all_boundary:
-                # Interior points: plain additive rasterization.  A batch
-                # with no boundary points skips the mask entirely — the
-                # unmasked arrays are the same values in the same order,
-                # so the scatter visits pixels identically.
-                if num_boundary:
-                    interior = ~on_boundary
-                    iix, iiy = ix[interior], iy[interior]
-                else:
-                    interior = None
-                    iix, iiy = ix, iy
-
-                def _vals(col):
-                    return attrs[col] if interior is None else attrs[col][interior]
-
-                if aggregate.blend == "add":
-                    for ch, col in aggregate.channels.items():
-                        vals = _vals(col) if col is not None else 1.0
-                        np.add.at(fbo.channel(ch), (iiy, iix), vals)
-                else:
-                    for ch, col in aggregate.channels.items():
-                        vals = _vals(col)
-                        if aggregate.blend == "min":
-                            np.minimum.at(fbo.channel(ch), (iiy, iix), vals)
-                        else:
-                            np.maximum.at(fbo.channel(ch), (iiy, iix), vals)
+            self._route_batch(
+                boundary, fbo, xs, ys, ix, iy, attrs, polygons, grid,
+                aggregate, accumulators, stats,
+            )
             stats.processing_s += time.perf_counter() - start
+
+    @staticmethod
+    def _route_batch(
+        boundary: np.ndarray,
+        fbo: FrameBuffer,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        ix: np.ndarray,
+        iy: np.ndarray,
+        attrs: dict[str, np.ndarray],
+        polygons: PolygonSet,
+        grid,
+        aggregate: Aggregate,
+        accumulators: dict[str, np.ndarray],
+        stats: ExecutionStats,
+    ) -> None:
+        """Route one projected batch: boundary points join exactly, the
+        rest rasterize into the tile framebuffer.
+
+        Inputs are the post-filter, post-projection arrays (already
+        subset to in-tile points), so the fused shared-scan executor can
+        evaluate filters and projection once per distinct filter set and
+        replay this routing per member query against that query's own
+        boundary mask, framebuffer, grid, and accumulators — the exact
+        arithmetic of a solo run, in the exact order.  ``attrs`` may
+        carry extra columns (the fused union); only the aggregate's own
+        columns are read.
+        """
+        on_boundary = boundary[iy, ix]
+        num_boundary = int(np.count_nonzero(on_boundary))
+        stats.boundary_points += num_boundary
+        all_boundary = num_boundary == len(xs)
+        if num_boundary:
+            # Boundary points: exact join via the polygon grid index.
+            # When the whole batch is boundary the masked gathers are
+            # skipped — identical values in identical order.
+            with trace.span("boundary-pip", points=num_boundary):
+                grid_pip_aggregate(
+                    xs if all_boundary else xs[on_boundary],
+                    ys if all_boundary else ys[on_boundary],
+                    attrs if all_boundary else
+                    {n: a[on_boundary] for n, a in attrs.items()},
+                    grid, polygons, aggregate, accumulators, stats,
+                )
+        if not all_boundary:
+            # Interior points: plain additive rasterization.  A batch
+            # with no boundary points skips the mask entirely — the
+            # unmasked arrays are the same values in the same order,
+            # so the scatter visits pixels identically.
+            if num_boundary:
+                interior = ~on_boundary
+                iix, iiy = ix[interior], iy[interior]
+            else:
+                interior = None
+                iix, iiy = ix, iy
+
+            def _vals(col):
+                return attrs[col] if interior is None else attrs[col][interior]
+
+            if aggregate.blend == "add":
+                for ch, col in aggregate.channels.items():
+                    vals = _vals(col) if col is not None else 1.0
+                    np.add.at(fbo.channel(ch), (iiy, iix), vals)
+            else:
+                for ch, col in aggregate.channels.items():
+                    vals = _vals(col)
+                    if aggregate.blend == "min":
+                        np.minimum.at(fbo.channel(ch), (iiy, iix), vals)
+                    else:
+                        np.maximum.at(fbo.channel(ch), (iiy, iix), vals)
 
     def _polygon_pass(
         self,

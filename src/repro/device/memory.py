@@ -29,12 +29,51 @@ _LIVE_DEVICES: "weakref.WeakSet[GPUDevice]" = weakref.WeakSet()
 
 
 def _rearm_device_locks_after_fork() -> None:  # pragma: no cover - fork path
+    global _TOTALS_LOCK
+    _TOTALS_LOCK = threading.Lock()
     for device in _LIVE_DEVICES:
         device._lock = threading.Lock()
 
 
 if hasattr(os, "register_at_fork"):
     os.register_at_fork(after_in_child=_rearm_device_locks_after_fork)
+
+# Cross-device allocation totals.  The per-device peak gauge assumes one
+# query at a time per device; when the serving layer runs many queries
+# concurrently their batch buffers coexist, so capacity pressure is a
+# property of the *sum* of live allocations.  The module-level aggregate
+# tracks that sum and publishes it under ``device="all"``.
+_TOTALS_LOCK = threading.Lock()
+_total_allocated = 0
+_total_peak = 0
+
+
+def _account(delta: int) -> None:
+    global _total_allocated, _total_peak
+    with _TOTALS_LOCK:
+        _total_allocated = max(0, _total_allocated + delta)
+        if _total_allocated > _total_peak:
+            _total_peak = _total_allocated
+            metrics.gauge_max(
+                "device_peak_bytes", _total_peak, device="all",
+            )
+
+
+def aggregate_allocated_bytes() -> int:
+    """Bytes currently allocated across every live device."""
+    with _TOTALS_LOCK:
+        return _total_allocated
+
+
+def aggregate_peak_bytes() -> int:
+    """High-water mark of concurrent allocation across every device.
+
+    Unlike the per-device ``peak_allocated_bytes`` attribute this counts
+    overlapping queries: two queries each holding 1 GiB at the same time
+    report a 2 GiB aggregate peak even if each device-local peak is 1 GiB.
+    """
+    with _TOTALS_LOCK:
+        return _total_peak
 
 #: The paper limits GPU memory usage to 3 GB (§7.1).
 DEFAULT_CAPACITY_BYTES = 3 * 1024**3
@@ -139,10 +178,13 @@ class GPUDevice:
                     "device_peak_bytes", self.allocated_bytes,
                     device=self.name,
                 )
+        _account(nbytes)
 
     def _release(self, nbytes: int) -> None:
         with self._lock:
-            self.allocated_bytes = max(0, self.allocated_bytes - nbytes)
+            released = min(nbytes, self.allocated_bytes)
+            self.allocated_bytes -= released
+        _account(-released)
 
     # ------------------------------------------------------------------
     # Pickling (ProcessBackend forks carry copy-on-write device clones;

@@ -40,6 +40,32 @@ class SqlError(QueryError):
     """The SQL frontend could not lex, parse, or plan a statement."""
 
 
+class ServeError(RasterJoinError):
+    """The concurrent serving layer could not accept or finish a query."""
+
+
+class ServerOverloadedError(ServeError):
+    """Admission control rejected a submission: the bounded queue is full.
+
+    Raised synchronously by :meth:`repro.serve.Server.submit` so callers
+    can shed load (retry with backoff, degrade, or fail fast) instead of
+    piling requests onto a saturated server.
+    """
+
+
+class QueryTimeoutError(ServeError):
+    """A served query did not produce its result within the deadline.
+
+    The underlying execution is not interrupted — timing out only
+    releases the waiter; the shared scan keeps running for any coalesced
+    followers still waiting on it.
+    """
+
+
+class ServerClosedError(ServeError):
+    """A submission arrived after :meth:`repro.serve.Server.close`."""
+
+
 class ExecutionBackendError(RasterJoinError):
     """An execution backend was misconfigured or is unavailable."""
 

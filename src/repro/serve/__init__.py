@@ -1,0 +1,24 @@
+"""Concurrent serving layer: admission, coalescing, shared-scan fusion.
+
+See ``docs/serving.md`` for the architecture and
+:class:`~repro.serve.server.Server` for the API.
+"""
+
+from repro.serve.fused import (
+    FusedQuery,
+    execute_fused,
+    fits_single_batch,
+    fusable,
+    fusion_key,
+)
+from repro.serve.server import ServeConfig, Server
+
+__all__ = [
+    "FusedQuery",
+    "ServeConfig",
+    "Server",
+    "execute_fused",
+    "fits_single_batch",
+    "fusable",
+    "fusion_key",
+]

@@ -1,0 +1,321 @@
+"""Shared-scan fusion: one point pass feeding several queries' aggregates.
+
+The serving layer's generalization of :mod:`repro.core.multi`: where
+``MultiAggregate`` fuses several SELECT items of *one* statement into one
+framebuffer, this module fuses several concurrent *statements* — possibly
+with different polygon sets, aggregates, and filters — into a single scan
+of their shared point source.  The scan work that does not depend on the
+query (batch upload, filter evaluation per distinct filter set, the
+canvas projection per tile) runs once; everything arithmetic-bearing
+(boundary mask, framebuffer, PIP accumulators, polygon pass) stays
+per-query, replaying the exact solo code path on the exact same arrays.
+
+Bit-identity argument
+---------------------
+A solo :class:`~repro.core.accurate.AccurateRasterJoin` execution whose
+input fits a single device batch routes, per tile, *all* in-tile points
+through one :meth:`~repro.core.accurate.AccurateRasterJoin._route_batch`
+call — filters first, then projection, then the inside-viewport subset,
+in input order.  ``execute_fused`` performs the same three steps once per
+distinct filter set and hands the resulting arrays to each member's own
+``_route_batch`` with that member's own boundary mask, framebuffer, grid,
+and identity-initialized per-tile accumulators.  Float groupings in the
+boundary PIP join and the framebuffer scatter are therefore identical to
+the solo run, and the per-member tile partials merge through the same
+tile-index-order :meth:`_merge_tile_partials` fold.  Queries whose input
+would *not* fit a single batch are not fused (batch boundaries change
+float groupings), nor are queries the aggregate pyramid would answer
+(the pyramid path groups floats differently than the exact path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.pyramid import channel_kinds
+from repro.core.accurate import AccurateRasterJoin
+from repro.core.aggregates import Aggregate
+from repro.core.filters import FilterSet
+from repro.data.dataset import PointDataset
+from repro.device.batching import plan_batches
+from repro.device.memory import ResidentPointSet
+from repro.exec.backend import TilePartial
+from repro.geometry.polygon import PolygonSet
+from repro.obs import trace
+from repro.types import AggregationResult, ExecutionStats
+
+
+@dataclass
+class FusedQuery:
+    """One member of a fused scan: everything but the shared points."""
+
+    polygons: PolygonSet
+    aggregate: Aggregate
+    filters: FilterSet
+
+
+def fusable(engine, statement, points, regions, aggregate, filters) -> bool:
+    """Cheap submit-time gate: may this query join a fused scan?
+
+    Only the accurate engine is fused (the bounded engine's ε-canvas
+    depends on the polygons, so two statements rarely share one), never
+    an ``EXPLAIN ANALYZE`` (it owns the tracer), and never a query the
+    warm aggregate pyramid would answer — the pyramid's block partials
+    group floats differently than the exact path, so fusing such a query
+    would change its bits relative to solo execution.
+    """
+    if type(engine) is not AccurateRasterJoin:
+        return False
+    if getattr(statement, "explain_analyze", False):
+        return False
+    if (
+        not filters
+        and channel_kinds(aggregate) is not None
+        and engine.pyramid_warmth(points, regions)
+    ):
+        return False
+    return True
+
+
+def fusion_key(engine, points, regions) -> tuple:
+    """Group key: queries fusable together share the scan's geometry.
+
+    Same point source (by identity — the scan iterates it once), same
+    render spec, and same polygon-set bounding box: the accurate engine
+    derives its canvas (and therefore its tile layout and every
+    ``pixel_of`` projection) from the polygon bbox alone, so equal boxes
+    under an equal spec mean the shared projection is valid for every
+    member.  ``execute_fused`` re-verifies the derived canvases match
+    before trusting this.
+    """
+    bbox = regions.bbox
+    return (
+        id(points),
+        engine.prepared_spec(),
+        (bbox.xmin, bbox.ymin, bbox.xmax, bbox.ymax),
+    )
+
+
+def fits_single_batch(engine, points, columns, reserved_bytes) -> bool:
+    """Whether the fused scan — and every member solo — is one batch.
+
+    Device-less and device-resident inputs always are.  A host input is
+    planned with the *union* column set and the *summed* framebuffer
+    reservation, which upper-bounds every member's solo plan: if the
+    union fits one batch, each member's narrower plan does too, so the
+    solo runs being mirrored had whole-input float groupings as well.
+    """
+    if engine.device is None or isinstance(points, ResidentPointSet):
+        return True
+    plan = plan_batches(points, columns, engine.device, reserved_bytes)
+    return plan.fits_in_one_batch
+
+
+def _union_columns(engine, queries) -> tuple[str, ...]:
+    """Scan columns: every member's required columns, first-seen order."""
+    names: list[str] = ["x", "y"]
+    for query in queries:
+        for col in engine.required_columns(query.aggregate, query.filters):
+            if col not in names:
+                names.append(col)
+    return tuple(names)
+
+
+def _canvas_token(prepared) -> tuple:
+    """Value identity of a prepared canvas + tile layout."""
+    extent = prepared.canvas.extent
+    return (
+        extent.xmin, extent.ymin, extent.xmax, extent.ymax,
+        prepared.canvas.width, prepared.canvas.height,
+        len(prepared.tiles),
+    )
+
+
+class _TileState:
+    """One member's in-flight artifacts for the current tile."""
+
+    __slots__ = (
+        "stats", "accumulators", "boundary", "built_boundary",
+        "built_unit_boundary", "fbo", "units_mode",
+    )
+
+    def __init__(self, engine, tile_idx, tile, prepared, query, retain):
+        self.stats = ExecutionStats(engine=engine.name, batches=0, passes=0)
+        self.accumulators = engine._new_accumulators(
+            query.polygons, query.aggregate
+        )
+        self.units_mode = retain and prepared.units is not None
+        self.boundary, self.built_boundary, self.built_unit_boundary = (
+            engine._tile_boundary(
+                tile_idx, tile, prepared, query.polygons, self.stats,
+                self.units_mode,
+            )
+        )
+        self.fbo = engine._tile_framebuffer(
+            tile, query.aggregate, engine.fbo_dtype
+        )
+
+
+def execute_fused(
+    engine: AccurateRasterJoin,
+    points: PointDataset | ResidentPointSet,
+    queries: list[FusedQuery],
+) -> list[AggregationResult] | None:
+    """Run every member query off one shared point scan.
+
+    Returns one :class:`AggregationResult` per member, in order — each
+    bit-identical to what ``engine.execute`` would have produced solo —
+    or ``None`` when a runtime gate fails (canvas mismatch across
+    members, or the input does not fit a single batch), in which case
+    the caller falls back to solo execution; nothing member-visible has
+    been produced, only session prepared state that solo runs reuse.
+    """
+    n = len(queries)
+    stats_list = [
+        ExecutionStats(engine=engine.name, batches=0, passes=0)
+        for _ in queries
+    ]
+    with trace.query_scope(engine.name) as root:
+        prepared = [
+            engine._prepare(query.polygons, stats)
+            for query, stats in zip(queries, stats_list)
+        ]
+        if len({_canvas_token(p) for p in prepared}) != 1:
+            return None
+        tiles = prepared[0].tiles
+        columns = _union_columns(engine, queries)
+        reserved = sum(
+            engine._max_fbo_bytes(tiles, q.aggregate, engine.fbo_dtype)
+            for q in queries
+        )
+        if not fits_single_batch(engine, points, columns, reserved):
+            return None
+        # Members sharing a filter conjunction share its evaluation (and
+        # the projection of the surviving points): the scan cost is per
+        # distinct filter set, not per query.
+        groups: dict[tuple, list[int]] = {}
+        for i, query in enumerate(queries):
+            fkey = tuple(
+                (f.column, f.op, f.value) for f in query.filters.filters
+            )
+            groups.setdefault(fkey, []).append(i)
+        retain = engine.session is not None
+        partials: list[list[TilePartial]] = [[] for _ in queries]
+        scan_stats = ExecutionStats(engine=engine.name, batches=0, passes=0)
+
+        def run_tiles(filtered) -> None:
+            for tile_idx, tile in enumerate(tiles):
+                states = [
+                    _TileState(engine, tile_idx, tile, prepared[i],
+                               queries[i], retain)
+                    for i in range(n)
+                ]
+                if filtered is not None:
+                    for fkey, members in groups.items():
+                        xs, ys, attrs = filtered[fkey]
+                        ix, iy, inside = tile.pixel_of(xs, ys)
+                        if not inside.all():
+                            xs, ys = xs[inside], ys[inside]
+                            ix, iy = ix[inside], iy[inside]
+                            attrs = {
+                                name: arr[inside]
+                                for name, arr in attrs.items()
+                            }
+                        if len(xs) == 0:
+                            continue
+                        for i in members:
+                            state = states[i]
+                            engine._route_batch(
+                                state.boundary, state.fbo, xs, ys, ix, iy,
+                                attrs, queries[i].polygons, prepared[i].grid,
+                                queries[i].aggregate, state.accumulators,
+                                state.stats,
+                            )
+                for i, query in enumerate(queries):
+                    state = states[i]
+                    built_cov, built_unit_cov = engine._polygon_pass(
+                        tile_idx, tile, prepared[i], state.boundary,
+                        state.fbo, query.polygons, query.aggregate,
+                        state.accumulators, state.stats, state.units_mode,
+                    )
+                    state.stats.passes = 1
+                    partials[i].append(TilePartial(
+                        tile_idx, state.accumulators, state.stats,
+                        saw_points=True,
+                        boundary_mask=state.built_boundary if retain else None,
+                        coverage=built_cov if retain else None,
+                        unit_boundary=(
+                            state.built_unit_boundary if retain else None
+                        ),
+                        unit_coverage=built_unit_cov if retain else None,
+                    ))
+
+        with trace.span(
+            "fused-scan", queries=n, groups=len(groups), tiles=len(tiles)
+        ):
+            routed = False
+            for batch in engine._batches(
+                points, columns, scan_stats, reserved_bytes=reserved
+            ):
+                if routed:
+                    # The single-batch gate miscounted (it is planned
+                    # from sizes, not re-derived here); the first batch's
+                    # partials no longer mirror a solo run, so bail to
+                    # the solo fallback.
+                    return None
+                filtered = {}
+                for fkey, members in groups.items():
+                    group_stats = ExecutionStats(
+                        engine=engine.name, batches=0, passes=0
+                    )
+                    filtered[fkey] = engine._apply_filters(
+                        batch, queries[members[0]].filters, group_stats
+                    )
+                    for i in members:
+                        stats_list[i].points_processed += (
+                            group_stats.points_processed
+                        )
+                        stats_list[i].points_filtered_out += (
+                            group_stats.points_filtered_out
+                        )
+                run_tiles(filtered)
+                routed = True
+            if not routed:
+                # Zero-batch input: the polygon pass still runs per tile
+                # (identity framebuffers), exactly like a solo execution
+                # over an empty source.
+                run_tiles(None)
+
+        results: list[AggregationResult] = []
+        for i, query in enumerate(queries):
+            stats = stats_list[i]
+            engine._record_execution_env(stats, len(tiles))
+            accumulators = engine._new_accumulators(
+                query.polygons, query.aggregate
+            )
+            engine._merge_tile_partials(
+                partials[i], prepared[i], query.aggregate, accumulators,
+                stats,
+            )
+            # Every member is charged the shared scan's transfer — the
+            # cost its solo run would have paid — and reports how many
+            # queries the point pass served.
+            stats.transfer_s += scan_stats.transfer_s
+            stats.bytes_transferred += scan_stats.bytes_transferred
+            stats.batches += scan_stats.batches
+            if stats.passes == 0:
+                stats.passes = 1
+            if stats.batches == 0:
+                stats.batches = 1
+            stats.extra["fused_queries"] = n
+            results.append(AggregationResult(
+                values=query.aggregate.finalize(accumulators),
+                channels=accumulators,
+                stats=stats,
+                trace=root,
+            ))
+        if root is not None:
+            root.attrs.update(stats_list[0].as_span_attrs())
+            root.attrs["fused_queries"] = n
+    engine._checkpoint_session()
+    return results

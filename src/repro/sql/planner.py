@@ -82,6 +82,9 @@ class QueryPlanner:
         #: instance per planner, so the calibration probes run once and
         #: every explained statement reuses the fitted cost model.
         self._optimizer = None
+        #: Lazily-built serving layer (repro.serve): one server per
+        #: planner, sharing its session, backend, and catalog.
+        self._server = None
 
     def optimizer(self):
         """The planner's calibrated cost optimizer (built on first use)."""
@@ -235,6 +238,31 @@ class QueryPlanner:
             )
         return engine.execute(points, regions, aggregate=aggregate, filters=filters)
 
+    def server(self, config=None):
+        """This planner's concurrent serving layer (built on first use).
+
+        ``config`` (a :class:`~repro.serve.ServeConfig`) only takes
+        effect on the call that creates the server; later calls return
+        the existing instance.  The server shares the planner's session,
+        pinned backend, and catalog, so served statements hit the same
+        warm caches as :meth:`execute`.
+        """
+        if self._server is None:
+            from repro.serve import Server
+
+            self._server = Server(self, config)
+        return self._server
+
+    async def execute_async(self, statement, timeout: float | None = None):
+        """Serve a statement through the concurrent layer (asyncio).
+
+        Concurrent identical statements coalesce onto one execution and
+        fusable overlapping statements share a point scan — see
+        ``docs/serving.md``.  ``timeout`` bounds the wait (raising
+        :class:`~repro.errors.QueryTimeoutError`), not the execution.
+        """
+        return await self.server().execute_async(statement, timeout=timeout)
+
     def prewarm(self, point_table: str, region_table: str) -> None:
         """Build the aggregate pyramid for a (points, regions) pairing.
 
@@ -259,11 +287,15 @@ class QueryPlanner:
         )
 
     def close(self) -> None:
-        """Release the shared backend's worker pool.
+        """Release the serving layer and the shared backend's worker pool.
 
         The planner stays usable — the next statement respawns the pool
-        lazily; unclosed pools are reclaimed at interpreter exit.
+        lazily (and :meth:`server` a fresh server); unclosed pools are
+        reclaimed at interpreter exit.
         """
+        if self._server is not None:
+            server, self._server = self._server, None
+            server.close()
         self.config.backend.close()
 
     def __enter__(self) -> "QueryPlanner":

@@ -1,0 +1,113 @@
+"""QuerySession thread-safety: one session hammered from many threads.
+
+The serving layer shares a single session across concurrent queries, so
+every mutation path — prepared-state insert/lookup, partition cache,
+pyramid registry, invalidation, byte accounting — must hold up under
+races.  Before the coarse RLock, concurrent ``prepared_for`` calls could
+corrupt the LRU dicts mid-``popitem`` and double-count byte budgets.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import AccurateRasterJoin, PointDataset, QuerySession
+from tests.conftest import random_star_polygon
+from repro.geometry.polygon import PolygonSet
+
+THREADS = 8
+ROUNDS = 12
+
+
+@pytest.fixture
+def polygon_sets(rng):
+    return [
+        PolygonSet([
+            random_star_polygon(rng, center=(40.0 + 5 * i, 50.0)),
+            random_star_polygon(rng, center=(60.0, 40.0 + 5 * i)),
+        ])
+        for i in range(4)
+    ]
+
+
+def test_eight_thread_hammer(rng, polygon_sets):
+    session = QuerySession(capacity=3)
+    spec = ("accurate", 128, 128, 8192)
+    points = PointDataset(
+        rng.uniform(0.0, 100.0, 2000), rng.uniform(0.0, 100.0, 2000)
+    )
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(THREADS)
+
+    def hammer(worker: int) -> None:
+        try:
+            barrier.wait(10.0)
+            local = np.random.default_rng(worker)
+            for round_no in range(ROUNDS):
+                polygons = polygon_sets[(worker + round_no) % len(polygon_sets)]
+                prepared, source = session.prepared_for(polygons, spec)
+                assert isinstance(source, str)
+                assert prepared is not None
+                token = ("partition", worker % 2)
+                if local.random() < 0.5:
+                    session.partition_store(points, token, [[], []], 0)
+                else:
+                    session.partition_lookup(points, token)
+                session.contains(polygons, spec)
+                session.warmth(polygons, spec)
+                assert len(session) >= 0
+                assert session.nbytes >= 0
+                assert session.partition_nbytes >= 0
+                if local.random() < 0.2:
+                    session.invalidate(polygons)
+                session.checkpoint()
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=hammer, args=(i,)) for i in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60.0)
+    assert not errors, errors
+    # The budget stayed consistent: re-derive it from scratch.
+    assert 0 <= len(session) <= 3
+
+
+def test_concurrent_executions_share_session_bit_identically(
+    rng, uniform_points, three_regions
+):
+    """Eight threads executing through one shared session agree exactly."""
+    session = QuerySession()
+    engine = AccurateRasterJoin(resolution=128, session=session)
+    reference = engine.execute(uniform_points, three_regions)
+    results: dict[int, np.ndarray] = {}
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(THREADS)
+
+    def run(worker: int) -> None:
+        try:
+            barrier.wait(10.0)
+            worker_engine = AccurateRasterJoin(
+                resolution=128, session=session
+            )
+            results[worker] = worker_engine.execute(
+                uniform_points, three_regions
+            ).values
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60.0)
+    assert not errors, errors
+    assert len(results) == THREADS
+    for values in results.values():
+        assert np.array_equal(values, reference.values)

@@ -1,0 +1,115 @@
+"""Hypothesis property tests for the concurrent serving layer.
+
+The core serving invariant: any random mix of concurrent statements —
+duplicates coalescing, fusable overlaps sharing a scan — returns results
+bit-identical to executing each statement alone through the planner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import PointDataset, Polygon, PolygonSet
+from repro.serve import ServeConfig, Server
+from repro.sql.planner import QueryPlanner
+from tests.conftest import random_star_polygon
+
+#: All fusable (accurate-engine, overlapping-canvas) statements; the
+#: server is free to coalesce duplicates and fuse the rest.
+STATEMENTS = [
+    "SELECT COUNT(*) FROM taxi, hoods WHERE taxi.loc INSIDE hoods.geometry "
+    "GROUP BY hoods.id",
+    "SELECT SUM(fare) FROM taxi, hoods WHERE taxi.loc INSIDE hoods.geometry "
+    "GROUP BY hoods.id",
+    "SELECT AVG(fare) FROM taxi, hoods WHERE taxi.loc INSIDE hoods.geometry "
+    "AND hour >= 12 GROUP BY hoods.id",
+    "SELECT MAX(fare) FROM taxi, zones WHERE taxi.loc INSIDE zones.geometry "
+    "GROUP BY zones.id",
+    "SELECT COUNT(*) FROM taxi, zones WHERE taxi.loc INSIDE zones.geometry "
+    "AND fare < 25 GROUP BY zones.id",
+]
+
+_STATE: dict = {}
+
+
+def _planner() -> tuple[QueryPlanner, dict[str, object]]:
+    """One warm planner + solo reference results, built lazily.
+
+    hypothesis re-runs the test body per example, so the expensive
+    catalog construction and reference executions happen once and every
+    example reuses them (the solo references double as session warmup,
+    which the serving layer shares).
+    """
+    if not _STATE:
+        rng = np.random.default_rng(20260808)
+        n = 20_000
+        points = PointDataset(
+            rng.uniform(0.0, 100.0, n),
+            rng.uniform(0.0, 100.0, n),
+            attributes={
+                "fare": rng.uniform(2.0, 60.0, n),
+                "hour": rng.integers(0, 24, n).astype(float),
+            },
+        )
+        anchor = Polygon(
+            [(0.0, 0.0), (100.0, 0.0), (100.0, 100.0), (0.0, 100.0)]
+        )
+        hoods = PolygonSet([
+            anchor,
+            random_star_polygon(rng, center=(35.0, 40.0),
+                                radius_range=(5.0, 20.0)),
+            random_star_polygon(rng, center=(65.0, 60.0),
+                                radius_range=(5.0, 20.0)),
+        ])
+        zones = PolygonSet([
+            anchor,
+            random_star_polygon(rng, center=(50.0, 30.0), vertices=14,
+                                radius_range=(5.0, 20.0)),
+        ])
+        planner = QueryPlanner()
+        planner.register_points("taxi", points)
+        planner.register_regions("hoods", hoods)
+        planner.register_regions("zones", zones)
+        _STATE["planner"] = planner
+        _STATE["solo"] = {q: planner.execute(q) for q in STATEMENTS}
+    return _STATE["planner"], _STATE["solo"]
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.data())
+def test_random_concurrent_mix_matches_solo(data):
+    planner, solo = _planner()
+    picks = data.draw(
+        st.lists(st.sampled_from(STATEMENTS), min_size=2, max_size=6),
+        label="statements",
+    )
+    server = Server(planner, ServeConfig(
+        max_workers=2, batch_window_s=60.0,
+    ))
+    try:
+        futures = [server.submit(q) for q in picks]
+        server.flush()
+        seen: set[str] = set()
+        for statement, future in zip(picks, futures):
+            result = future.result(60.0)
+            reference = solo[statement]
+            assert np.array_equal(
+                result.values, reference.values, equal_nan=True
+            )
+            for name, channel in reference.channels.items():
+                assert np.array_equal(
+                    result.channels[name], channel, equal_nan=True
+                )
+            if statement in seen:
+                # Duplicates submitted while the first was in flight
+                # coalesced onto it and say so.
+                assert result.stats.extra["coalesced"] is True
+            seen.add(statement)
+        counters = server.counters()
+        assert counters["admitted"] == len(set(picks))
+        assert counters["coalesced"] == len(picks) - len(set(picks))
+        assert counters["rejected"] == 0
+    finally:
+        server.close()
