@@ -72,7 +72,9 @@ from repro.cache.prepared import (
     per_polygon_fingerprints,
     polygon_fingerprint,
 )
+from repro.data.dataset import PointDataset
 from repro.errors import QueryError
+from repro.exec import shm as shm_tier
 from repro.geometry.polygon import Polygon, PolygonSet
 from repro.obs import metrics
 
@@ -134,11 +136,26 @@ def _source_bytes(points) -> int:
 
 
 def _partition_bytes(per_tile) -> int:
-    """Approximate bytes of a partition's per-tile sub-chunk copies."""
+    """Approximate bytes of a partition's per-tile sub-chunk copies.
+
+    Shared-memory chunks are counted **once per backing segment**: the
+    segment is one host-wide allocation however many tiles reference it
+    and however many worker processes map it, so charging it per
+    appearance would make the budget evict partitions that fit.
+    """
     total = 0
+    seen_segments: set[str] = set()
     for chunks in per_tile:
         for chunk in chunks:
-            total += _source_bytes(chunk)
+            segments = getattr(chunk, "segments", None)
+            if segments is None:
+                total += _source_bytes(chunk)
+                continue
+            fresh = [name for name in segments if name not in seen_segments]
+            if not fresh:
+                continue
+            seen_segments.update(fresh)
+            total += chunk.nbytes
     return total
 
 
@@ -198,14 +215,28 @@ class QuerySession:
         store=None,
         partition_capacity: int = 4,
         pyramid_capacity: int = 2,
+        shm: bool | None = None,
     ) -> None:
         if capacity < 1:
             raise QueryError(f"session capacity must be >= 1, got {capacity}")
+        from repro.exec.backend import flag_from_env
         from repro.store import ArtifactStore, parse_bytes
 
         self.capacity = capacity
         self.byte_budget = parse_bytes(byte_budget)
         self.store = ArtifactStore.coerce(store)
+        #: Whether this session's partition cache exports per-tile
+        #: sub-chunks (and pinned point sources) as named shared-memory
+        #: segments — the data half of the process backend's
+        #: resident-worker mode.  ``None`` consults ``$REPRO_SHM``,
+        #: defaulting to off.  Purely a performance decision; the chunks
+        #: hold the same bytes wherever they live.
+        self.shm = (
+            flag_from_env(shm_tier.SHM_ENV_VAR, False) if shm is None else shm
+        )
+        #: ``id(points) -> (points, guard, ShmChunk)``: point sources
+        #: pinned whole into the shm tier (see :meth:`shm_pin`), LRU.
+        self._shm_pins: "OrderedDict[int, tuple]" = OrderedDict()
         #: How many tile-point partitions to retain (0 disables).  Each
         #: cached partition holds per-tile copies of the point columns,
         #: so the cap bounds that memory; entries are keyed by the point
@@ -617,7 +648,7 @@ class QuerySession:
 
     @_locked
     def partition_store(self, points, token: tuple, per_tile,
-                        duplicates: int) -> None:
+                        duplicates: int):
         """Retain a freshly computed partition (LRU-bounded).
 
         The entry keeps a strong reference to ``points`` — both to keep
@@ -625,16 +656,34 @@ class QuerySession:
         alias or copy its columns anyway.  The sub-chunk bytes are
         measured here so the byte budget — or, without one, the default
         :attr:`PARTITION_BYTE_CAP` — can see and reclaim them.
+
+        Returns the (possibly transformed) ``per_tile`` the caller
+        should consume: with the shm tier on, host sub-chunks are
+        exported **once** here as shared-memory chunks — the very query
+        that computed the partition already reads the shared segments,
+        and every later query reuses them across the process boundary
+        zero-copy.  Segment leases release when the chunks are dropped
+        (LRU eviction, :meth:`invalidate`, or session GC) via their
+        finalizers.
         """
+        if self.shm:
+            per_tile = [
+                [
+                    shm_tier.export_chunk(chunk)
+                    if isinstance(chunk, PointDataset) else chunk
+                    for chunk in chunks
+                ]
+                for chunks in per_tile
+            ]
         if self.partition_capacity < 1:
-            return
+            return per_tile
         nbytes = _partition_bytes(per_tile) + _source_bytes(points)
         cap = (
             self.byte_budget if self.byte_budget is not None
             else self.PARTITION_BYTE_CAP
         )
         if nbytes > cap:
-            return  # caching it would immediately thrash the cap
+            return per_tile  # caching it would immediately thrash the cap
         key = (id(points),) + tuple(token)
         self._partitions[key] = (
             points, self._partition_guard(points), per_tile, duplicates,
@@ -645,12 +694,47 @@ class QuerySession:
             len(self._partitions) > 1 and self.partition_nbytes > cap
         ):
             self._partitions.popitem(last=False)
+        return per_tile
 
     @property
     @_locked
     def partition_nbytes(self) -> int:
         """Bytes held by cached per-tile partition sub-chunks."""
         return sum(entry[4] for entry in self._partitions.values())
+
+    @_locked
+    def shm_pin(self, points):
+        """Pin a point source's columns into the shared-memory tier.
+
+        Exports the full dataset once as a :class:`~repro.exec.shm.ShmChunk`
+        so registered sources (the SQL planner's named tables, a serving
+        layer's resident datasets) live in ``/dev/shm`` for the session's
+        lifetime and every resident worker maps them instead of receiving
+        pickled copies.  Memoized by source identity and content guard —
+        re-pinning an unchanged source is free, while an edited-in-place
+        source rolls the guard and re-exports.  Returns the chunk, or
+        ``None`` when the shm tier is off.  Pins are LRU-bounded by the
+        partition capacity and released on eviction or
+        :meth:`invalidate`.
+        """
+        if not self.shm:
+            return None
+        guard = self._cached_guard(points)
+        cached = self._shm_pins.get(id(points))
+        if cached is not None and cached[0] is points and cached[1] == guard:
+            self._shm_pins.move_to_end(id(points))
+            metrics.counter("session_shm_pin", event="hit")
+            return cached[2]
+        if cached is not None:
+            cached[2].release()
+        chunk = shm_tier.export_chunk(points)
+        self._shm_pins[id(points)] = (points, guard, chunk)
+        self._shm_pins.move_to_end(id(points))
+        metrics.counter("session_shm_pin", event="export")
+        while len(self._shm_pins) > max(self.partition_capacity, 1):
+            _, (_, _, old) = self._shm_pins.popitem(last=False)
+            old.release()
+        return chunk
 
     # ------------------------------------------------------------------
     # Aggregate-pyramid cache (see repro.cache.pyramid)
@@ -1010,6 +1094,9 @@ class QuerySession:
             self._entries.clear()
             self._partitions.clear()
             self._pyramids.clear()
+            for _, _, chunk in self._shm_pins.values():
+                chunk.release()
+            self._shm_pins.clear()
             return removed
         fingerprint = polygon_fingerprint(polygons)
         doomed = [key for key in self._entries if key[0] == fingerprint]

@@ -26,6 +26,7 @@ same polygons skip the whole rebuild.
 
 from __future__ import annotations
 
+import pickle
 import time
 from typing import Callable, Iterator, Sequence
 
@@ -47,7 +48,8 @@ from repro.core.filters import FilterSet
 from repro.data.dataset import PointDataset
 from repro.device.memory import GPUDevice, ResidentPointSet
 from repro.errors import QueryError
-from repro.exec.backend import TilePartial
+from repro.exec import shm
+from repro.exec.backend import ProcessBackend, TilePartial
 from repro.exec.config import EngineConfig
 from repro.geometry.polygon import PolygonSet
 from repro.graphics.fbo import FrameBuffer
@@ -387,56 +389,230 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         tracing = trace.active() is not None
 
         def run_tile(tile_idx: int, tile: Viewport) -> TilePartial:
-            with trace.tile_scope(tracing, tile=tile_idx) as tile_span:
-                tile_stats = ExecutionStats(
-                    engine=self.name, batches=0, passes=0
-                )
-                partial_acc = self._new_accumulators(polygons, aggregate)
-                boundary, built_boundary, built_unit_boundary = (
-                    self._tile_boundary(
-                        tile_idx, tile, prepared, polygons, tile_stats,
-                        units_mode,
-                    )
-                )
-                fbo = self._tile_framebuffer(tile, aggregate, self.fbo_dtype)
-                saw_points = False
-                chunks = (
+            return self._run_tile(
+                tile_idx, tile,
+                prepared=prepared, polygons=polygons, aggregate=aggregate,
+                filters=filters, columns=columns,
+                chunks=(
                     source() if partitioned is None
                     else partitioned[0][tile_idx]
-                )
-                with trace.span("point-pass"):
-                    for chunk in chunks:
-                        saw_points = True
-                        self._route_points(
-                            tile, boundary, fbo, chunk, polygons,
-                            prepared.grid, columns, aggregate, filters,
-                            partial_acc, tile_stats,
-                        )
-                with trace.span("polygon-pass"):
-                    built_coverage, built_unit_coverage = self._polygon_pass(
-                        tile_idx, tile, prepared, boundary, fbo, polygons,
-                        aggregate, partial_acc, tile_stats, units_mode,
-                    )
-                tile_stats.passes = 1
-                return TilePartial(
-                    tile_idx, partial_acc, tile_stats, saw_points=saw_points,
-                    boundary_mask=built_boundary if retain else None,
-                    coverage=built_coverage if retain else None,
-                    unit_boundary=built_unit_boundary if retain else None,
-                    unit_coverage=built_unit_coverage if retain else None,
-                    span=tile_span,
-                )
+                ),
+                units_mode=units_mode, retain=retain, tracing=tracing,
+            )
 
         # ``concurrent`` marks that child (tile) spans may overlap in
         # wall time, so their durations can legitimately sum past the
         # parent's — the span-containment invariant exempts it.
         with trace.span("tiles", concurrent=self.backend.workers > 1):
-            partials = self._dispatch_tiles(tiles, run_tile, parallelism,
-                                            stats)
+            partials = None
+            if partitioned is not None:
+                partials = self._resident_dispatch(
+                    prepared, polygons, aggregate, filters, columns,
+                    partitioned[0], units_mode, retain, tracing,
+                    parallelism, stats,
+                )
+            if partials is None:
+                partials = self._dispatch_tiles(tiles, run_tile, parallelism,
+                                                stats)
             saw = self._merge_tile_partials(
                 partials, prepared, aggregate, accumulators, stats
             )
         return saw or (partitioned is not None and partitioned[1])
+
+    def _run_tile(
+        self,
+        tile_idx: int,
+        tile: Viewport,
+        *,
+        prepared: PreparedPolygons,
+        polygons: PolygonSet,
+        aggregate: Aggregate,
+        filters: FilterSet,
+        columns: tuple[str, ...],
+        chunks,
+        units_mode: bool,
+        retain: bool,
+        tracing: bool,
+    ) -> TilePartial:
+        """One whole tile task: boundary, point pass, polygon pass.
+
+        The unit every dispatch mode runs — inline, in a thread, in a
+        forked child, or (rehydrated from a state blob) in a resident
+        spawned worker.  Everything execution-context-dependent arrives
+        as an argument rather than being read off ``self`` — in
+        particular ``retain``, because a resident worker executes a
+        session-less engine clone on behalf of a session-holding parent
+        and must still build/replay coverage and ship fresh prepared
+        pieces home.
+        """
+        with trace.tile_scope(tracing, tile=tile_idx) as tile_span:
+            metrics.counter("engine_tile_tasks", engine=self.name)
+            tile_stats = ExecutionStats(
+                engine=self.name, batches=0, passes=0
+            )
+            partial_acc = self._new_accumulators(polygons, aggregate)
+            boundary, built_boundary, built_unit_boundary = (
+                self._tile_boundary(
+                    tile_idx, tile, prepared, polygons, tile_stats,
+                    units_mode,
+                )
+            )
+            fbo = self._tile_framebuffer(tile, aggregate, self.fbo_dtype)
+            saw_points = False
+            with trace.span("point-pass"):
+                for chunk in chunks:
+                    saw_points = True
+                    self._route_points(
+                        tile, boundary, fbo, chunk, polygons,
+                        prepared.grid, columns, aggregate, filters,
+                        partial_acc, tile_stats,
+                    )
+            with trace.span("polygon-pass"):
+                built_coverage, built_unit_coverage = self._polygon_pass(
+                    tile_idx, tile, prepared, boundary, fbo, polygons,
+                    aggregate, partial_acc, tile_stats, units_mode,
+                    retain=retain,
+                )
+            tile_stats.passes = 1
+            return TilePartial(
+                tile_idx, partial_acc, tile_stats, saw_points=saw_points,
+                boundary_mask=built_boundary if retain else None,
+                coverage=built_coverage if retain else None,
+                unit_boundary=built_unit_boundary if retain else None,
+                unit_coverage=built_unit_coverage if retain else None,
+                span=tile_span,
+            )
+
+    # ------------------------------------------------------------------
+    # Resident dispatch (shared-memory data plane)
+    # ------------------------------------------------------------------
+    def _resident_clone(self) -> "AccurateRasterJoin":
+        """A slim picklable engine for a resident worker's state blob.
+
+        Session-less: the worker's job is pure per-tile compute over
+        descriptor-addressed inputs — the session lives in the parent
+        (``retain`` travels on each spec) and partitioning already
+        happened.  The device *is* carried (its pickle support exists
+        for exactly this — worker-side clones with their own locks and
+        accounting, like the fork path's copy-on-write copies); the tile
+        arithmetic it would change (batch planning) is bypassed anyway
+        because every shm chunk is a single zero-transfer batch.
+        ``batch_raster`` is carried over too: bit-identical either way,
+        but builds shipped home should match what the parent would have
+        built.
+        """
+        return AccurateRasterJoin(
+            resolution=self.resolution,
+            grid_resolution=self.grid_resolution,
+            device=self.device,
+            session=None,
+            config=EngineConfig(
+                backend="serial", workers=1, partition_points=False,
+                batch_raster=self._batch_raster, pyramid=False,
+            ),
+        )
+
+    def _resident_dispatch(
+        self,
+        prepared: PreparedPolygons,
+        polygons: PolygonSet,
+        aggregate: Aggregate,
+        filters: FilterSet,
+        columns: tuple[str, ...],
+        per_tile: list[list],
+        units_mode: bool,
+        retain: bool,
+        tracing: bool,
+        parallelism: int | None,
+        stats: ExecutionStats,
+    ) -> list[TilePartial] | None:
+        """Fan the partitioned tiles across the resident worker pool.
+
+        Returns tile partials in tile order — accumulators read back out
+        of the shared result buffer, everything else (stats, spans,
+        metrics deltas, freshly built prepared pieces) shipped by value —
+        or ``None`` when this query cannot take the resident path, in
+        which case the caller falls back to closure dispatch (forked or
+        in-process), which is bit-identical.
+
+        Eligibility: a resident-enabled :class:`ProcessBackend` and
+        every partitioned sub-chunk already shm-backed (the session's
+        shm tier exported them at partition-store time; host chunks
+        would have to be pickled, which is the cost this path exists to
+        remove).  A device does not disqualify — workers carry a device
+        clone in the state blob, mirroring the fork path's copy-on-write
+        clones, and shm chunks are single zero-transfer batches in every
+        process so the device's batch planning never enters the tile
+        arithmetic.
+        """
+        backend = self.backend
+        if type(self) is not AccurateRasterJoin:
+            return None
+        if not isinstance(backend, ProcessBackend):
+            return None
+        tiles = prepared.tiles
+        if not backend.resident_capable(len(tiles), parallelism):
+            return None
+        if not all(
+            isinstance(chunk, shm.ShmChunk)
+            for chunks in per_tile for chunk in chunks
+        ):
+            return None
+        channel_names = tuple(aggregate.channels)
+        shape = (len(tiles), len(channel_names), len(polygons))
+        # Content-generation token: prepared.version bumps on every
+        # artifact mutation (including the parent-side installs of
+        # worker-built pieces), so warming or editing rolls the blob —
+        # and with it the state_key workers cache by.  The anchor tuple
+        # keeps both objects alive while the entry is cached, so the
+        # id()s cannot be recycled.
+        device_token = None if self.device is None else (
+            self.device.capacity_bytes, self.device.max_resolution,
+        )
+        token = (
+            "resident-state", id(prepared), prepared.version, id(polygons),
+            self.resolution, self.grid_resolution, self.max_resolution,
+            self._batch_raster, device_token,
+        )
+
+        def build_blob() -> bytes:
+            return pickle.dumps(
+                (self._resident_clone(), prepared, polygons),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+
+        from repro.exec.resident import TileTaskSpec
+
+        # One guard across blob/buffer/dispatch/read-back: a concurrent
+        # query on the same shared backend serializes here instead of
+        # swapping the result buffer out from under this one.
+        with backend.resident_guard():
+            state_key, state_ref = backend.resident_state(
+                token, (prepared, polygons), build_blob
+            )
+            result_ref = backend.resident_result(shape)
+            specs = [
+                TileTaskSpec(
+                    index=idx, state_key=state_key, state_ref=state_ref,
+                    tile_idx=idx, aggregate=aggregate, filters=filters,
+                    columns=columns, chunks=tuple(per_tile[idx]),
+                    units_mode=units_mode, retain=retain, tracing=tracing,
+                    result_ref=result_ref, slot=idx,
+                    channel_names=channel_names,
+                )
+                for idx in range(len(tiles))
+            ]
+            partials = backend.run_specs(specs, parallelism)
+            result = shm.view(result_ref)
+            for partial in partials:
+                # Copy out: the buffer is reused by the next dispatch.
+                partial.accumulators = {
+                    ch: np.array(result[partial.tile_idx, ci])
+                    for ci, ch in enumerate(channel_names)
+                }
+        if backend.last_pool_event is not None:
+            stats.extra["pool"] = backend.last_pool_event
+        return partials
 
     # ------------------------------------------------------------------
     # Per-tile stages
@@ -685,6 +861,7 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         accumulators: dict[str, np.ndarray],
         stats: ExecutionStats,
         units_mode: bool = False,
+        retain: bool | None = None,
     ) -> tuple[list | None, dict | None]:
         """Polygon pass skipping boundary fragments (handled exactly).
 
@@ -699,11 +876,17 @@ class AccurateRasterJoin(SpatialAggregationEngine):
         whose unit lacks this tile are rasterized (after an edit, just
         the changed ones); composition applies the boundary exclusion to
         every polygon's raw pieces, which is bit-identical to the fused
-        direct build.
+        direct build.  ``retain`` selects the replay/build path over the
+        direct reduce; its default (is a session attached?) is right
+        in-process, while a resident worker's session-less clone passes
+        ``True`` explicitly — it computes *for* a retaining parent.
+        Both paths are bit-identical (see the branch comments below).
         """
+        if retain is None:
+            retain = self.session is not None
         start = time.perf_counter()
         channels = {ch: fbo.channel(ch) for ch in aggregate.channels}
-        if self.session is None:
+        if not retain:
             if self._batch_raster:
                 # One batched raster pass over the whole set; exclusion
                 # filters each piece's row-major pixels exactly like

@@ -27,9 +27,10 @@ from repro.errors import QueryError
 from repro.exec.backend import TilePartial
 from repro.exec.config import EngineConfig
 from repro.exec.partition import ResidentSubset, partition_chunk
+from repro.exec.shm import ShmChunk
 from repro.geometry.polygon import PolygonSet
 from repro.graphics.fbo import FrameBuffer
-from repro.obs import trace
+from repro.obs import metrics, trace
 from repro.types import AggregationResult, ExecutionStats
 
 
@@ -454,7 +455,11 @@ class SpatialAggregationEngine(ABC):
             for idx, subs in enumerate(pieces):
                 per_tile[idx].extend(subs)
         if token is not None and saw_chunk:
-            self.session.partition_store(
+            # The session may convert host sub-chunks to shared-memory
+            # chunks as it stores them (its shm tier); consuming what it
+            # stored means this very query already reads the shared
+            # segments — and stays eligible for resident dispatch.
+            per_tile = self.session.partition_store(
                 points_hint, token, per_tile, duplicates
             )
         stats.extra["partition"] = "on"
@@ -521,6 +526,12 @@ class SpatialAggregationEngine(ABC):
             # stats.merge sums numeric extras (boundary_pixels et al.)
             # across tiles by the type-based rules in ExecutionStats.
             stats.merge(partial.stats)
+            # Counter/histogram increments a worker process made come
+            # home as a delta dict; folding them here (in tile order)
+            # keeps the parent registry identical to what an in-process
+            # backend would have recorded directly.
+            if partial.metrics:
+                metrics.REGISTRY.apply_delta(partial.metrics)
             # Shipped tile subtrees re-parent here, in tile-index order,
             # so the trace tree is deterministic across backends.
             trace.attach(partial.span)
@@ -594,10 +605,15 @@ class SpatialAggregationEngine(ABC):
         are released as soon as a batch has been consumed, like the
         round-robin persistent buffers of the paper's implementation.
         """
-        if isinstance(points, (ResidentPointSet, ResidentSubset)):
+        if isinstance(points, (ResidentPointSet, ResidentSubset, ShmChunk)):
             # Resident sets — and the per-tile subsets the partition
             # stage gathers from them — are already device memory: one
-            # zero-cost batch, no planning.
+            # zero-cost batch, no planning.  Shared-memory chunks get
+            # the same treatment in every process: they are
+            # batch-aligned by construction (each partition sub-chunk
+            # fits exactly one batch of the plan its tile task would
+            # have used — repro.exec.partition, property 3), so the
+            # single-batch grouping reproduces the host path's bits.
             stats.batches += 1
             yield _Batch(
                 {c: points.column(c) for c in columns}, len(points), 0.0

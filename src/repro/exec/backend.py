@@ -25,11 +25,22 @@ of the backend instance, so a second query on the same engine pays zero
 pool construction.  ``close()`` releases the pool explicitly; anything
 still open is reclaimed at interpreter exit, and forked children drop
 inherited pools (whose threads do not survive a fork) so they rebuild
-lazily.  :class:`ProcessBackend` deliberately stays fork-per-dispatch —
-see its docstring for why a long-lived fork pool cannot work here —
-but what *persists* across its queries is the parent's memory (prepared
-artifacts, partitioned point segments), which every re-fork inherits
-copy-on-write at zero copy cost.
+lazily.
+
+:class:`ProcessBackend` runs in one of two modes.  Its default is
+fork-per-dispatch: tasks are unpicklable closures, and only a child
+forked *after* they exist can see them, so each dispatch forks a fresh
+pool and relies on the parent's memory (prepared artifacts, partitioned
+point chunks) being inherited copy-on-write for free.  With the
+shared-memory data plane enabled (``resident=True`` /
+``$REPRO_SHM=1``), engines may instead hand it **descriptor tasks**
+(:class:`~repro.exec.resident.TileTaskSpec`): small picklable specs
+naming shared-memory segments instead of closing over arrays.  Those
+dispatch to a persistent pool of spawned workers (``run_specs``) that
+caches mapped segments and unpickled engine state across queries —
+warm repeated queries skip the fork, the state pickling, and the bulk
+result pickling entirely.  Both modes produce bit-identical results;
+see ``docs/parallel_execution.md``.
 """
 
 from __future__ import annotations
@@ -40,6 +51,7 @@ import os
 import threading
 import weakref
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor, wait as wait_futures
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -47,6 +59,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import ExecutionBackendError
+from repro.exec import shm
+from repro.exec.shm import SHM_ENV_VAR
 from repro.obs import metrics
 from repro.types import ExecutionStats
 
@@ -95,6 +109,12 @@ class TilePartial:
     the tile task's finished trace subtree (plain picklable
     :class:`repro.obs.trace.Span` data, so it survives the process
     backend's result pickling), or ``None`` when tracing was off.
+    ``metrics`` carries the counter/histogram increments the task made
+    in a *worker process* (forked or resident) — a
+    :meth:`~repro.obs.metrics.MetricsRegistry.delta_since` dict the
+    parent merge folds into its registry, so process-backend workers'
+    instrumentation is no longer silently lost; ``None`` under the
+    in-process backends, whose increments land directly.
     """
 
     tile_idx: int
@@ -107,6 +127,7 @@ class TilePartial:
     unit_coverage: dict | None = None
     payload: object = None
     span: object = None
+    metrics: dict | None = None
 
 
 #: Live backends whose pools must be dropped in forked children (their
@@ -173,7 +194,10 @@ class ExecutionBackend(ABC):
         """How this thread's most recent ``run_tasks`` executed:
         ``"inline"`` (no pool), ``"created"`` (persistent pool spawned),
         ``"reused"`` (persistent pool already live), ``"ephemeral"``
-        (throwaway pool), or ``"forked"`` (fresh fork fan-out).
+        (throwaway pool), ``"forked"`` (fresh fork fan-out),
+        ``"resident-created"`` (persistent spawn pool brought up for a
+        shm descriptor dispatch), or ``"resident-reused"`` (descriptor
+        dispatch served by the live spawn pool).
         Engines copy it into ``ExecutionStats.extra["pool"]``.  Recorded
         per calling thread, so concurrent queries on one shared backend
         never see each other's events."""
@@ -204,6 +228,19 @@ class ExecutionBackend(ABC):
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # Backends ride along when an engine is pickled into a resident
+    # worker's state blob; thread-locals (and subclass pool state) are
+    # per-process and rebuild on the other side.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_events", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._events = threading.local()
+        _LIVE_BACKENDS.add(self)
 
     def _effective_workers(
         self, num_tasks: int, parallelism: int | None
@@ -258,6 +295,18 @@ class ThreadBackend(ExecutionBackend):
     ) -> None:
         super().__init__(workers, persistent)
         self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        self._in_worker = threading.local()
+
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        for key in ("_pool", "_pool_lock", "_in_worker"):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self._pool = None
         self._pool_lock = threading.Lock()
         self._in_worker = threading.local()
 
@@ -361,36 +410,231 @@ _FORK_LOCK = threading.Lock()
 _FORK_TOKEN_COUNTER = 0
 
 
+def _attach_metrics_delta(result, delta: dict) -> None:
+    """Hang a worker's metrics delta on its result, when it can carry one.
+
+    A tile task's result is a :class:`TilePartial`; the fused shared-scan
+    executor returns a *list* of them per tile (one per member query), in
+    which case the delta rides on the first — it is applied exactly once
+    by whichever member's merge sees it.  Results of neither shape drop
+    the delta (no TilePartial travels home to carry it).
+    """
+    if isinstance(result, TilePartial):
+        result.metrics = delta
+    elif (
+        isinstance(result, list) and result
+        and isinstance(result[0], TilePartial)
+    ):
+        result[0].metrics = delta
+
+
 def _run_forked_task(job: tuple[int, int]):
+    # Runs in a forked pool child.  The child inherited the parent's
+    # metrics registry contents at fork time, so a delta against a
+    # task-start baseline is exactly this task's own increments — shipped
+    # home on the TilePartial (parent-side merge applies it), because
+    # everything incremented here otherwise dies with the child.
     token, index = job
-    return _FORK_REGISTRY[token][index]()
+    baseline = metrics.REGISTRY.baseline()
+    result = _FORK_REGISTRY[token][index]()
+    delta = metrics.REGISTRY.delta_since(baseline)
+    if delta:
+        _attach_metrics_delta(result, delta)
+    return result
 
 
 class ProcessBackend(ExecutionBackend):
-    """Fork-pool execution: true parallelism, copy-on-write sharing.
+    """Process execution: true parallelism, two dispatch modes.
 
-    Tasks are plain closures handed to forked children through process
-    memory, so nothing on the way *in* needs to be picklable; results
-    (:class:`TilePartial`) are pickled on the way back.  Requires the
-    ``fork`` start method (POSIX); platforms without it should use
+    **Closure mode** (``run_tasks``, always available): tasks are plain
+    closures handed to freshly *forked* children through process memory,
+    so nothing on the way in needs to be picklable; results
+    (:class:`TilePartial`) are pickled on the way back.  The fork is
+    per dispatch by necessity — a pool forked before a query cannot see
+    that query's closures — and what persists across queries is the
+    parent's memory, inherited copy-on-write.  Requires the ``fork``
+    start method (POSIX); platforms without it should use
     :class:`ThreadBackend` — see ``docs/parallel_execution.md``.
 
-    This backend forks **per dispatch** even when ``persistent`` is
-    set, by design rather than omission: a long-lived fork pool
-    snapshots the parent at spawn time, so workers forked before a
-    query can never see that query's task closures — the copy-on-write
-    trick that lets unpicklable closures, prepared artifacts, and chunk
-    sources cross the process boundary for free is fundamentally
-    per-fork.  Shipping tasks to resident workers instead would require
-    every task (and everything it closes over) to be picklable, exactly
-    the cost this backend exists to avoid.  What *is* reused across
-    queries is the parent's memory: session-held artifacts and
-    partitioned point segments are inherited by each re-fork at zero
-    copy cost, which is the "resident segment + re-fork" half of the
-    persistent-pool design (see ``docs/parallel_execution.md``).
+    **Resident mode** (``run_specs``, on with ``resident=True`` /
+    ``$REPRO_SHM=1``): engines that can express a tile task as a
+    picklable :class:`~repro.exec.resident.TileTaskSpec` — inputs named
+    by shared-memory descriptors, output written into a shared result
+    buffer — dispatch to one persistent pool of **spawned** workers
+    that lives across queries, caching mapped segments and unpickled
+    engine state worker-side (keyed by the artifact's content
+    generation).  Warm repeated queries then pay no fork, no state
+    pickling, and no bulk result pickling.  Callers probe
+    :meth:`resident_capable` first and fall back to closure mode for
+    anything the spec form cannot express — both modes run the same
+    tile code and merge identically, so results never depend on which
+    one served a query.
     """
 
     name = "process"
+
+    #: Parent-side pickled state blobs kept for the resident pool, LRU.
+    STATE_CACHE_ENTRIES = 4
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        persistent: bool | None = None,
+        resident: bool | None = None,
+    ) -> None:
+        super().__init__(workers, persistent)
+        #: Whether descriptor dispatches (``run_specs``) are available.
+        #: ``None`` consults ``$REPRO_SHM``, defaulting to off.
+        self.resident = (
+            flag_from_env(SHM_ENV_VAR, False)
+            if resident is None
+            else resident
+        )
+        self._resident_lock = threading.RLock()
+        self._resident_pool = None
+        #: token -> (anchor, state_key, blob ShmArray).  ``anchor``
+        #: strong-refs the live objects the token identifies by id(), so
+        #: an id can never be recycled while its entry is cached.
+        self._resident_states: OrderedDict = OrderedDict()
+        self._result_buffer: tuple[tuple, shm.ShmArray] | None = None
+        self._state_seq = 0
+
+    # -- resident mode -------------------------------------------------
+    def resident_capable(
+        self, num_tasks: int, parallelism: int | None = None
+    ) -> bool:
+        """Whether ``run_specs`` would actually use the resident pool.
+
+        False inside a forked child (nested dispatches run inline) and
+        for degenerate parallelism, where the closure path is strictly
+        cheaper.
+        """
+        return (
+            self.resident
+            and not _IN_FORKED_CHILD
+            and self._effective_workers(num_tasks, parallelism) > 1
+        )
+
+    def resident_guard(self):
+        """The lock serializing resident dispatches on this backend.
+
+        Callers hold it across ``resident_state`` + ``resident_result``
+        + ``run_specs`` + reading the result buffer, so a concurrent
+        query on the same shared backend can never swap or overwrite
+        the buffer mid-read (the lock is reentrant).
+        """
+        return self._resident_lock
+
+    def resident_state(self, token, anchor, build_blob) -> tuple:
+        """(state_key, blob ref) for a pickled engine-state blob, cached.
+
+        ``token`` identifies the state by content generation (the caller
+        includes ``prepared.version``), so a warmed or edited artifact
+        gets a fresh blob — and a fresh ``state_key``, which is what
+        tells resident workers their cached unpickled copy is stale.
+        """
+        with self._resident_lock:
+            entry = self._resident_states.get(token)
+            if entry is not None:
+                self._resident_states.move_to_end(token)
+                metrics.counter("resident_state_blobs", event="reused")
+                return entry[1], entry[2]
+            ref = shm.REGISTRY.export_bytes(build_blob())
+            self._state_seq += 1
+            state_key = (os.getpid(), id(self), self._state_seq)
+            self._resident_states[token] = (anchor, state_key, ref)
+            metrics.counter("resident_state_blobs", event="exported")
+            while len(self._resident_states) > self.STATE_CACHE_ENTRIES:
+                _, old = self._resident_states.popitem(last=False)
+                shm.REGISTRY.release(old[2].segment)
+            return state_key, ref
+
+    def resident_result(self, shape: tuple) -> shm.ShmArray:
+        """The shared result buffer for this dispatch shape.
+
+        One buffer per backend, reallocated only when the shape
+        changes; dispatches are serialized under :meth:`resident_guard`,
+        so reuse across queries is race-free.
+        """
+        with self._resident_lock:
+            if self._result_buffer is None or self._result_buffer[0] != shape:
+                if self._result_buffer is not None:
+                    shm.REGISTRY.release(self._result_buffer[1].segment)
+                ref = shm.REGISTRY.export_array(
+                    np.zeros(shape, dtype=np.float64)
+                )
+                self._result_buffer = (shape, ref)
+            return self._result_buffer[1]
+
+    def run_specs(self, specs, parallelism: int | None = None) -> list:
+        """Dispatch descriptor tasks to the persistent resident pool.
+
+        Results come back in spec-index order (the same contract as
+        ``run_tasks``).  A broken pool (a worker process died) is torn
+        down so the next dispatch respawns it fresh.
+        """
+        from repro.exec.resident import ResidentWorkerPool
+
+        specs = list(specs)
+        if not specs:
+            return []
+        with self._resident_lock:
+            if self._resident_pool is None:
+                self._resident_pool = ResidentWorkerPool(self.workers)
+                self._record_event("resident-created")
+            else:
+                self._record_event("resident-reused")
+            try:
+                return self._resident_pool.dispatch(specs, parallelism)
+            except BaseException:
+                if (
+                    self._resident_pool is not None
+                    and self._resident_pool.broken
+                ):
+                    pool, self._resident_pool = self._resident_pool, None
+                    pool.close()
+                raise
+
+    def close(self) -> None:
+        with self._resident_lock:
+            pool, self._resident_pool = self._resident_pool, None
+            states, self._resident_states = (
+                self._resident_states, OrderedDict()
+            )
+            buffer, self._result_buffer = self._result_buffer, None
+        if pool is not None:
+            pool.close()
+        for _, entry in states.items():
+            shm.REGISTRY.release(entry[2].segment)
+        if buffer is not None:
+            shm.REGISTRY.release(buffer[1].segment)
+
+    def _forget_pool(self) -> None:  # pragma: no cover - fork path
+        # A forked child shares the parent's pool queues and segment
+        # leases; it must neither use nor release them.  Drop the
+        # references (the shm registry's PID guard makes any stray
+        # release a no-op) and re-arm the lock.
+        self._resident_pool = None
+        self._resident_lock = threading.RLock()
+        self._resident_states = OrderedDict()
+        self._result_buffer = None
+        self._events = threading.local()
+
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        for key in (
+            "_resident_lock", "_resident_pool", "_resident_states",
+            "_result_buffer",
+        ):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self._resident_lock = threading.RLock()
+        self._resident_pool = None
+        self._resident_states = OrderedDict()
+        self._result_buffer = None
 
     def run_tasks(self, tasks, parallelism=None):
         global _FORK_REGISTRY, _FORK_TOKEN_COUNTER
@@ -467,6 +711,7 @@ def resolve_backend(
     spec: str | ExecutionBackend | None = None,
     workers: int | None = None,
     persistent: bool | None = None,
+    shm_resident: bool | None = None,
 ) -> ExecutionBackend:
     """Materialize a backend from a name, an instance, or the environment.
 
@@ -476,6 +721,9 @@ def resolve_backend(
     existing call sites keep their exact pre-parallelism behaviour
     unless they, or the environment, opt in.  An instance passes
     through unchanged, carrying its own persistence setting.
+    ``shm_resident`` routes only to :class:`ProcessBackend` (``None``
+    consults ``$REPRO_SHM`` there, defaulting to off); the other
+    backends run in-process and have no pickle boundary to remove.
     """
     if isinstance(spec, ExecutionBackend):
         return spec
@@ -488,4 +736,8 @@ def resolve_backend(
             f"unknown execution backend {spec!r}; "
             f"expected one of {sorted(_BACKEND_CLASSES)}"
         ) from None
+    if cls is ProcessBackend:
+        return cls(
+            workers=workers, persistent=persistent, resident=shm_resident
+        )
     return cls(workers=workers, persistent=persistent)

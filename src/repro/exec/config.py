@@ -77,7 +77,11 @@ class EngineConfig:
     ``docs/rasterization.md``); ``pyramid`` lets the accurate engine
     answer warm queries from an explicitly built aggregate pyramid
     (``None`` consults ``$REPRO_PYRAMID``, defaulting to on — see
-    ``docs/aggregate_pyramid.md``).  Results never depend on any of
+    ``docs/aggregate_pyramid.md``); ``shm`` turns on the shared-memory
+    data plane — partition sub-chunks exported as named segments and
+    the process backend's resident spawned-worker pool (``None``
+    consults ``$REPRO_SHM``, defaulting to off — see
+    ``docs/parallel_execution.md``).  Results never depend on any of
     them — like the backend choice they are purely performance decisions
     (see ``docs/parallel_execution.md``; the pyramid path's per-aggregate
     exactness contract is spelled out in its doc).
@@ -91,12 +95,31 @@ class EngineConfig:
     persistent_pool: bool | None = None
     batch_raster: bool | None = None
     pyramid: bool | None = None
+    shm: bool | None = None
 
     def make_backend(self) -> ExecutionBackend:
         """The backend instance this configuration describes."""
         return resolve_backend(
-            self.backend, self.workers, persistent=self.persistent_pool
+            self.backend, self.workers, persistent=self.persistent_pool,
+            shm_resident=self.shm,
         )
+
+    def shm_enabled(self) -> bool:
+        """Whether the shared-memory data plane is on.
+
+        Governs two coupled behaviours: the partition cache exporting
+        per-tile sub-chunks as shared-memory segments, and the process
+        backend's resident-worker dispatch that consumes them (``None``
+        consults ``$REPRO_SHM``, defaulting to off).  Like every knob
+        here it is purely a performance decision — results are
+        bit-identical with it on or off (see
+        ``docs/parallel_execution.md``).
+        """
+        if self.shm is not None:
+            return self.shm
+        from repro.exec.shm import SHM_ENV_VAR
+
+        return flag_from_env(SHM_ENV_VAR, False)
 
     def with_pinned_backend(self) -> "EngineConfig":
         """This config with its backend resolved to a live instance.

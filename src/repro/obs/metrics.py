@@ -10,9 +10,14 @@ all delegate to it.
 
 Instrumented call sites sit on cache/store/dispatch paths — never in
 per-point loops — so a plain lock is cheap enough.  Metrics incremented
-inside a forked tile worker die with the child (only ``TilePartial``
-results are pickled back); all shipped hooks run parent-side, and
-``docs/observability.md`` documents the caveat.
+inside a process-backend worker (forked or resident) do not die with
+the child: each task captures a :meth:`MetricsRegistry.baseline` before
+running and ships the :meth:`~MetricsRegistry.delta_since` home in
+``TilePartial.metrics``, which the parent's deterministic merge folds
+back with :meth:`~MetricsRegistry.apply_delta`.  Deltas cover counters
+and histograms; gauges stay process-local facts (a worker's
+memory-level gauge describes the worker, not the parent) and are
+excluded by design — see ``docs/observability.md``.
 
 Snapshots render metric keys Prometheus-style — ``name{k="v",...}`` with
 labels sorted — which keeps :func:`repro.obs.export.prometheus_text`
@@ -104,6 +109,85 @@ class MetricsRegistry:
             if hist is None:
                 hist = self._histograms[key] = _Histogram()
             hist.observe(value)
+
+    # ------------------------------------------------------------------
+    # Cross-process deltas (TilePartial.metrics round trip)
+    # ------------------------------------------------------------------
+    def baseline(self) -> dict:
+        """A cheap snapshot for :meth:`delta_since` (counters/histograms).
+
+        Histograms are captured as raw state tuples, not rendered
+        dicts — a worker calls this once per task, so it stays light.
+        """
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "histograms": {
+                    k: (h.count, h.sum, h.min, h.max, tuple(h.buckets))
+                    for k, h in self._histograms.items()
+                },
+            }
+
+    def delta_since(self, baseline: dict) -> dict:
+        """Increments made since ``baseline``, as a picklable dict.
+
+        Keys with no change are omitted, so the common no-instrumented-
+        work tile ships an empty dict (dropped by the caller).  Gauges
+        are deliberately absent: they are process-local level facts, not
+        increments, and merging a worker's would clobber the parent's.
+        """
+        base_counters = baseline["counters"]
+        base_hists = baseline["histograms"]
+        delta: dict = {}
+        with self._lock:
+            counters = {
+                k: v - base_counters.get(k, 0)
+                for k, v in self._counters.items()
+                if v != base_counters.get(k, 0)
+            }
+            histograms = {}
+            for k, h in self._histograms.items():
+                prev = base_hists.get(k)
+                if prev is not None and prev[0] == h.count:
+                    continue
+                if prev is None:
+                    prev = (0, 0.0, float("inf"), float("-inf"),
+                            (0,) * len(h.buckets))
+                histograms[k] = (
+                    h.count - prev[0],
+                    h.sum - prev[1],
+                    h.min,
+                    h.max,
+                    tuple(b - p for b, p in zip(h.buckets, prev[4])),
+                )
+        if counters:
+            delta["counters"] = counters
+        if histograms:
+            delta["histograms"] = histograms
+        return delta
+
+    def apply_delta(self, delta: dict) -> None:
+        """Fold a worker's :meth:`delta_since` result into this registry.
+
+        Counter and bucket increments add; histogram min/max merge by
+        comparison (a delta's min/max are the worker's observed extremes,
+        which bound the deltas' own observations).
+        """
+        with self._lock:
+            for k, v in delta.get("counters", {}).items():
+                self._counters[k] = self._counters.get(k, 0) + v
+            for k, (count, total, low, high, buckets) in delta.get(
+                "histograms", {}
+            ).items():
+                hist = self._histograms.get(k)
+                if hist is None:
+                    hist = self._histograms[k] = _Histogram()
+                hist.count += count
+                hist.sum += total
+                hist.min = min(hist.min, low)
+                hist.max = max(hist.max, high)
+                for i, b in enumerate(buckets):
+                    hist.buckets[i] += b
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:

@@ -203,52 +203,74 @@ def execute_fused(
         partials: list[list[TilePartial]] = [[] for _ in queries]
         scan_stats = ExecutionStats(engine=engine.name, batches=0, passes=0)
 
+        def run_tile(tile_idx, tile, filtered) -> list[TilePartial]:
+            """All members' work for one tile: one ``TilePartial`` each.
+
+            Tiles are independent (each owns its framebuffer, boundary
+            mask, and identity-initialized accumulators), so the per-tile
+            closures fan across the engine's execution backend exactly
+            like a solo run's tile tasks — including the resident process
+            pool's host, where the fork path ships each closure to a
+            worker and the per-member partials travel back together.
+            """
+            states = [
+                _TileState(engine, tile_idx, tile, prepared[i],
+                           queries[i], retain)
+                for i in range(n)
+            ]
+            if filtered is not None:
+                for fkey, members in groups.items():
+                    xs, ys, attrs = filtered[fkey]
+                    ix, iy, inside = tile.pixel_of(xs, ys)
+                    if not inside.all():
+                        xs, ys = xs[inside], ys[inside]
+                        ix, iy = ix[inside], iy[inside]
+                        attrs = {
+                            name: arr[inside]
+                            for name, arr in attrs.items()
+                        }
+                    if len(xs) == 0:
+                        continue
+                    for i in members:
+                        state = states[i]
+                        engine._route_batch(
+                            state.boundary, state.fbo, xs, ys, ix, iy,
+                            attrs, queries[i].polygons, prepared[i].grid,
+                            queries[i].aggregate, state.accumulators,
+                            state.stats,
+                        )
+            out: list[TilePartial] = []
+            for i, query in enumerate(queries):
+                state = states[i]
+                built_cov, built_unit_cov = engine._polygon_pass(
+                    tile_idx, tile, prepared[i], state.boundary,
+                    state.fbo, query.polygons, query.aggregate,
+                    state.accumulators, state.stats, state.units_mode,
+                )
+                state.stats.passes = 1
+                out.append(TilePartial(
+                    tile_idx, state.accumulators, state.stats,
+                    saw_points=True,
+                    boundary_mask=state.built_boundary if retain else None,
+                    coverage=built_cov if retain else None,
+                    unit_boundary=(
+                        state.built_unit_boundary if retain else None
+                    ),
+                    unit_coverage=built_unit_cov if retain else None,
+                ))
+            return out
+
         def run_tiles(filtered) -> None:
-            for tile_idx, tile in enumerate(tiles):
-                states = [
-                    _TileState(engine, tile_idx, tile, prepared[i],
-                               queries[i], retain)
-                    for i in range(n)
-                ]
-                if filtered is not None:
-                    for fkey, members in groups.items():
-                        xs, ys, attrs = filtered[fkey]
-                        ix, iy, inside = tile.pixel_of(xs, ys)
-                        if not inside.all():
-                            xs, ys = xs[inside], ys[inside]
-                            ix, iy = ix[inside], iy[inside]
-                            attrs = {
-                                name: arr[inside]
-                                for name, arr in attrs.items()
-                            }
-                        if len(xs) == 0:
-                            continue
-                        for i in members:
-                            state = states[i]
-                            engine._route_batch(
-                                state.boundary, state.fbo, xs, ys, ix, iy,
-                                attrs, queries[i].polygons, prepared[i].grid,
-                                queries[i].aggregate, state.accumulators,
-                                state.stats,
-                            )
-                for i, query in enumerate(queries):
-                    state = states[i]
-                    built_cov, built_unit_cov = engine._polygon_pass(
-                        tile_idx, tile, prepared[i], state.boundary,
-                        state.fbo, query.polygons, query.aggregate,
-                        state.accumulators, state.stats, state.units_mode,
-                    )
-                    state.stats.passes = 1
-                    partials[i].append(TilePartial(
-                        tile_idx, state.accumulators, state.stats,
-                        saw_points=True,
-                        boundary_mask=state.built_boundary if retain else None,
-                        coverage=built_cov if retain else None,
-                        unit_boundary=(
-                            state.built_unit_boundary if retain else None
-                        ),
-                        unit_coverage=built_unit_cov if retain else None,
-                    ))
+            closures = [
+                (lambda idx=tile_idx, t=tile: run_tile(idx, t, filtered))
+                for tile_idx, tile in enumerate(tiles)
+            ]
+            # run_tasks returns in task (= tile-index) order whatever the
+            # completion order, so the per-member partial lists fold in
+            # the same tile order a serial loop would have produced.
+            for tile_partials in engine.backend.run_tasks(closures):
+                for i, partial in enumerate(tile_partials):
+                    partials[i].append(partial)
 
         with trace.span(
             "fused-scan", queries=n, groups=len(groups), tiles=len(tiles)

@@ -276,6 +276,24 @@ class TestPersistentPools:
             backend.run_tasks([lambda: 1, lambda: 2])
         assert not backend_mod._FORK_REGISTRY
 
+    def test_task_failure_mid_fanout_prunes_fork_registry(self):
+        """A task raising inside a forked worker aborts the map — the
+        published task list must still be pruned on that exit path, and
+        a concurrent dispatch's entry must survive untouched."""
+        from repro.exec import backend as backend_mod
+
+        backend = ProcessBackend(workers=2)
+
+        def boom():
+            raise RuntimeError("tile exploded mid-fan-out")
+
+        before = dict(backend_mod._FORK_REGISTRY)
+        with pytest.raises(RuntimeError, match="mid-fan-out"):
+            backend.run_tasks([lambda: 1, boom, lambda: 3, lambda: 4])
+        assert backend_mod._FORK_REGISTRY == before, (
+            "failed fan-out leaked its fork-registry token"
+        )
+
     def test_pool_events_are_per_thread(self):
         """Backends are shared across engines (optimizer, planner), so a
         dispatch must read its own event, not a concurrent dispatch's."""

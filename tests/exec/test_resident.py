@@ -1,0 +1,299 @@
+"""Resident-worker dispatch tests: bit-identity, caching, failure paths.
+
+Covers the spawn-pool half of the shm data plane: engine results under
+resident dispatch are bit-identical to serial, the parent/worker state
+caches key by content generation, task failures leave the pool usable,
+a dead worker breaks-and-respawns, and worker-side metrics increments
+make it back into the parent registry under every process mode.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.session import QuerySession
+from repro.core.accurate import AccurateRasterJoin
+from repro.core.aggregates import Count, Sum
+from repro.data.dataset import PointDataset
+from repro.device.memory import GPUDevice
+from repro.errors import ExecutionBackendError
+from repro.exec import shm
+from repro.exec.backend import ProcessBackend
+from repro.exec.config import EngineConfig
+from repro.exec.resident import ResidentWorkerPool, TileTaskSpec
+from repro.geometry.polygon import Polygon, PolygonSet
+from repro.obs import metrics
+
+RESOLUTION = 512
+MAX_FBO = 256  # 2x2 = 4 tiles
+
+
+@pytest.fixture
+def points(rng):
+    n = 8_000
+    return PointDataset(
+        rng.uniform(0, 100, n), rng.uniform(0, 100, n),
+        {"val": rng.uniform(0, 10, n)},
+    )
+
+
+@pytest.fixture
+def polygons():
+    return PolygonSet([
+        Polygon([(12 * i + 1, 1), (12 * i + 11, 1),
+                 (12 * i + 11, 95), (12 * i + 1, 95)])
+        for i in range(6)
+    ])
+
+
+def serial_reference(points, polygons, aggregate):
+    engine = AccurateRasterJoin(
+        resolution=RESOLUTION, device=GPUDevice(max_resolution=MAX_FBO),
+        config=EngineConfig(backend="serial"),
+    )
+    return engine.execute(points, polygons, aggregate)
+
+
+@pytest.fixture
+def resident_engine():
+    session = QuerySession(shm=True)
+    engine = AccurateRasterJoin(
+        resolution=RESOLUTION, device=GPUDevice(max_resolution=MAX_FBO),
+        session=session,
+        config=EngineConfig(backend="process", workers=2, shm=True),
+    )
+    yield engine
+    engine.backend.close()
+    session.invalidate()
+
+
+class TestResidentBitIdentity:
+    def test_cold_and_warm_match_serial(
+        self, points, polygons, resident_engine
+    ):
+        ref = serial_reference(points, polygons, Sum("val"))
+        assert ref.stats.extra["tiles"] == 4
+        cold = resident_engine.execute(points, polygons, Sum("val"))
+        warm = resident_engine.execute(points, polygons, Sum("val"))
+        for res in (cold, warm):
+            np.testing.assert_array_equal(res.values, ref.values)
+            for name, channel in ref.channels.items():
+                np.testing.assert_array_equal(res.channels[name], channel)
+        assert cold.stats.extra["pool"] == "resident-created"
+        assert warm.stats.extra["pool"] == "resident-reused"
+
+    def test_aggregate_switch_reuses_pool_and_state(
+        self, points, polygons, resident_engine
+    ):
+        # Two warm-up queries: the first builds prepared artifacts in
+        # the workers (installing them parent-side bumps the content
+        # generation), the second dispatches against the now-stable
+        # generation and exports its blob.
+        resident_engine.execute(points, polygons, Sum("val"))
+        resident_engine.execute(points, polygons, Sum("val"))
+        before = metrics.snapshot()["counters"].get(
+            'resident_state_blobs{event="reused"}', 0
+        )
+        res = resident_engine.execute(points, polygons, Count())
+        ref = serial_reference(points, polygons, Count())
+        np.testing.assert_array_equal(res.values, ref.values)
+        after = metrics.snapshot()["counters"].get(
+            'resident_state_blobs{event="reused"}', 0
+        )
+        # Same prepared artifacts + polygons -> same state blob: the
+        # aggregate travels on the spec, not in the state.
+        assert after > before
+
+    def test_no_segments_leak_after_teardown(self, points, polygons):
+        import gc
+
+        session = QuerySession(shm=True)
+        engine = AccurateRasterJoin(
+            resolution=RESOLUTION, device=GPUDevice(max_resolution=MAX_FBO),
+            session=session,
+            config=EngineConfig(backend="process", workers=2, shm=True),
+        )
+        engine.execute(points, polygons, Count())
+        assert shm.REGISTRY.live_segments() > 0
+        engine.backend.close()
+        session.invalidate()
+        del engine, session
+        gc.collect()
+        assert shm.REGISTRY.live_segments() == 0
+
+
+def _bad_spec(index: int, state_ref, result_ref) -> TileTaskSpec:
+    """A spec whose state segment does not exist: the worker's load
+    fails with a picklable FileNotFoundError."""
+    return TileTaskSpec(
+        index=index, state_key=("missing", index),
+        state_ref=state_ref, tile_idx=0, aggregate=None, filters=None,
+        columns=(), chunks=(), units_mode=False, retain=False,
+        tracing=False, result_ref=result_ref, slot=0, channel_names=(),
+    )
+
+
+class TestPoolFailurePaths:
+    def test_task_failure_surfaces_and_pool_survives(self):
+        pool = ResidentWorkerPool(workers=2)
+        missing = shm.ShmArray("repro-shm-0-0-deadbeef", "|u1", (1,), 0)
+        try:
+            with pytest.raises(FileNotFoundError):
+                pool.dispatch([_bad_spec(i, missing, missing)
+                               for i in range(4)])
+            assert not pool.broken, "a task failure must not break the pool"
+            assert pool.dispatch([]) == []
+        finally:
+            pool.close()
+
+    def test_dead_worker_marks_pool_broken(self):
+        pool = ResidentWorkerPool(workers=2)
+        missing = shm.ShmArray("repro-shm-0-0-deadbeef", "|u1", (1,), 0)
+        try:
+            for proc in pool._procs:
+                proc.terminate()
+                proc.join(timeout=5)
+            with pytest.raises(ExecutionBackendError, match="died"):
+                pool.dispatch([_bad_spec(0, missing, missing)])
+            assert pool.broken
+            with pytest.raises(ExecutionBackendError, match="broken"):
+                pool.dispatch([_bad_spec(0, missing, missing)])
+        finally:
+            pool.close()
+
+    def test_backend_respawns_after_broken_pool(
+        self, points, polygons, resident_engine
+    ):
+        ref = serial_reference(points, polygons, Count())
+        resident_engine.execute(points, polygons, Count())
+        backend = resident_engine.backend
+        for proc in backend._resident_pool._procs:
+            proc.terminate()
+            proc.join(timeout=5)
+        with pytest.raises(ExecutionBackendError):
+            resident_engine.execute(points, polygons, Count())
+        # The broken pool was torn down; the next query respawns fresh.
+        res = resident_engine.execute(points, polygons, Count())
+        np.testing.assert_array_equal(res.values, ref.values)
+        assert res.stats.extra["pool"] == "resident-created"
+
+
+class TestWorkerMetricsDeltas:
+    """Satellite: worker-side counters merge into the parent registry."""
+
+    def _tile_task_count(self) -> float:
+        return metrics.snapshot()["counters"].get(
+            'engine_tile_tasks{engine="accurate-raster"}', 0
+        )
+
+    def test_forked_workers_ship_deltas_home(self, points, polygons):
+        engine = AccurateRasterJoin(
+            resolution=RESOLUTION, device=GPUDevice(max_resolution=MAX_FBO),
+            config=EngineConfig(backend="process", workers=2, shm=False),
+        )
+        before = self._tile_task_count()
+        res = engine.execute(points, polygons, Count())
+        tiles = res.stats.extra["tiles"]
+        assert tiles == 4
+        assert self._tile_task_count() == before + tiles, (
+            "per-tile counters incremented in forked children must reach "
+            "the parent registry"
+        )
+
+    def test_resident_workers_ship_deltas_home(
+        self, points, polygons, resident_engine
+    ):
+        resident_engine.execute(points, polygons, Count())  # warm the pool
+        before = self._tile_task_count()
+        res = resident_engine.execute(points, polygons, Count())
+        assert res.stats.extra["pool"] == "resident-reused"
+        assert self._tile_task_count() == before + res.stats.extra["tiles"]
+
+    def test_serial_backend_counts_inline(self, points, polygons):
+        engine = AccurateRasterJoin(
+            resolution=RESOLUTION, device=GPUDevice(max_resolution=MAX_FBO),
+            config=EngineConfig(backend="serial"),
+        )
+        before = self._tile_task_count()
+        res = engine.execute(points, polygons, Count())
+        # Inline execution increments directly — no delta is attached, so
+        # nothing is double-counted by the merge.
+        assert self._tile_task_count() == before + res.stats.extra["tiles"]
+
+
+class TestSessionShmTier:
+    def test_partition_store_exports_chunks(self, points, polygons):
+        session = QuerySession(shm=True)
+        engine = AccurateRasterJoin(
+            resolution=RESOLUTION, device=GPUDevice(max_resolution=MAX_FBO),
+            session=session,
+            config=EngineConfig(backend="serial", shm=False),
+        )
+        try:
+            res = engine.execute(points, polygons, Count())
+            assert res.stats.extra["partition"] == "on"
+            assert shm.REGISTRY.live_segments() > 0
+            # The stored partition holds ShmChunks, not host datasets.
+            key = next(iter(session._partitions))
+            per_tile = session._partitions[key][2]
+            kinds = {
+                type(chunk).__name__
+                for chunks in per_tile for chunk in chunks
+            }
+            assert kinds <= {"ShmChunk"}
+        finally:
+            session.invalidate()
+
+    def test_shm_pin_memoizes_by_content(self, points):
+        session = QuerySession(shm=True)
+        try:
+            first = session.shm_pin(points)
+            again = session.shm_pin(points)
+            assert first is again
+            np.testing.assert_array_equal(first.column("x"), points.xs)
+            # Editing the source in place rolls the guard and re-exports.
+            points.xs += 1.0
+            fresh = session.shm_pin(points)
+            assert fresh is not first
+            np.testing.assert_array_equal(fresh.column("x"), points.xs)
+        finally:
+            session.invalidate()
+        assert shm.REGISTRY.live_segments() == 0
+
+    def test_shm_pin_off_by_default(self, points, monkeypatch):
+        monkeypatch.delenv(shm.SHM_ENV_VAR, raising=False)
+        session = QuerySession()
+        assert session.shm_pin(points) is None
+        # An explicit opt-out wins over any environment setting.
+        assert QuerySession(shm=False).shm_pin(points) is None
+
+
+class TestResidentSubsetZeroCopy:
+    """Satellite: tile gathers of resident sets stay zero-copy views."""
+
+    def test_columns_are_returned_by_reference(self):
+        from repro.exec.partition import ResidentSubset
+
+        xs = np.arange(10.0)
+        subset = ResidentSubset({"x": xs})
+        assert subset.column("x") is xs, (
+            "ResidentSubset must hand back the gathered array itself, "
+            "not a copy"
+        )
+        assert len(subset) == 10
+
+    def test_take_from_resident_set_shares_no_host_copy(self):
+        from repro.exec.partition import ResidentSubset, _take
+
+        device = GPUDevice()
+        resident = device.make_resident(
+            {"x": np.arange(100.0), "y": np.arange(100.0)}
+        )
+        try:
+            index = np.arange(0, 100, 2)
+            sub = _take(resident, index, ("x", "y"))
+            assert isinstance(sub, ResidentSubset)
+            inner = sub.column("x")
+            # A second column() call must not re-gather.
+            assert sub.column("x") is inner
+        finally:
+            resident.free()

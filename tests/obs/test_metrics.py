@@ -101,3 +101,64 @@ class TestRegistryBehavior:
         reg.counter("bytes", 123, kind="prepared")
         for value in reg.snapshot()["counters"].values():
             assert value >= 0
+
+
+class TestCrossProcessDeltas:
+    """baseline/delta_since/apply_delta — the TilePartial round trip."""
+
+    def test_delta_captures_only_new_increments(self):
+        reg = MetricsRegistry()
+        reg.counter("warm", 5)
+        base = reg.baseline()
+        reg.counter("warm", 2)
+        reg.counter("fresh", 3, kind="tile")
+        delta = reg.delta_since(base)
+        assert delta["counters"] == {"warm": 2, 'fresh{kind="tile"}': 3}
+
+    def test_no_change_means_empty_delta(self):
+        reg = MetricsRegistry()
+        reg.counter("warm")
+        reg.observe("lat", 0.5)
+        base = reg.baseline()
+        assert reg.delta_since(base) == {}
+
+    def test_apply_delta_folds_counters(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        parent.counter("tiles", 4)
+        base = worker.baseline()
+        worker.counter("tiles", 2)
+        parent.apply_delta(worker.delta_since(base))
+        assert parent.snapshot()["counters"]["tiles"] == 6
+
+    def test_apply_delta_merges_histograms(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        parent.observe("lat", 1.0)
+        base = worker.baseline()
+        worker.observe("lat", 0.25)
+        worker.observe("lat", 8.0)
+        parent.apply_delta(worker.delta_since(base))
+        hist = parent.snapshot()["histograms"]["lat"]
+        assert hist["count"] == 3
+        assert hist["sum"] == 9.25
+        assert hist["min"] == 0.25
+        assert hist["max"] == 8.0
+
+    def test_gauges_never_travel(self):
+        reg = MetricsRegistry()
+        base = reg.baseline()
+        reg.gauge_set("level", 42)
+        assert reg.delta_since(base) == {}, (
+            "gauges are process-local level facts, not increments"
+        )
+
+    def test_delta_round_trips_through_pickle(self):
+        import pickle
+
+        reg = MetricsRegistry()
+        base = reg.baseline()
+        reg.counter("n", 7)
+        reg.observe("lat", 0.1)
+        delta = pickle.loads(pickle.dumps(reg.delta_since(base)))
+        parent = MetricsRegistry()
+        parent.apply_delta(delta)
+        assert parent.snapshot()["counters"]["n"] == 7
